@@ -1,0 +1,26 @@
+//! Baselines for the paper's Table II comparison.
+//!
+//! The DATE 2019 paper compares its FourQ ASIC against NIST P-256 and
+//! Curve25519 accelerators on ASIC and FPGA platforms. To reproduce the
+//! *shape* of that comparison honestly, this crate implements the
+//! baseline **algorithms** for real —
+//!
+//! * [`p256`] — full NIST P-256: Montgomery field arithmetic, Jacobian
+//!   point operations, double-and-add scalar multiplication;
+//! * [`x25519`] — the X25519 Montgomery ladder over `2^255 − 19`;
+//!
+//! — and carries the **platform figures** reported by the cited papers as
+//! data ([`models`]), so the Table II harness can print reported rows next
+//! to our simulated FourQ row and derive the paper's headline ratios.
+//!
+//! The generic Montgomery-representation field ([`mont::MontField`]) is
+//! shared by both curves and is property-tested against the
+//! division-based reference in `fourq-fp`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod models;
+pub mod mont;
+pub mod p256;
+pub mod x25519;

@@ -1,0 +1,294 @@
+//! NIST P-256 (secp256r1): the curve of the paper's primary ASIC baseline
+//! (Knežević et al. [5]) and of several FPGA rows of Table II.
+//!
+//! `y² = x³ − 3x + b` over `p = 2^256 − 2^224 + 2^192 + 2^96 − 1`,
+//! implemented with Montgomery field arithmetic and Jacobian projective
+//! coordinates. Correctness is established structurally (generator
+//! satisfies the curve equation, `[n]G = O`, scalar-multiplication
+//! homomorphism) in the test suite.
+#![allow(clippy::needless_range_loop)] // limb loops are clearer indexed
+
+use crate::mont::MontField;
+use fourq_fp::U256;
+
+/// The P-256 curve context (field, constants, generator).
+#[derive(Clone, Copy, Debug)]
+pub struct P256 {
+    /// Field of definition.
+    pub field: MontField,
+    /// Curve constant `b` (Montgomery form).
+    b: U256,
+    /// `a = −3` (Montgomery form).
+    a: U256,
+    /// Group order `n`.
+    pub order: U256,
+    /// Generator x (Montgomery form).
+    gx: U256,
+    /// Generator y (Montgomery form).
+    gy: U256,
+}
+
+/// A Jacobian point `(X : Y : Z)`, `x = X/Z²`, `y = Y/Z³`; `Z = 0` encodes
+/// the point at infinity.
+#[derive(Clone, Copy, Debug)]
+pub struct Jacobian {
+    x: U256,
+    y: U256,
+    z: U256,
+}
+
+/// An affine P-256 point or infinity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Affine {
+    /// The point at infinity.
+    Infinity,
+    /// A finite point (plain, non-Montgomery coordinates).
+    Point {
+        /// x-coordinate.
+        x: U256,
+        /// y-coordinate.
+        y: U256,
+    },
+}
+
+impl Default for P256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl P256 {
+    /// Builds the standard curve context.
+    pub fn new() -> P256 {
+        let p = U256::from_hex(
+            "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff",
+        )
+        .expect("valid modulus");
+        let field = MontField::new(p);
+        let b = U256::from_hex(
+            "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b",
+        )
+        .expect("valid b");
+        let order = U256::from_hex(
+            "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551",
+        )
+        .expect("valid order");
+        let gx = U256::from_hex(
+            "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296",
+        )
+        .expect("valid gx");
+        let gy = U256::from_hex(
+            "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5",
+        )
+        .expect("valid gy");
+        let three = field.enter(U256::from_u64(3));
+        P256 {
+            field,
+            b: field.enter(b),
+            a: field.neg(three),
+            order,
+            gx: field.enter(gx),
+            gy: field.enter(gy),
+        }
+    }
+
+    /// The standard generator.
+    pub fn generator(&self) -> Jacobian {
+        Jacobian {
+            x: self.gx,
+            y: self.gy,
+            z: self.field.enter(U256::ONE),
+        }
+    }
+
+    /// The point at infinity.
+    pub fn infinity(&self) -> Jacobian {
+        Jacobian {
+            x: self.field.enter(U256::ONE),
+            y: self.field.enter(U256::ONE),
+            z: U256::ZERO,
+        }
+    }
+
+    /// Whether an affine point satisfies the curve equation.
+    pub fn is_on_curve(&self, pt: &Affine) -> bool {
+        match pt {
+            Affine::Infinity => true,
+            Affine::Point { x, y } => {
+                let f = &self.field;
+                let xm = f.enter(*x);
+                let ym = f.enter(*y);
+                let lhs = f.sqr(ym);
+                let rhs = f.add(f.add(f.mul(f.sqr(xm), xm), f.mul(self.a, xm)), self.b);
+                lhs == rhs
+            }
+        }
+    }
+
+    /// Jacobian doubling (a = −3 optimised form).
+    pub fn double(&self, p: &Jacobian) -> Jacobian {
+        let f = &self.field;
+        if p.z.is_zero() || p.y.is_zero() {
+            return self.infinity();
+        }
+        // delta = Z², gamma = Y², beta = X·gamma,
+        // alpha = 3(X−delta)(X+delta)   [uses a = −3]
+        let delta = f.sqr(p.z);
+        let gamma = f.sqr(p.y);
+        let beta = f.mul(p.x, gamma);
+        let alpha = {
+            let t = f.mul(f.sub(p.x, delta), f.add(p.x, delta));
+            f.add(f.dbl(t), t)
+        };
+        let x3 = f.sub(f.sqr(alpha), f.dbl(f.dbl(f.dbl(beta))));
+        let z3 = f.sub(f.sqr(f.add(p.y, p.z)), f.add(gamma, delta));
+        let y3 = f.sub(
+            f.mul(alpha, f.sub(f.dbl(f.dbl(beta)), x3)),
+            f.dbl(f.dbl(f.dbl(f.sqr(gamma)))),
+        );
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Jacobian addition (general; handles doubling and infinity inputs).
+    pub fn add(&self, p: &Jacobian, q: &Jacobian) -> Jacobian {
+        let f = &self.field;
+        if p.z.is_zero() {
+            return *q;
+        }
+        if q.z.is_zero() {
+            return *p;
+        }
+        let z1z1 = f.sqr(p.z);
+        let z2z2 = f.sqr(q.z);
+        let u1 = f.mul(p.x, z2z2);
+        let u2 = f.mul(q.x, z1z1);
+        let s1 = f.mul(f.mul(p.y, q.z), z2z2);
+        let s2 = f.mul(f.mul(q.y, p.z), z1z1);
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double(p);
+            }
+            return self.infinity();
+        }
+        let h = f.sub(u2, u1);
+        let i = f.sqr(f.dbl(h));
+        let j = f.mul(h, i);
+        let r = f.dbl(f.sub(s2, s1));
+        let v = f.mul(u1, i);
+        let x3 = f.sub(f.sub(f.sqr(r), j), f.dbl(v));
+        let y3 = f.sub(f.mul(r, f.sub(v, x3)), f.dbl(f.mul(s1, j)));
+        let z3 = f.mul(f.sub(f.sqr(f.add(p.z, q.z)), f.add(z1z1, z2z2)), h);
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Scalar multiplication by plain double-and-add (MSB first).
+    pub fn scalar_mul(&self, k: &U256, p: &Jacobian) -> Jacobian {
+        let mut acc = self.infinity();
+        let bits = k.bits();
+        for i in (0..bits as usize).rev() {
+            acc = self.double(&acc);
+            if k.bit(i) {
+                acc = self.add(&acc, p);
+            }
+        }
+        acc
+    }
+
+    /// Converts to affine coordinates.
+    pub fn to_affine(&self, p: &Jacobian) -> Affine {
+        let f = &self.field;
+        if p.z.is_zero() {
+            return Affine::Infinity;
+        }
+        let zi = f.inv(p.z);
+        let zi2 = f.sqr(zi);
+        let zi3 = f.mul(zi2, zi);
+        Affine::Point {
+            x: f.leave(f.mul(p.x, zi2)),
+            y: f.leave(f.mul(p.y, zi3)),
+        }
+    }
+
+    /// Field multiplications needed by one double-and-add scalar
+    /// multiplication with a `bits`-bit scalar (for the op-count
+    /// comparison printed by the Table II harness): doubling ≈ 3M+5S,
+    /// general addition ≈ 11M+5S, on average half the bits add.
+    pub fn scalar_mul_field_ops(bits: u32) -> u64 {
+        let dbl = 8u64; // 3M + 5S
+        let add = 16u64; // 11M + 5S
+        bits as u64 * dbl + (bits as u64 / 2) * add
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_on_curve() {
+        let c = P256::new();
+        let g = c.to_affine(&c.generator());
+        assert!(c.is_on_curve(&g));
+        assert_ne!(g, Affine::Infinity);
+    }
+
+    #[test]
+    fn order_annihilates_generator() {
+        let c = P256::new();
+        let o = c.scalar_mul(&c.order, &c.generator());
+        assert_eq!(c.to_affine(&o), Affine::Infinity);
+    }
+
+    #[test]
+    fn group_law_consistency() {
+        let c = P256::new();
+        let g = c.generator();
+        // [2]G + G == [3]G
+        let two_g = c.double(&g);
+        let three_g = c.add(&two_g, &g);
+        let three_g2 = c.scalar_mul(&U256::from_u64(3), &g);
+        assert_eq!(c.to_affine(&three_g), c.to_affine(&three_g2));
+    }
+
+    #[test]
+    fn scalar_mul_homomorphism() {
+        let c = P256::new();
+        let g = c.generator();
+        let a = U256::from_u64(123457);
+        let b = U256::from_u64(987651);
+        let ab = U256::rem_wide(&a.widening_mul(&b), &c.order);
+        let lhs = c.scalar_mul(&a, &c.scalar_mul(&b, &g));
+        let rhs = c.scalar_mul(&ab, &g);
+        assert_eq!(c.to_affine(&lhs), c.to_affine(&rhs));
+    }
+
+    #[test]
+    fn doubling_infinity_is_infinity() {
+        let c = P256::new();
+        let inf = c.infinity();
+        assert_eq!(c.to_affine(&c.double(&inf)), Affine::Infinity);
+        let g = c.generator();
+        assert_eq!(c.to_affine(&c.add(&inf, &g)), c.to_affine(&g));
+    }
+
+    #[test]
+    fn add_inverse_gives_infinity() {
+        let c = P256::new();
+        let g = c.generator();
+        let f = &c.field;
+        let neg_g = Jacobian {
+            x: g.x,
+            y: f.neg(g.y),
+            z: g.z,
+        };
+        assert_eq!(c.to_affine(&c.add(&g, &neg_g)), Affine::Infinity);
+    }
+}

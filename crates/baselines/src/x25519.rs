@@ -1,0 +1,154 @@
+//! X25519 (RFC 7748): the Curve25519 Diffie–Hellman function, baseline of
+//! Table II row [22] and the "2× slower than FourQ" comparison of the
+//! paper's introduction.
+//!
+//! Montgomery ladder over `p = 2^255 − 19` with the standard
+//! constant-time-shaped conditional swaps.
+
+use crate::mont::MontField;
+use fourq_fp::U256;
+
+/// The X25519 context.
+#[derive(Clone, Copy, Debug)]
+pub struct X25519 {
+    field: MontField,
+    a24: U256,
+}
+
+impl Default for X25519 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl X25519 {
+    /// Builds the curve context (`p = 2^255 − 19`, `a24 = 121665`).
+    pub fn new() -> X25519 {
+        let p = U256::from_hex(
+            "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed",
+        )
+        .expect("valid modulus");
+        let field = MontField::new(p);
+        X25519 {
+            field,
+            a24: field.enter(U256::from_u64(121665)),
+        }
+    }
+
+    /// RFC 7748 scalar clamping.
+    pub fn clamp(scalar: &[u8; 32]) -> U256 {
+        let mut s = *scalar;
+        s[0] &= 248;
+        s[31] &= 127;
+        s[31] |= 64;
+        U256::from_le_bytes(&s)
+    }
+
+    /// The X25519 function: `k · u` on the Montgomery curve
+    /// (u-coordinate-only ladder). `k` is clamped per RFC 7748.
+    pub fn ladder(&self, scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+        let f = &self.field;
+        let k = Self::clamp(scalar);
+        // RFC 7748 masks the top bit of u.
+        let mut ub = *u;
+        ub[31] &= 0x7f;
+        let x1 = f.enter(U256::from_le_bytes(&ub));
+
+        let one = f.enter(U256::ONE);
+        let mut x2 = one;
+        let mut z2 = U256::ZERO;
+        let mut x3 = x1;
+        let mut z3 = one;
+        let mut swap = false;
+
+        for t in (0..255).rev() {
+            let kt = k.bit(t);
+            if swap != kt {
+                core::mem::swap(&mut x2, &mut x3);
+                core::mem::swap(&mut z2, &mut z3);
+            }
+            swap = kt;
+
+            let a = f.add(x2, z2);
+            let aa = f.sqr(a);
+            let b = f.sub(x2, z2);
+            let bb = f.sqr(b);
+            let e = f.sub(aa, bb);
+            let c = f.add(x3, z3);
+            let d = f.sub(x3, z3);
+            let da = f.mul(d, a);
+            let cb = f.mul(c, b);
+            x3 = f.sqr(f.add(da, cb));
+            z3 = f.mul(x1, f.sqr(f.sub(da, cb)));
+            x2 = f.mul(aa, bb);
+            z2 = f.mul(e, f.add(aa, f.mul(self.a24, e)));
+        }
+        if swap {
+            core::mem::swap(&mut x2, &mut x3);
+            core::mem::swap(&mut z2, &mut z3);
+        }
+        let out = if z2.is_zero() {
+            U256::ZERO
+        } else {
+            f.leave(f.mul(x2, f.inv(z2)))
+        };
+        out.to_le_bytes()
+    }
+
+    /// Diffie–Hellman public key from a secret (`X25519(k, 9)`).
+    pub fn public_key(&self, secret: &[u8; 32]) -> [u8; 32] {
+        let mut base = [0u8; 32];
+        base[0] = 9;
+        self.ladder(secret, &base)
+    }
+
+    /// Field multiplications in one ladder execution (for the op-count
+    /// comparison): 255 steps × (5M + 4S) plus the final inversion
+    /// (~265 S+M).
+    pub fn ladder_field_ops() -> u64 {
+        255 * 9 + 265
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dh_commutativity() {
+        let x = X25519::new();
+        let a = [0x11u8; 32];
+        let b = [0x42u8; 32];
+        let pa = x.public_key(&a);
+        let pb = x.public_key(&b);
+        let sab = x.ladder(&a, &pb);
+        let sba = x.ladder(&b, &pa);
+        assert_eq!(sab, sba);
+        assert_ne!(sab, [0u8; 32]);
+    }
+
+    #[test]
+    fn different_secrets_different_keys() {
+        let x = X25519::new();
+        assert_ne!(x.public_key(&[1u8; 32]), x.public_key(&[2u8; 32]));
+    }
+
+    #[test]
+    fn clamping_fixes_bits() {
+        let k = X25519::clamp(&[0xffu8; 32]);
+        assert!(!k.bit(0) && !k.bit(1) && !k.bit(2));
+        assert!(k.bit(254));
+        assert!(!k.bit(255));
+    }
+
+    #[test]
+    fn ladder_ignores_u_top_bit() {
+        let x = X25519::new();
+        let k = [0x77u8; 32];
+        let mut u1 = [0x05u8; 32];
+        let mut u2 = u1;
+        u1[31] &= 0x7f;
+        u2[31] |= 0x80;
+        assert_eq!(x.ladder(&k, &u1), x.ladder(&k, &u2));
+    }
+}

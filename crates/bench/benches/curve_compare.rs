@@ -1,0 +1,46 @@
+//! Cross-curve software comparison backing the Table II shape: one scalar
+//! multiplication on FourQ (this work), NIST P-256 and Curve25519 — all
+//! three implemented in this workspace. FourQ's algorithmic advantage
+//! (smaller field, fewer effective iterations) should show as the paper's
+//! intro claims (≈5× vs P-256, ≈2× vs Curve25519 in software).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fourq_baselines::{p256::P256, x25519::X25519};
+use fourq_curve::AffinePoint;
+use fourq_fp::{Scalar, U256};
+use std::hint::black_box;
+
+fn bench_curves(c: &mut Criterion) {
+    let mut g = c.benchmark_group("curve_compare");
+    g.sample_size(20);
+
+    let fourq_g = AffinePoint::generator();
+    let k = Scalar::from_u256(
+        U256::from_hex("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+            .unwrap(),
+    );
+    g.bench_function("fourq_scalar_mul", |b| {
+        b.iter(|| black_box(fourq_g.mul(&black_box(k))))
+    });
+
+    let p256 = P256::new();
+    let kp = U256::from_hex("7fffffff11112222333344445555666677778888aaaabbbbccccddddeeee0001")
+        .unwrap();
+    g.bench_function("p256_scalar_mul", |b| {
+        b.iter(|| {
+            let r = p256.scalar_mul(&black_box(kp), &p256.generator());
+            black_box(p256.to_affine(&r))
+        })
+    });
+
+    let x = X25519::new();
+    let secret = [0x5au8; 32];
+    g.bench_function("x25519_ladder", |b| {
+        b.iter(|| black_box(x.public_key(&black_box(secret))))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_curves);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Microbenchmark for the paper's Algorithm 2: Karatsuba + lazy reduction
+//! vs schoolbook `F_p²` multiplication (the multiplier-design ablation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fourq_fp::{Fp, Fp2};
+use std::hint::black_box;
+
+fn operands() -> (Fp2, Fp2) {
+    let a = Fp2::new(
+        Fp::from_u128((1 << 126) + 0x1234_5678_9abc_def0),
+        Fp::from_u128((1 << 125) + 0x0fed_cba9_8765_4321),
+    );
+    let b = Fp2::new(
+        Fp::from_u128((1 << 124) + 0xaaaa_bbbb_cccc_dddd),
+        Fp::from_u128((1 << 123) + 0x1111_2222_3333_4444),
+    );
+    (a, b)
+}
+
+fn bench_fp2(c: &mut Criterion) {
+    let (a, b) = operands();
+    let mut g = c.benchmark_group("fp2_mul");
+    g.bench_function("karatsuba_lazy (Alg.2)", |bench| {
+        bench.iter(|| black_box(black_box(a).mul_karatsuba(&black_box(b))))
+    });
+    g.bench_function("schoolbook", |bench| {
+        bench.iter(|| black_box(black_box(a).mul_schoolbook(&black_box(b))))
+    });
+    g.bench_function("square", |bench| {
+        bench.iter(|| black_box(black_box(a).square()))
+    });
+    g.bench_function("add", |bench| {
+        bench.iter(|| black_box(black_box(a) + black_box(b)))
+    });
+    g.bench_function("invert", |bench| {
+        bench.iter(|| black_box(black_box(a).inv()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fp2);
+criterion_main!(benches);

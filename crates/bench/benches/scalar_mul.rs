@@ -1,0 +1,38 @@
+//! Benchmarks the FourQ scalar multiplication pipeline: the Algorithm-1
+//! decomposed method vs plain double-and-add (the algorithmic speedup the
+//! curve was designed for), plus decomposition/recoding in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fourq_curve::{decompose, recode, AffinePoint};
+use fourq_fp::{Scalar, U256};
+use std::hint::black_box;
+
+fn scalar() -> Scalar {
+    Scalar::from_u256(
+        U256::from_hex("1f2e3d4c5b6a798812345678907abcdef0fedcba98765432100123456789abcd")
+            .unwrap(),
+    )
+}
+
+fn bench_scalar_mul(c: &mut Criterion) {
+    let g = AffinePoint::generator();
+    let k = scalar();
+    let mut grp = c.benchmark_group("scalar_mul");
+    grp.sample_size(20);
+    grp.bench_function("decomposed (Alg.1 pipeline)", |b| {
+        b.iter(|| black_box(g.mul(&black_box(k))))
+    });
+    grp.bench_function("double_and_add (reference)", |b| {
+        b.iter(|| black_box(g.mul_generic(&black_box(k))))
+    });
+    grp.bench_function("decompose+recode only", |b| {
+        b.iter(|| {
+            let d = decompose(&black_box(k));
+            black_box(recode(&d))
+        })
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench_scalar_mul);
+criterion_main!(benches);

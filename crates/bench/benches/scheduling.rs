@@ -1,0 +1,36 @@
+//! Benchmarks the scheduling flow itself (the paper's §III-C turn-around
+//! argument: automated scheduling replaces error-prone manual work — and
+//! must be fast enough to run per design iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fourq_cpu::trace_to_problem;
+use fourq_fp::Scalar;
+use fourq_sched::{schedule, MachineConfig};
+use fourq_trace::{trace_double_add_iteration, trace_scalar_mul};
+use std::hint::black_box;
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduling");
+    g.sample_size(10);
+
+    let loop_trace = trace_double_add_iteration();
+    let loop_problem = trace_to_problem(&loop_trace);
+    let machine = MachineConfig::paper();
+    g.bench_function("loop_body_28ops_ils64", |b| {
+        b.iter(|| black_box(schedule(&loop_problem, &machine, 64)))
+    });
+
+    let sm = trace_scalar_mul(&Scalar::from_u64(0xfeef_dead_beef_cafe));
+    let sm_problem = trace_to_problem(&sm.trace);
+    g.bench_function("full_sm_4600ops_cp_only", |b| {
+        b.iter(|| black_box(schedule(&sm_problem, &machine, 0)))
+    });
+    g.bench_function("trace_full_sm", |b| {
+        b.iter(|| black_box(trace_scalar_mul(&Scalar::from_u64(0x1234_5678))))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

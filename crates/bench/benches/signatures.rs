@@ -1,0 +1,31 @@
+//! Benchmarks the ITS workload of the paper's motivation: signature
+//! generation and verification throughput (§I cites 1000 verifications/s
+//! of channel load).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fourq_fp::Scalar;
+use fourq_sig::{ecdsa, schnorr};
+use std::hint::black_box;
+
+fn bench_signatures(c: &mut Criterion) {
+    let msg = b"CAM: vehicle 42, lane 3, 48 km/h, intersection 12 in 80 m";
+    let skp = schnorr::KeyPair::from_seed(&[9u8; 32]);
+    let ssig = skp.sign(msg);
+    let ekp = ecdsa::KeyPair::from_secret(Scalar::from_u64(0x1234_5678_9abc)).unwrap();
+    let esig = ekp.sign(msg).unwrap();
+
+    let mut g = c.benchmark_group("signatures");
+    g.sample_size(20);
+    g.bench_function("schnorr_sign", |b| b.iter(|| black_box(skp.sign(black_box(msg)))));
+    g.bench_function("schnorr_verify", |b| {
+        b.iter(|| black_box(schnorr::verify(&skp.public, black_box(msg), &ssig)))
+    });
+    g.bench_function("ecdsa_sign", |b| b.iter(|| black_box(ekp.sign(black_box(msg)))));
+    g.bench_function("ecdsa_verify", |b| {
+        b.iter(|| black_box(ecdsa::verify(&ekp.public, black_box(msg), &esig)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_signatures);
+criterion_main!(benches);

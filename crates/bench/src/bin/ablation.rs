@@ -1,0 +1,106 @@
+//! Ablation study over the paper's §III design choices:
+//!
+//! 1. **Karatsuba vs schoolbook multiplier** (Algorithm 2 / Fig. 1(b)):
+//!    base-field multiplication count per `F_p²` product.
+//! 2. **Instruction scheduling** (§III-C): serial issue vs in-order list
+//!    vs critical-path list vs iterated local search, against the lower
+//!    bound.
+//! 3. **Multiplier pipeline depth** and **register-file ports**: cycle
+//!    impact of the microarchitectural parameters of Fig. 1(a).
+
+use fourq_cpu::trace_to_problem;
+use fourq_sched::{
+    critical_path_priorities, list_schedule, lower_bound, schedule, serial_schedule,
+    MachineConfig,
+};
+use fourq_fp::Scalar;
+use fourq_trace::trace_scalar_mul;
+
+fn main() {
+    println!("== Ablation 1: F_p^2 multiplier algorithm (paper Alg. 2) ==\n");
+    // Count base-field multiplications per algorithm.
+    println!("  schoolbook      : 4 F_p multiplications + 2 F_p add/sub per F_p^2 product");
+    println!("  Karatsuba+lazy  : 3 F_p multiplications + 5 F_p add/sub per F_p^2 product");
+    println!("  hardware impact : 25% fewer 64x64 partial-product arrays in the pipelined unit;");
+    println!("                    lazy reduction folds once per output component (Alg. 2, t9/t10).");
+
+    // Full-width scalar: degenerate (short) scalars leave the high table
+    // entries unused, which lets the scheduler overlap their setup chains
+    // with the main loop and makes the design look faster than it is.
+    let k = Scalar::from_u256(
+        fourq_fp::U256::from_hex(
+            "1d3f297b1a2c4d5e6f708192a3b4c5d6e7f8091a2b3c4d5e6f70819202122231",
+        )
+        .expect("valid"),
+    );
+    let recorded = trace_scalar_mul(&k);
+    let problem = trace_to_problem(&recorded.trace);
+
+    println!("\n== Ablation 2: scheduling strategy (full SM, {} microinstructions) ==\n", problem.len());
+    let machine = MachineConfig::paper();
+    let lb = lower_bound(&problem, &machine);
+    let serial = serial_schedule(&problem, &machine);
+    let inorder = {
+        // priorities = reverse program order -> mimics issue in recorded order
+        let n = problem.len() as u64;
+        let prio: Vec<u64> = (0..n).map(|i| n - i).collect();
+        list_schedule(&problem, &machine, &prio)
+    };
+    let cp = list_schedule(&problem, &machine, &critical_path_priorities(&problem, &machine));
+    let ils = schedule(&problem, &machine, 64);
+    println!("  strategy            cycles   vs lower bound");
+    println!("  ------------------  -------  --------------");
+    for (name, s) in [
+        ("serial (no ILP)", &serial),
+        ("in-order list", &inorder),
+        ("critical-path list", &cp),
+        ("iterated local search", &ils),
+    ] {
+        s.validate(&problem, &machine).expect("valid");
+        println!(
+            "  {name:<18}  {:>7}  {:>8.2}x",
+            s.makespan,
+            s.makespan as f64 / lb as f64
+        );
+    }
+    println!("  lower bound         {lb:>7}  1.00x");
+
+    println!("\n== Ablation 3: multiplier pipeline depth ==\n");
+    println!("  mul latency  cycles   note");
+    for lat in [1u32, 2, 3, 4, 6] {
+        let mut m = MachineConfig::paper();
+        m.mul_latency = lat;
+        let s = schedule(&problem, &m, 16);
+        s.validate(&problem, &m).expect("valid");
+        println!(
+            "  {lat:>10}  {:>7}   {}",
+            s.makespan,
+            if lat == 2 { "(paper-like design point)" } else { "" }
+        );
+    }
+
+    println!("\n== Ablation 4: register-file ports & second multiplier ==\n");
+    println!("  config                          cycles");
+    let mut configs: Vec<(String, MachineConfig)> = Vec::new();
+    configs.push(("4R/2W, 1 mul (paper)".into(), MachineConfig::paper()));
+    let mut m = MachineConfig::paper();
+    m.read_ports = 2;
+    m.write_ports = 1;
+    configs.push(("2R/1W, 1 mul".into(), m));
+    let mut m = MachineConfig::paper();
+    m.forwarding = false;
+    configs.push(("4R/2W, no forwarding".into(), m));
+    let mut m = MachineConfig::paper();
+    m.mul_units = 2;
+    m.read_ports = 6;
+    m.write_ports = 3;
+    configs.push(("6R/3W, 2 mul units".into(), m));
+    for (name, m) in configs {
+        let s = schedule(&problem, &m, 16);
+        s.validate(&problem, &m).expect("valid");
+        println!("  {name:<30}  {:>7}", s.makespan);
+    }
+    println!("\n(The 4R/2W + forwarding + single pipelined multiplier point of the");
+    println!(" paper sits at the knee: fewer ports stall issue, more hardware");
+    println!(" gains little because the critical path is multiplication-bound.)");
+}

@@ -1,0 +1,70 @@
+//! Design report: the simulated processor's complexity breakdown —
+//! the counterpart of the paper's §IV-A chip figures (1400 kGE in
+//! 1.76 mm × 3.56 mm) and of the Fig. 1 block structure.
+//!
+//! Prints: microinstruction counts, register-file requirements from
+//! register allocation, program-ROM geometry from control-signal
+//! generation, per-block kGE estimates, and the schedule-quality summary.
+
+use fourq_cpu::{allocate, simulate_allocated, trace_to_problem, ControlRom};
+use fourq_fp::{Scalar, U256};
+use fourq_sched::{lower_bound, schedule, MachineConfig};
+use fourq_tech::AreaModel;
+use fourq_trace::trace_scalar_mul;
+
+fn main() {
+    println!("== Design report: simulated FourQ cryptoprocessor ==\n");
+    let k = Scalar::from_u256(
+        U256::from_hex("1d3f297b1a2c4d5e6f708192a3b4c5d6e7f8091a2b3c4d5e6f70819202122231")
+            .expect("valid"),
+    );
+    let recorded = trace_scalar_mul(&k);
+    let problem = trace_to_problem(&recorded.trace);
+    let machine = MachineConfig::paper();
+    let sched = schedule(&problem, &machine, 64);
+    sched.validate(&problem, &machine).expect("valid schedule");
+
+    let stats = recorded.trace.stats();
+    println!("program:");
+    println!("  microinstructions : {}", problem.len());
+    println!("  op mix            : {stats}");
+    println!(
+        "  schedule          : {} cycles (lower bound {}, gap {:.1}%)",
+        sched.makespan,
+        lower_bound(&problem, &machine),
+        100.0 * (sched.makespan - lower_bound(&problem, &machine)) as f64
+            / lower_bound(&problem, &machine) as f64
+    );
+
+    // Register allocation + control ROM (paper §III-C step 4).
+    let alloc = allocate(&recorded.trace, &sched, &machine);
+    let outs = simulate_allocated(&recorded.trace, &sched, &alloc, &machine)
+        .expect("allocated program executes");
+    assert_eq!(outs[0].1, recorded.expected.x, "allocation is value-correct");
+    assert_eq!(outs[1].1, recorded.expected.y);
+    let rom = ControlRom::assemble(&recorded.trace, &sched, &alloc).expect("single-issue units");
+    println!("\nregister file:");
+    println!("  physical registers: {} x 256-bit F_p^2 words", alloc.num_registers);
+    println!("  ports             : 4R / 2W + forwarding (paper configuration)");
+    println!("\nprogram ROM / controller:");
+    println!("  words             : {} (one control word per cycle)", rom.words.len());
+    println!("  word width        : {} bits (5 + 6 x {}-bit register addresses)",
+        5 + 6 * rom.addr_bits as usize, rom.addr_bits);
+    println!("  total             : {:.1} kbit", rom.size_bits() as f64 / 1000.0);
+
+    let area = AreaModel::paper_like(alloc.num_registers, rom.words.len());
+    println!("\narea estimate (65 nm, kGE):");
+    println!("  F_p^2 multiplier  : {:>8.0}", area.multiplier_kge());
+    println!("  adder/subtractor  : {:>8.0}", area.addsub_kge());
+    println!("  register file     : {:>8.0}", area.register_file_kge());
+    println!("  controller + ROM  : {:>8.0}", area.controller_kge());
+    println!("  integration ovh.  : {:>8.2}x", area.integration_overhead);
+    println!("  total             : {:>8.0} kGE   (paper: 1400 kGE)", area.total_kge());
+    println!("  die area          : {:>8.2} mm^2  (paper: 6.27 mm^2 for the SM unit)", area.area_mm2());
+
+    println!("\nfirst microinstructions of the program:");
+    for line in recorded.trace.disassemble().lines().take(12) {
+        println!("  {line}");
+    }
+    println!("  ...");
+}

@@ -1,0 +1,100 @@
+//! Shared evaluation harness for the table/figure binaries.
+//!
+//! Each binary in `src/bin/` regenerates one artifact of the paper:
+//!
+//! | binary | paper artifact |
+//! |--------|----------------|
+//! | `profile_ops` | the §III-B profiling claim (≈57 % `F_p²` multiplications) |
+//! | `table1_schedule` | Table I — scheduled double-and-add loop |
+//! | `fig4_voltage_sweep` | Fig. 4 — `f_max` / latency / energy vs `V_DD` |
+//! | `table2_comparison` | Table II — comparison to prior art + headline ratios |
+//! | `ablation` | design-choice ablations (§III): multiplier algorithm, scheduler, pipeline depth, ports |
+//!
+//! The library part hosts the one piece they share: building "our" row of
+//! Table II from a simulated scalar multiplication plus the calibrated
+//! technology model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fourq_cpu::ScalarMulSim;
+use fourq_fp::Scalar;
+use fourq_sched::MachineConfig;
+use fourq_tech::{AreaModel, OperatingPoint, SotbModel};
+
+/// The simulated counterpart of the paper's "Ours" rows in Table II.
+#[derive(Clone, Debug)]
+pub struct SimulatedDesign {
+    /// The end-to-end scalar-multiplication simulation.
+    pub sim: ScalarMulSim,
+    /// Technology model calibrated for this cycle count.
+    pub tech: SotbModel,
+    /// Area estimate.
+    pub area: AreaModel,
+}
+
+impl SimulatedDesign {
+    /// Traces, schedules and simulates one scalar multiplication on the
+    /// paper's machine configuration, then calibrates the 65 nm SOTB
+    /// model to the measured anchor points for that cycle count.
+    pub fn build(ils_iterations: u32) -> SimulatedDesign {
+        Self::build_on(&MachineConfig::paper(), ils_iterations)
+    }
+
+    /// As [`SimulatedDesign::build`] with an explicit machine config.
+    pub fn build_on(machine: &MachineConfig, ils_iterations: u32) -> SimulatedDesign {
+        // A fixed representative full-width scalar. The op count is
+        // data-independent (same digit count for every scalar), but the
+        // *schedule* can be artificially short for degenerate scalars whose
+        // recoding never reads the high table entries (their setup chains
+        // become dead code the scheduler overlaps with the main loop), so a
+        // full-width scalar is the honest design point.
+        let k = Scalar::from_u256(
+            fourq_fp::U256::from_hex(
+                "1d3f297b1a2c4d5e6f708192a3b4c5d6e7f8091a2b3c4d5e6f70819202122231",
+            )
+            .expect("valid scalar"),
+        );
+        let sim = fourq_cpu::simulate_scalar_mul(&k, machine, ils_iterations);
+        let tech = SotbModel::calibrate_paper(sim.sim.cycles);
+        let area = AreaModel::paper_like(sim.sim.stats.register_pressure, sim.rom_words);
+        SimulatedDesign { sim, tech, area }
+    }
+
+    /// Operating point at a voltage.
+    pub fn at(&self, vdd: f64) -> OperatingPoint {
+        self.tech.operating_point(vdd, self.sim.sim.cycles)
+    }
+}
+
+/// Formats a float with engineering-friendly width, rendering `None` as
+/// a dash (Table II has many unreported cells).
+pub fn cell(v: Option<f64>, width: usize, prec: usize) -> String {
+    match v {
+        Some(x) => format!("{x:>width$.prec$}"),
+        None => format!("{:>width$}", "—"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulated_design_matches_paper_anchor_latency() {
+        let d = SimulatedDesign::build(2);
+        let hi = d.at(1.2);
+        // Calibration makes the 1.2 V latency the paper's 10.1 µs by
+        // construction; the check here is that the pipeline stayed wired
+        // together.
+        assert!((hi.latency_us - 10.1).abs() < 0.2);
+        let lo = d.at(0.32);
+        assert!((lo.energy_uj - 0.327).abs() < 0.01);
+    }
+
+    #[test]
+    fn cell_formats_missing_values() {
+        assert_eq!(cell(None, 5, 1), "    —");
+        assert_eq!(cell(Some(1.25), 6, 2), "  1.25");
+    }
+}

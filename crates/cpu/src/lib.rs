@@ -1,0 +1,468 @@
+//! Cycle-accurate simulation of the FourQ ASIC cryptoprocessor.
+//!
+//! The paper's processor (Fig. 1(a)) is a register file with four read and
+//! two write ports, a pipelined Karatsuba `F_p²` multiplier, an `F_p²`
+//! adder/subtractor, forwarding paths, and an FSM + program-ROM controller
+//! that plays back the statically scheduled microcode. This crate executes
+//! a recorded [`fourq_trace::Trace`] under a [`fourq_sched::Schedule`] on
+//! that machine model, cycle by cycle, producing:
+//!
+//! * the functional outputs (cross-checked against the software library —
+//!   the simulator refuses schedules that would read a result before the
+//!   pipeline produced it);
+//! * the exact cycle count (the quantity the paper converts to latency and
+//!   energy via the technology model);
+//! * occupancy and register-file statistics, including the register
+//!   pressure the schedule implies (how large the register file must be).
+//!
+//! # Example
+//!
+//! ```
+//! use fourq_cpu::simulate_scalar_mul;
+//! use fourq_fp::Scalar;
+//! use fourq_sched::MachineConfig;
+//!
+//! let sim = simulate_scalar_mul(&Scalar::from_u64(12345), &MachineConfig::paper(), 4);
+//! assert!(sim.sim.cycles > 0);
+//! // The datapath computed the same point the software library computes:
+//! // (checked internally; `result` is the affine point.)
+//! assert!(sim.result.is_on_curve());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod regalloc;
+mod vcd;
+
+pub use regalloc::{
+    allocate, simulate_allocated, Allocation, AssembleError, ControlRom, ControlWord,
+};
+pub use vcd::export_vcd;
+
+use fourq_curve::AffinePoint;
+use fourq_fp::Fp2;
+use fourq_sched::{lower_bound, schedule, Job, MachineConfig, Problem, Schedule, UnitKind};
+use fourq_trace::{OpKind, Trace};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Statistics gathered during simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimStats {
+    /// Operations issued on the multiplier.
+    pub mul_issued: u64,
+    /// Operations issued on the adder/subtractor.
+    pub addsub_issued: u64,
+    /// Register-file reads performed.
+    pub rf_reads: u64,
+    /// Register-file writes performed.
+    pub rf_writes: u64,
+    /// Operands delivered through the forwarding paths.
+    pub forwarded: u64,
+    /// Multiplier issue-slot utilisation over the whole run (0..1).
+    pub mul_utilization: f64,
+    /// Adder/subtractor utilisation (0..1).
+    pub addsub_utilization: f64,
+    /// Peak number of simultaneously live values (required register-file
+    /// capacity, in `F_p²` words).
+    pub register_pressure: usize,
+}
+
+/// Outcome of a successful simulation.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Total cycles (schedule makespan, i.e. last write-back).
+    pub cycles: u64,
+    /// Named outputs with their computed values.
+    pub outputs: Vec<(String, Fp2)>,
+    /// Machine statistics.
+    pub stats: SimStats,
+}
+
+/// Simulation failures (all indicate an invalid schedule or trace/schedule
+/// mismatch — the simulator is also a dynamic schedule verifier).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A scheduled operation would read a value the pipeline has not
+    /// produced yet.
+    OperandNotReady {
+        /// Index of the consuming operation.
+        op: usize,
+        /// Cycle at which the read was attempted.
+        cycle: u64,
+    },
+    /// Schedule and trace sizes differ.
+    LengthMismatch,
+    /// A unit received two issues in one cycle (II = 1 violated).
+    IssueConflict {
+        /// The oversubscribed unit.
+        unit: UnitKind,
+        /// The conflicting cycle.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OperandNotReady { op, cycle } => {
+                write!(f, "operation {op} reads an unavailable operand at cycle {cycle}")
+            }
+            SimError::LengthMismatch => write!(f, "schedule length does not match trace"),
+            SimError::IssueConflict { unit, cycle } => {
+                write!(f, "unit {unit:?} double-issued at cycle {cycle}")
+            }
+        }
+    }
+}
+impl std::error::Error for SimError {}
+
+/// Converts a trace into a scheduling [`Problem`] (operation → job,
+/// dependency edges from the SSA operand structure).
+pub fn trace_to_problem(trace: &Trace) -> Problem {
+    let base = trace.first_op_id();
+    let deps = trace.op_deps();
+    let jobs = trace
+        .nodes
+        .iter()
+        .zip(deps)
+        .map(|(n, d)| {
+            let unit = match n.kind.unit() {
+                fourq_trace::Unit::Multiplier => UnitKind::Multiplier,
+                fourq_trace::Unit::AddSub => UnitKind::AddSub,
+            };
+            let operand_count = 1 + n.b.is_some() as usize;
+            let input_operands = operand_count - d.len().min(operand_count);
+            let input_operands = {
+                // count precisely: operands with id < base
+                let mut c = 0;
+                if n.a < base {
+                    c += 1;
+                }
+                if let Some(b) = n.b {
+                    if b < base {
+                        c += 1;
+                    }
+                }
+                let _ = input_operands;
+                c
+            };
+            Job {
+                unit,
+                deps: d,
+                input_operands,
+            }
+        })
+        .collect();
+    Problem::new(jobs)
+}
+
+/// Executes `trace` under `sched` on the machine model, cycle-accurately.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] if the schedule is malformed (reads data too
+/// early, double-issues a unit, or has the wrong length). A schedule that
+/// passed [`fourq_sched::Schedule::validate`] never fails here.
+pub fn simulate(
+    trace: &Trace,
+    sched: &Schedule,
+    machine: &MachineConfig,
+) -> Result<SimResult, SimError> {
+    let n = trace.nodes.len();
+    if sched.start.len() != n {
+        return Err(SimError::LengthMismatch);
+    }
+    let base = trace.first_op_id();
+
+    // Execution order: by issue cycle (ties: any order works because
+    // dependencies always finish strictly before or at issue).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (sched.start[i], i));
+
+    let latency = |i: usize| -> u64 {
+        match trace.nodes[i].kind.unit() {
+            fourq_trace::Unit::Multiplier => machine.mul_latency as u64,
+            fourq_trace::Unit::AddSub => machine.addsub_latency as u64,
+        }
+    };
+
+    // avail[id] = cycle at which the value can first be read (inputs: 0).
+    let mut avail = vec![0u64; base + n];
+    let mut values: Vec<Fp2> = trace.inputs.iter().map(|(_, v)| *v).collect();
+    values.resize(base + n, Fp2::ZERO);
+
+    let mut stats = SimStats::default();
+    let mut issue_guard: HashMap<(UnitKind, u64), usize> = HashMap::new();
+
+    for &i in &order {
+        let node = &trace.nodes[i];
+        let cycle = sched.start[i];
+        let unit = match node.kind.unit() {
+            fourq_trace::Unit::Multiplier => UnitKind::Multiplier,
+            fourq_trace::Unit::AddSub => UnitKind::AddSub,
+        };
+        let slot = issue_guard.entry((unit, cycle)).or_default();
+        *slot += 1;
+        let max_units = match unit {
+            UnitKind::Multiplier => machine.mul_units,
+            UnitKind::AddSub => machine.addsub_units,
+        };
+        if *slot > max_units {
+            return Err(SimError::IssueConflict { unit, cycle });
+        }
+
+        let fetch = |id: usize, stats: &mut SimStats| -> Result<Fp2, SimError> {
+            if id >= base {
+                // produced by an operation
+                let ready = avail[id];
+                if ready > cycle {
+                    return Err(SimError::OperandNotReady { op: i, cycle });
+                }
+                if machine.forwarding && ready == cycle {
+                    stats.forwarded += 1;
+                } else {
+                    stats.rf_reads += 1;
+                }
+            } else {
+                stats.rf_reads += 1;
+            }
+            Ok(values[id])
+        };
+
+        let a = fetch(node.a, &mut stats)?;
+        let result = match node.kind {
+            OpKind::Mul => {
+                let b = fetch(node.b.expect("mul is binary"), &mut stats)?;
+                a.mul_karatsuba(&b)
+            }
+            OpKind::Add => {
+                let b = fetch(node.b.expect("add is binary"), &mut stats)?;
+                a + b
+            }
+            OpKind::Sub => {
+                let b = fetch(node.b.expect("sub is binary"), &mut stats)?;
+                a - b
+            }
+            OpKind::Sqr => a.square(),
+            OpKind::Neg => -a,
+            OpKind::Conj => a.conj(),
+        };
+        match unit {
+            UnitKind::Multiplier => stats.mul_issued += 1,
+            UnitKind::AddSub => stats.addsub_issued += 1,
+        }
+        let id = base + i;
+        values[id] = result;
+        avail[id] = cycle + latency(i);
+        stats.rf_writes += 1;
+    }
+
+    let cycles = sched.makespan;
+    if cycles > 0 {
+        stats.mul_utilization = stats.mul_issued as f64 / (cycles as f64 * machine.mul_units as f64);
+        stats.addsub_utilization =
+            stats.addsub_issued as f64 / (cycles as f64 * machine.addsub_units as f64);
+    }
+    stats.register_pressure = register_pressure(trace, sched, machine);
+
+    let outputs = trace
+        .outputs
+        .iter()
+        .map(|(name, id)| (name.clone(), values[*id]))
+        .collect();
+    Ok(SimResult {
+        cycles,
+        outputs,
+        stats,
+    })
+}
+
+/// Peak number of simultaneously live `F_p²` values under a schedule: the
+/// size the register file must have. A value is live from the cycle it is
+/// produced until the last cycle it is read (program outputs stay live to
+/// the end; program inputs are live from cycle 0).
+pub fn register_pressure(trace: &Trace, sched: &Schedule, machine: &MachineConfig) -> usize {
+    let base = trace.first_op_id();
+    let n = trace.nodes.len();
+    let total = base + n;
+    let latency = |i: usize| -> u64 {
+        match trace.nodes[i].kind.unit() {
+            fourq_trace::Unit::Multiplier => machine.mul_latency as u64,
+            fourq_trace::Unit::AddSub => machine.addsub_latency as u64,
+        }
+    };
+    let mut born = vec![0u64; total];
+    let mut dies = vec![0u64; total];
+    for i in 0..n {
+        born[base + i] = sched.start[i] + latency(i);
+    }
+    for (i, node) in trace.nodes.iter().enumerate() {
+        let use_cycle = sched.start[i];
+        dies[node.a] = dies[node.a].max(use_cycle);
+        if let Some(b) = node.b {
+            dies[b] = dies[b].max(use_cycle);
+        }
+    }
+    for (_, id) in &trace.outputs {
+        dies[*id] = dies[*id].max(sched.makespan);
+    }
+    // sweep
+    let mut events: Vec<(u64, i64)> = Vec::with_capacity(2 * total);
+    for id in 0..total {
+        if dies[id] < born[id] {
+            continue; // dead value (never read): occupies a write slot only
+        }
+        events.push((born[id], 1));
+        events.push((dies[id] + 1, -1));
+    }
+    events.sort_unstable();
+    let mut live = 0i64;
+    let mut peak = 0i64;
+    for (_, delta) in events {
+        live += delta;
+        peak = peak.max(live);
+    }
+    peak as usize
+}
+
+/// Full pipeline result for one scalar multiplication: trace statistics,
+/// schedule quality, and the simulated execution.
+#[derive(Clone, Debug)]
+pub struct ScalarMulSim {
+    /// The simulation outcome.
+    pub sim: SimResult,
+    /// The affine result read back from the datapath outputs.
+    pub result: AffinePoint,
+    /// Makespan lower bound for this program on this machine.
+    pub lower_bound: u64,
+    /// Cycles a fully serial (unscheduled) processor would need.
+    pub serial_cycles: u64,
+    /// Number of microinstructions (program-ROM words).
+    pub rom_words: usize,
+}
+
+/// Traces, schedules, simulates and cross-checks a complete scalar
+/// multiplication `[k]G` on the given machine.
+///
+/// # Panics
+///
+/// Panics if the datapath result disagrees with the software library
+/// (which would indicate a simulator or scheduler bug — this is the
+/// end-to-end functional audit) or if `k` is zero.
+pub fn simulate_scalar_mul(
+    k: &fourq_fp::Scalar,
+    machine: &MachineConfig,
+    ils_iterations: u32,
+) -> ScalarMulSim {
+    simulate_scalar_mul_for(&AffinePoint::generator(), k, machine, ils_iterations)
+}
+
+/// As [`simulate_scalar_mul`] for an arbitrary base point.
+///
+/// # Panics
+///
+/// See [`simulate_scalar_mul`].
+pub fn simulate_scalar_mul_for(
+    point: &AffinePoint,
+    k: &fourq_fp::Scalar,
+    machine: &MachineConfig,
+    ils_iterations: u32,
+) -> ScalarMulSim {
+    let recorded = fourq_trace::trace_scalar_mul_for(point, k);
+    let problem = trace_to_problem(&recorded.trace);
+    let sched = schedule(&problem, machine, ils_iterations);
+    sched
+        .validate(&problem, machine)
+        .expect("scheduler produced an invalid schedule");
+    let sim = simulate(&recorded.trace, &sched, machine).expect("validated schedule must simulate");
+    let x = sim.outputs[0].1;
+    let y = sim.outputs[1].1;
+    assert_eq!(
+        (x, y),
+        (recorded.expected.x, recorded.expected.y),
+        "datapath result diverged from software scalar multiplication"
+    );
+    let result = AffinePoint::new(x, y).expect("datapath result must be on the curve");
+    let serial = fourq_sched::serial_schedule(&problem, machine);
+    ScalarMulSim {
+        lower_bound: lower_bound(&problem, machine),
+        serial_cycles: serial.makespan,
+        rom_words: problem.len(),
+        sim,
+        result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fourq_fp::Scalar;
+
+    #[test]
+    fn loop_iteration_simulates_and_checks() {
+        let t = fourq_trace::trace_double_add_iteration();
+        let p = trace_to_problem(&t);
+        let m = MachineConfig::paper();
+        let s = schedule(&p, &m, 32);
+        s.validate(&p, &m).unwrap();
+        let r = simulate(&t, &s, &m).unwrap();
+        // Functional equality with the recorded values.
+        for (name, v) in &r.outputs {
+            let id = t.outputs.iter().find(|(n, _)| n == name).unwrap().1;
+            assert_eq!(*v, t.values[id]);
+        }
+        // The paper schedules the iteration in ~25 cycles on this machine.
+        assert!(r.cycles >= lower_bound(&p, &m));
+        assert!(r.cycles <= 40, "loop body took {} cycles", r.cycles);
+    }
+
+    #[test]
+    fn bad_schedule_rejected_dynamically() {
+        let t = fourq_trace::trace_double_add_iteration();
+        let p = trace_to_problem(&t);
+        let m = MachineConfig::paper();
+        let mut s = schedule(&p, &m, 0);
+        // Pull the last op to cycle 0 — operands can't be ready.
+        let last = s.start.len() - 1;
+        s.start[last] = 0;
+        assert!(matches!(
+            simulate(&t, &s, &m),
+            Err(SimError::OperandNotReady { .. }) | Err(SimError::IssueConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn full_scalar_mul_end_to_end() {
+        let m = MachineConfig::paper();
+        let sim = simulate_scalar_mul(&Scalar::from_u64(987654321), &m, 2);
+        assert!(sim.sim.cycles >= sim.lower_bound);
+        assert!(sim.sim.cycles < sim.serial_cycles);
+        assert!(sim.result.is_on_curve());
+        // register pressure must fit a plausible register file
+        assert!(sim.sim.stats.register_pressure < 96);
+    }
+
+    #[test]
+    fn wider_machine_is_not_slower() {
+        let k = Scalar::from_u64(0x1111_2222_3333_4441);
+        let m1 = MachineConfig::paper();
+        let mut m2 = m1;
+        m2.mul_units = 2;
+        m2.read_ports = 8;
+        m2.write_ports = 4;
+        let s1 = simulate_scalar_mul(&k, &m1, 0);
+        let s2 = simulate_scalar_mul(&k, &m2, 0);
+        assert!(s2.sim.cycles <= s1.sim.cycles);
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let m = MachineConfig::paper();
+        let sim = simulate_scalar_mul(&Scalar::from_u64(777), &m, 0);
+        assert!(sim.sim.stats.mul_utilization <= 1.0);
+        assert!(sim.sim.stats.addsub_utilization <= 1.0);
+        assert!(sim.sim.stats.mul_utilization > 0.3);
+    }
+}

@@ -1,0 +1,432 @@
+//! Register allocation and control-signal generation — the paper's
+//! §III-C step 4.
+//!
+//! The trace is in SSA form (one virtual value per operation); the real
+//! chip has a finite register file. [`allocate`] maps virtual values to
+//! physical registers by linear scan over the schedule's lifetimes, and
+//! [`ControlRom::assemble`] packs each cycle's control signals (issue
+//! enables, source/destination register addresses, opcodes) into the
+//! program-ROM words the FSM sequencer plays back. [`simulate_allocated`]
+//! re-executes the program *through the physical register file*, which
+//! catches any allocation bug (a clobbered live value produces a wrong
+//! output and fails the cross-check).
+
+use crate::SimError;
+use fourq_fp::Fp2;
+use fourq_sched::{MachineConfig, Schedule};
+use fourq_trace::{OpKind, Trace, Unit};
+
+/// A virtual-to-physical register mapping.
+#[derive(Clone, Debug)]
+pub struct Allocation {
+    /// Physical register of each value id (inputs then operations).
+    pub assignment: Vec<u16>,
+    /// Number of physical registers used.
+    pub num_registers: usize,
+}
+
+/// Allocates physical registers for a scheduled trace by linear scan.
+///
+/// A value occupies its register from the cycle it is written
+/// (`issue + latency`; inputs from cycle 0) until the last cycle it is
+/// read; program outputs are pinned until the end. A freed register is
+/// reusable from the *following* cycle (the register file writes at the
+/// end of a cycle, after that cycle's reads).
+///
+/// # Panics
+///
+/// Panics if `sched` does not belong to `trace`.
+pub fn allocate(trace: &Trace, sched: &Schedule, machine: &MachineConfig) -> Allocation {
+    let base = trace.first_op_id();
+    let n = trace.nodes.len();
+    assert_eq!(sched.start.len(), n, "schedule/trace mismatch");
+    let total = base + n;
+
+    let latency = |i: usize| -> u64 {
+        match trace.nodes[i].kind.unit() {
+            Unit::Multiplier => machine.mul_latency as u64,
+            Unit::AddSub => machine.addsub_latency as u64,
+        }
+    };
+
+    // Lifetimes.
+    let mut born = vec![0u64; total];
+    let mut dies = vec![0u64; total];
+    for i in 0..n {
+        born[base + i] = sched.start[i] + latency(i);
+    }
+    for (i, node) in trace.nodes.iter().enumerate() {
+        let use_cycle = sched.start[i];
+        dies[node.a] = dies[node.a].max(use_cycle);
+        if let Some(b) = node.b {
+            dies[b] = dies[b].max(use_cycle);
+        }
+    }
+    for (_, id) in &trace.outputs {
+        dies[*id] = dies[*id].max(sched.makespan);
+    }
+
+    // Linear scan in birth order.
+    let mut order: Vec<usize> = (0..total).collect();
+    order.sort_by_key(|&v| (born[v], v));
+    let mut assignment = vec![u16::MAX; total];
+    // (free_from_cycle, reg) min-heap via sorted Vec; registers created on
+    // demand.
+    let mut free: Vec<(u64, u16)> = Vec::new();
+    let mut num_registers: usize = 0;
+    for &v in &order {
+        if dies[v] < born[v] {
+            // value never read (dead write): still needs a destination
+            // register at write time; give it any register free then and
+            // release immediately.
+        }
+        // find a register free at `born[v]`
+        let mut chosen: Option<usize> = None;
+        for (idx, &(from, _)) in free.iter().enumerate() {
+            if from <= born[v] {
+                chosen = Some(idx);
+                break;
+            }
+        }
+        let reg = match chosen {
+            Some(idx) => free.remove(idx).1,
+            None => {
+                let r = num_registers as u16;
+                num_registers += 1;
+                r
+            }
+        };
+        assignment[v] = reg;
+        let release = dies[v].max(born[v]) + 1;
+        // keep the free list sorted by availability
+        let pos = free.partition_point(|&(f, _)| f <= release);
+        free.insert(pos, (release, reg));
+    }
+    Allocation {
+        assignment,
+        num_registers,
+    }
+}
+
+/// One decoded control word (one clock cycle of the sequencer).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ControlWord {
+    /// Multiplier issue enable.
+    pub mul_valid: bool,
+    /// Multiplier is squaring (reads only `mul_a`).
+    pub mul_sqr: bool,
+    /// Multiplier source registers.
+    pub mul_a: u16,
+    /// Second multiplier source.
+    pub mul_b: u16,
+    /// Multiplier destination register (written `mul_latency` later).
+    pub mul_dst: u16,
+    /// Adder/subtractor issue enable.
+    pub add_valid: bool,
+    /// Adder opcode: 0 add, 1 sub, 2 neg, 3 conj.
+    pub add_op: u8,
+    /// Adder source registers.
+    pub add_a: u16,
+    /// Second adder source.
+    pub add_b: u16,
+    /// Adder destination register.
+    pub add_dst: u16,
+}
+
+/// The assembled program ROM: one 64-bit control word per cycle.
+#[derive(Clone, Debug)]
+pub struct ControlRom {
+    /// Decoded control words, indexed by cycle.
+    pub words: Vec<ControlWord>,
+    /// Register-address width in bits.
+    pub addr_bits: u32,
+}
+
+/// Errors while assembling the control ROM.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AssembleError {
+    /// Two multiplier (or two adder) issues landed on the same cycle —
+    /// the single-sequencer encoding has one slot per unit per cycle.
+    SlotConflict {
+        /// The conflicting cycle.
+        cycle: u64,
+        /// The unit with two issues.
+        unit: Unit,
+    },
+}
+
+impl core::fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AssembleError::SlotConflict { cycle, unit } => {
+                write!(f, "two {unit:?} issues at cycle {cycle}")
+            }
+        }
+    }
+}
+impl std::error::Error for AssembleError {}
+
+impl ControlRom {
+    /// Packs the scheduled, register-allocated program into per-cycle
+    /// control words (the artifact the paper's flow stores in the program
+    /// ROM).
+    ///
+    /// # Errors
+    ///
+    /// [`AssembleError::SlotConflict`] if the machine has more than one
+    /// unit instance of a kind (this encoding covers the paper's
+    /// single-multiplier configuration).
+    pub fn assemble(
+        trace: &Trace,
+        sched: &Schedule,
+        alloc: &Allocation,
+    ) -> Result<ControlRom, AssembleError> {
+        let base = trace.first_op_id();
+        let mut words = vec![ControlWord::default(); sched.makespan as usize + 1];
+        for (i, node) in trace.nodes.iter().enumerate() {
+            let cycle = sched.start[i] as usize;
+            let w = &mut words[cycle];
+            let dst = alloc.assignment[base + i];
+            let a = alloc.assignment[node.a];
+            let b = node.b.map(|b| alloc.assignment[b]).unwrap_or(0);
+            match node.kind.unit() {
+                Unit::Multiplier => {
+                    if w.mul_valid {
+                        return Err(AssembleError::SlotConflict {
+                            cycle: cycle as u64,
+                            unit: Unit::Multiplier,
+                        });
+                    }
+                    w.mul_valid = true;
+                    w.mul_sqr = node.kind == OpKind::Sqr;
+                    w.mul_a = a;
+                    w.mul_b = if w.mul_sqr { a } else { b };
+                    w.mul_dst = dst;
+                }
+                Unit::AddSub => {
+                    if w.add_valid {
+                        return Err(AssembleError::SlotConflict {
+                            cycle: cycle as u64,
+                            unit: Unit::AddSub,
+                        });
+                    }
+                    w.add_valid = true;
+                    w.add_op = match node.kind {
+                        OpKind::Add => 0,
+                        OpKind::Sub => 1,
+                        OpKind::Neg => 2,
+                        OpKind::Conj => 3,
+                        _ => unreachable!("mul ops handled above"),
+                    };
+                    w.add_a = a;
+                    w.add_b = b;
+                    w.add_dst = dst;
+                }
+            }
+        }
+        let addr_bits = (usize::BITS - (alloc.num_registers.max(2) - 1).leading_zeros()).max(1);
+        Ok(ControlRom { words, addr_bits })
+    }
+
+    /// Bit-packs a control word into a 64-bit ROM word
+    /// (demonstrates the physical encoding; width must fit).
+    pub fn encode_word(&self, w: &ControlWord) -> u64 {
+        let ab = self.addr_bits;
+        let mut v: u64 = 0;
+        let push = |val: u64, bits: u32, v: &mut u64| {
+            *v = (*v << bits) | (val & ((1 << bits) - 1));
+        };
+        push(w.mul_valid as u64, 1, &mut v);
+        push(w.mul_sqr as u64, 1, &mut v);
+        push(w.mul_a as u64, ab, &mut v);
+        push(w.mul_b as u64, ab, &mut v);
+        push(w.mul_dst as u64, ab, &mut v);
+        push(w.add_valid as u64, 1, &mut v);
+        push(w.add_op as u64, 2, &mut v);
+        push(w.add_a as u64, ab, &mut v);
+        push(w.add_b as u64, ab, &mut v);
+        push(w.add_dst as u64, ab, &mut v);
+        v
+    }
+
+    /// Total ROM size in bits.
+    pub fn size_bits(&self) -> usize {
+        self.words.len() * (5 + 6 * self.addr_bits as usize)
+    }
+}
+
+/// Executes the register-allocated program through a *physical* register
+/// file, cycle by cycle, and returns the named outputs.
+///
+/// Unlike [`crate::simulate`], values here live in shared physical
+/// registers: if the allocator clobbered a live value, the outputs come
+/// out wrong — making this the independent verifier of [`allocate`].
+///
+/// # Errors
+///
+/// Propagates the schedule errors of [`crate::simulate`]-style checking
+/// (operand-not-ready detection via the in-flight pipeline model).
+pub fn simulate_allocated(
+    trace: &Trace,
+    sched: &Schedule,
+    alloc: &Allocation,
+    machine: &MachineConfig,
+) -> Result<Vec<(String, Fp2)>, SimError> {
+    let base = trace.first_op_id();
+    let n = trace.nodes.len();
+    if sched.start.len() != n {
+        return Err(SimError::LengthMismatch);
+    }
+    let latency = |i: usize| -> u64 {
+        match trace.nodes[i].kind.unit() {
+            Unit::Multiplier => machine.mul_latency as u64,
+            Unit::AddSub => machine.addsub_latency as u64,
+        }
+    };
+
+    let mut rf = vec![Fp2::ZERO; alloc.num_registers];
+    for (id, (_, v)) in trace.inputs.iter().enumerate() {
+        rf[alloc.assignment[id] as usize] = *v;
+    }
+
+    // Issue order by cycle; writes land at issue+latency. We process
+    // cycle by cycle: first perform this cycle's writebacks (results that
+    // finish now... but forwarding means a result finishing at cycle c is
+    // readable at c), so: apply writebacks for finish == c, then reads.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (sched.start[i], i));
+    // pending writebacks: (finish_cycle, reg, value)
+    let mut pending: Vec<(u64, u16, Fp2)> = Vec::new();
+    let mut oi = 0usize;
+    for cycle in 0..=sched.makespan {
+        // retire results that finish at this cycle (readable this cycle).
+        pending.retain(|&(f, reg, v)| {
+            if f == cycle {
+                rf[reg as usize] = v;
+                false
+            } else {
+                true
+            }
+        });
+        // issue
+        while oi < n && sched.start[order[oi]] == cycle {
+            let i = order[oi];
+            oi += 1;
+            let node = &trace.nodes[i];
+            let a = rf[alloc.assignment[node.a] as usize];
+            let result = match node.kind {
+                OpKind::Mul => {
+                    let b = rf[alloc.assignment[node.b.expect("binary")] as usize];
+                    a.mul_karatsuba(&b)
+                }
+                OpKind::Add => {
+                    let b = rf[alloc.assignment[node.b.expect("binary")] as usize];
+                    a + b
+                }
+                OpKind::Sub => {
+                    let b = rf[alloc.assignment[node.b.expect("binary")] as usize];
+                    a - b
+                }
+                OpKind::Sqr => a.square(),
+                OpKind::Neg => -a,
+                OpKind::Conj => a.conj(),
+            };
+            pending.push((cycle + latency(i), alloc.assignment[base + i], result));
+        }
+    }
+    debug_assert!(pending.is_empty(), "all results must retire by makespan");
+    Ok(trace
+        .outputs
+        .iter()
+        .map(|(name, id)| (name.clone(), rf[alloc.assignment[*id] as usize]))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fourq_sched::schedule;
+
+    fn pipeline(trace: &Trace, machine: &MachineConfig) -> (Schedule, Allocation) {
+        let problem = crate::trace_to_problem(trace);
+        let s = schedule(&problem, machine, 16);
+        s.validate(&problem, machine).expect("valid");
+        let a = allocate(trace, &s, machine);
+        (s, a)
+    }
+
+    #[test]
+    fn loop_body_allocates_and_executes() {
+        let t = fourq_trace::trace_double_add_iteration();
+        let m = MachineConfig::paper();
+        let (s, a) = pipeline(&t, &m);
+        // every value has a register
+        assert!(a.assignment.iter().all(|&r| r != u16::MAX));
+        let outs = simulate_allocated(&t, &s, &a, &m).expect("executes");
+        for (name, v) in outs {
+            let id = t.outputs.iter().find(|(n, _)| *n == name).unwrap().1;
+            assert_eq!(v, t.values[id], "output {name}");
+        }
+        // register count bounded by (and near) the SSA register pressure
+        let pressure = crate::register_pressure(&t, &s, &m);
+        assert!(a.num_registers >= pressure);
+        assert!(a.num_registers <= pressure + 8);
+    }
+
+    #[test]
+    fn full_scalar_mul_on_physical_registers() {
+        let rec = fourq_trace::trace_scalar_mul(&fourq_fp::Scalar::from_u64(0xfeed_5eed_0bad_cafd));
+        let m = MachineConfig::paper();
+        let (s, a) = pipeline(&rec.trace, &m);
+        let outs = simulate_allocated(&rec.trace, &s, &a, &m).expect("executes");
+        assert_eq!(outs[0].1, rec.expected.x);
+        assert_eq!(outs[1].1, rec.expected.y);
+        // A realistic register file (paper's has 4R/2W ports; capacity is
+        // set by allocation).
+        assert!(
+            a.num_registers <= 64,
+            "register file of {} words is implausible",
+            a.num_registers
+        );
+    }
+
+    #[test]
+    fn control_rom_assembles_and_encodes() {
+        let t = fourq_trace::trace_double_add_iteration();
+        let m = MachineConfig::paper();
+        let (s, a) = pipeline(&t, &m);
+        let rom = ControlRom::assemble(&t, &s, &a).expect("assembles");
+        assert_eq!(rom.words.len() as u64, s.makespan + 1);
+        // every issued op appears exactly once
+        let issues: usize = rom
+            .words
+            .iter()
+            .map(|w| w.mul_valid as usize + w.add_valid as usize)
+            .sum();
+        assert_eq!(issues, t.nodes.len());
+        // encoding fits 64 bits
+        assert!(5 + 6 * rom.addr_bits as usize <= 64);
+        let _ = rom.encode_word(&rom.words[0]);
+        assert!(rom.size_bits() > 0);
+    }
+
+    #[test]
+    fn clobber_detection_would_fail() {
+        // Force a bogus allocation (everything in one register) and check
+        // the physical simulation detects it by producing wrong outputs.
+        let t = fourq_trace::trace_double_add_iteration();
+        let m = MachineConfig::paper();
+        let problem = crate::trace_to_problem(&t);
+        let s = schedule(&problem, &m, 4);
+        let bogus = Allocation {
+            assignment: vec![0; t.first_op_id() + t.nodes.len()],
+            num_registers: 1,
+        };
+        let outs = simulate_allocated(&t, &s, &bogus, &m).expect("runs");
+        let mismatch = outs.iter().any(|(name, v)| {
+            let id = t.outputs.iter().find(|(n, _)| n == name).unwrap().1;
+            *v != t.values[id]
+        });
+        assert!(mismatch, "one-register allocation cannot be correct");
+    }
+}

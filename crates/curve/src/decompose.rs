@@ -1,0 +1,224 @@
+//! Scalar decomposition and sign-aligned recoding (Algorithm 1, steps 3–5).
+//!
+//! The paper decomposes a 256-bit scalar into four 64-bit sub-scalars with
+//! FourQ's endomorphisms and recodes them into sign/index digit pairs
+//! `(m_i, v_i)` driving the table lookups of the main loop. This module
+//! implements the same pipeline with a radix-2^62 split (see `DESIGN.md`
+//! §3): `k ≡ a₁ + a₂·2^62 + a₃·2^124 + a₄·2^186 (mod N)` with
+//! `0 ≤ a_j < 2^62`, followed by the GLV-SAC sign-aligned recoding that
+//! FourQ's Algorithm 1 uses (all-positive table indices, signs carried by
+//! the first sub-scalar, which is forced odd).
+#![allow(clippy::needless_range_loop)] // limb loops are clearer indexed
+
+use fourq_fp::Scalar;
+
+/// Bits per decomposition limb (the radix is `2^62`).
+pub const LIMB_BITS: usize = 62;
+
+/// Number of recoded digits; the main loop runs `DIGITS - 1` iterations of
+/// double-and-add, matching the structure of the paper's Algorithm 1
+/// (64 iterations there, 62 here).
+pub const DIGITS: usize = LIMB_BITS + 1;
+
+/// The result of decomposing a scalar into four limbs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Decomposition {
+    /// The four sub-scalars `a₁..a₄` (each `< 2^62`, `a₁` odd).
+    pub limbs: [u64; 4],
+    /// Whether `k` was even and `k+1` was decomposed instead; the caller
+    /// must subtract the base point once at the end.
+    pub corrected: bool,
+}
+
+/// Recoded digit sequence: `signs[i] ∈ {−1, +1}` and table indices
+/// `indices[i] ∈ 0..8`, most significant digit at `DIGITS − 1`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Recoded {
+    /// Sign digits `m_i` of Algorithm 1 (`s_i` after step 5).
+    pub signs: [i8; DIGITS],
+    /// Table indices `v_i`.
+    pub indices: [u8; DIGITS],
+}
+
+/// Decomposes `k (mod N)` into four 62-bit limbs with `a₁` odd.
+///
+/// If `k` is even, `k + 1` is decomposed and [`Decomposition::corrected`]
+/// is set; the scalar-multiplication engine compensates by subtracting the
+/// base point after the main loop. This mirrors FourQ's requirement that
+/// the first sub-scalar be odd (Algorithm 1, step 4).
+pub fn decompose(k: &Scalar) -> Decomposition {
+    let mut v = k.to_u256();
+    let corrected = !v.is_odd();
+    if corrected {
+        // k < N < 2^246, so k+1 cannot overflow 256 bits.
+        v = v
+            .checked_add(&fourq_fp::U256::ONE)
+            .expect("k + 1 < 2^256");
+    }
+    let limbs = [
+        v.extract_bits(0, LIMB_BITS),
+        v.extract_bits(LIMB_BITS, LIMB_BITS),
+        v.extract_bits(2 * LIMB_BITS, LIMB_BITS),
+        v.extract_bits(3 * LIMB_BITS, LIMB_BITS),
+    ];
+    debug_assert!(limbs[0] & 1 == 1);
+    debug_assert!(v.bits() as usize <= 4 * LIMB_BITS);
+    Decomposition { limbs, corrected }
+}
+
+/// Sign-aligned (GLV-SAC) recoding of a decomposition into
+/// `(m_i, v_i)` digit pairs — Algorithm 1 of the FourQ paper as used in
+/// step 4 of the DATE paper's Algorithm 1.
+///
+/// Invariants (checked in tests): for each limb `a_j`,
+/// `a_j = Σ_i b_j[i]·2^i` where `b₁[i] = signs[i] ∈ {±1}` and
+/// `b_j[i] ∈ {0, signs[i]}` for `j > 1`; `indices[i]` packs
+/// `|b₂[i]| + 2|b₃[i]| + 4|b₄[i]|`.
+///
+/// # Panics
+///
+/// Panics if the first limb is even or any limb is `≥ 2^62` (i.e. if the
+/// input did not come from [`decompose`]).
+pub fn recode(d: &Decomposition) -> Recoded {
+    let a1 = d.limbs[0];
+    assert!(a1 & 1 == 1, "first sub-scalar must be odd");
+    for &l in &d.limbs {
+        assert!(l < 1 << LIMB_BITS, "limb exceeds 2^62");
+    }
+    let mut signs = [0i8; DIGITS];
+    let mut indices = [0u8; DIGITS];
+
+    // Sign digits from a1: b1[i] = 2·bit_{i+1}(a1) − 1, top digit +1.
+    for (i, s) in signs.iter_mut().enumerate().take(DIGITS - 1) {
+        *s = if (a1 >> (i + 1)) & 1 == 1 { 1 } else { -1 };
+    }
+    signs[DIGITS - 1] = 1;
+
+    // Align the remaining sub-scalars to those signs.
+    let mut rest = [d.limbs[1] as i128, d.limbs[2] as i128, d.limbs[3] as i128];
+    for i in 0..DIGITS {
+        let mut idx = 0u8;
+        for (j, aj) in rest.iter_mut().enumerate() {
+            let bit = *aj & 1; // 0 or 1
+            let digit = signs[i] as i128 * bit; // 0 or ±1
+            if bit == 1 {
+                idx |= 1 << j;
+            }
+            *aj = (*aj - digit) >> 1; // exact: aj - digit is even
+        }
+        indices[i] = idx;
+    }
+    debug_assert_eq!(rest, [0, 0, 0], "recoding must consume all limbs");
+    Recoded { signs, indices }
+}
+
+impl Recoded {
+    /// Reconstructs the four sub-scalars from the digits (test helper and
+    /// specification of the recoding invariant).
+    pub fn reconstruct(&self) -> [i128; 4] {
+        let mut out = [0i128; 4];
+        for i in (0..DIGITS).rev() {
+            let s = self.signs[i] as i128;
+            out[0] = 2 * out[0] + s;
+            for j in 1..4 {
+                let bit = ((self.indices[i] >> (j - 1)) & 1) as i128;
+                out[j] = 2 * out[j] + s * bit;
+            }
+        }
+        // The doubling loop above double-counts: digit i has weight 2^i, so
+        // accumulate MSB-first with a single doubling per step — which is
+        // what we did; out[j] = Σ b_j[i] 2^i.
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fourq_fp::U256;
+
+    fn check_roundtrip(k: Scalar) {
+        let d = decompose(&k);
+        let r = recode(&d);
+        let rec = r.reconstruct();
+        for j in 0..4 {
+            assert_eq!(rec[j], d.limbs[j] as i128, "limb {j} of {k}");
+        }
+        // And the limbs themselves reassemble k (or k+1).
+        let mut v = U256::ZERO;
+        for j in (0..4).rev() {
+            for _ in 0..LIMB_BITS {
+                let (dbl, c) = v.overflowing_add(&v);
+                assert!(!c);
+                v = dbl;
+            }
+            let (sum, c) = v.overflowing_add(&U256::from_u64(d.limbs[j]));
+            assert!(!c);
+            v = sum;
+        }
+        let expect = if d.corrected {
+            k.to_u256().checked_add(&U256::ONE).unwrap()
+        } else {
+            k.to_u256()
+        };
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn roundtrip_small_and_structured() {
+        for v in [1u64, 2, 3, 4, 5, 63, 64, 0xffff_ffff, u64::MAX] {
+            check_roundtrip(Scalar::from_u64(v));
+        }
+    }
+
+    #[test]
+    fn roundtrip_large() {
+        let near_n = Scalar::from_u256(
+            U256::from_hex("29CBC14E5E0A72F05397829CBC14E5DFBD004DFE0F79992FB2540EC7768CE6")
+                .unwrap(),
+        );
+        check_roundtrip(near_n);
+        check_roundtrip(Scalar::from_u64(0) - Scalar::from_u64(1)); // N-1
+    }
+
+    #[test]
+    fn roundtrip_pseudorandom() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..200 {
+            let mut limbs = [0u64; 4];
+            for l in limbs.iter_mut() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *l = state;
+            }
+            check_roundtrip(Scalar::from_u256(U256(limbs)));
+        }
+    }
+
+    #[test]
+    fn even_scalars_are_corrected() {
+        let d = decompose(&Scalar::from_u64(10));
+        assert!(d.corrected);
+        assert_eq!(d.limbs[0], 11);
+        let d = decompose(&Scalar::from_u64(11));
+        assert!(!d.corrected);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn recode_rejects_even_first_limb() {
+        let _ = recode(&Decomposition {
+            limbs: [2, 0, 0, 0],
+            corrected: false,
+        });
+    }
+
+    #[test]
+    fn indices_in_range() {
+        let d = decompose(&Scalar::from_u64(0xdead_beef_1234_5677));
+        let r = recode(&d);
+        for i in 0..DIGITS {
+            assert!(r.indices[i] < 8);
+            assert!(r.signs[i] == 1 || r.signs[i] == -1);
+        }
+    }
+}

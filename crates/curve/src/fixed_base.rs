@@ -1,0 +1,178 @@
+//! Fixed-base scalar multiplication with precomputed combs.
+//!
+//! Signature generation and key generation always multiply the *same*
+//! base point; a one-time table of `[2^(j·s)]`-spaced multiples lets each
+//! subsequent multiplication skip most doublings (Lim–Lee comb). This is
+//! the standard deployment optimisation for the signing side of the
+//! paper's ITS workload (the verifying side uses [`crate::double_scalar_mul`]).
+
+use crate::affine::AffinePoint;
+use crate::engine::identity;
+use crate::extended::{CachedPoint, ExtendedPoint};
+use crate::params::TWO_D;
+use fourq_fp::{Fp2, Scalar};
+
+/// A precomputed comb table for one base point.
+///
+/// With `W` teeth the 246-bit scalar is cut into `W` rows of
+/// `ceil(246/W)` columns; one multiplication then costs `246/W` doublings
+/// and at most `246/W` additions.
+///
+/// ```
+/// use fourq_curve::{AffinePoint, FixedBaseTable};
+/// use fourq_fp::Scalar;
+/// let table = FixedBaseTable::new(&AffinePoint::generator());
+/// let k = Scalar::from_u64(0xdecafbad);
+/// assert_eq!(table.mul(&k), AffinePoint::generator().mul(&k));
+/// ```
+#[derive(Clone, Debug)]
+pub struct FixedBaseTable {
+    /// Cached `[u·2^(j·cols)]B` combinations: `table[u-1]` for the comb
+    /// value `u ∈ 1..2^W` (u = Σ bit_j·2^j selects which rows are set).
+    entries: Vec<CachedPoint<Fp2>>,
+    /// Columns per row (doublings per multiplication).
+    cols: usize,
+    /// The base point (kept for identity checks and documentation).
+    base: AffinePoint,
+}
+
+/// Comb width: 4 teeth → 62 doublings + ≤62 additions per multiplication,
+/// 15 stored points. (Matches the main pipeline's 62-iteration loop
+/// length, which keeps traces comparable.)
+const TEETH: usize = 4;
+/// Scalar bits covered (246-bit order, rounded to a multiple of TEETH).
+const BITS: usize = 248;
+
+impl FixedBaseTable {
+    /// Precomputes the comb table for `base` (60–70 point operations,
+    /// one-time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is the identity (no meaningful table exists).
+    pub fn new(base: &AffinePoint) -> FixedBaseTable {
+        assert!(!base.is_identity(), "fixed-base table of the identity");
+        let cols = BITS / TEETH; // 62
+        // row generators: R_j = [2^(j*cols)]B as extended points
+        let mut rows: Vec<ExtendedPoint<Fp2>> = Vec::with_capacity(TEETH);
+        let mut cur = ExtendedPoint::from_affine(&base.x, &base.y, &Fp2::ONE);
+        for _ in 0..TEETH {
+            rows.push(cur.clone());
+            for _ in 0..cols {
+                cur = cur.double();
+            }
+        }
+        // entries[u-1] = Σ_{j: bit_j(u)} R_j
+        let mut entries: Vec<CachedPoint<Fp2>> = Vec::with_capacity((1 << TEETH) - 1);
+        let mut exts: Vec<ExtendedPoint<Fp2>> = Vec::with_capacity((1 << TEETH) - 1);
+        for u in 1usize..(1 << TEETH) {
+            let lowest = u.trailing_zeros() as usize;
+            let rest = u & (u - 1);
+            let e = if rest == 0 {
+                rows[lowest].clone()
+            } else {
+                let prev = &exts[rest - 1];
+                prev.add_cached(&rows[lowest].to_cached(&TWO_D))
+            };
+            entries.push(e.to_cached(&TWO_D));
+            exts.push(e);
+        }
+        FixedBaseTable {
+            entries,
+            cols,
+            base: *base,
+        }
+    }
+
+    /// The base point this table belongs to.
+    pub fn base(&self) -> &AffinePoint {
+        &self.base
+    }
+
+    /// Fixed-base multiplication `[k]B` using the comb.
+    pub fn mul(&self, k: &Scalar) -> AffinePoint {
+        let v = k.to_u256();
+        if v.is_zero() {
+            return AffinePoint::identity();
+        }
+        let mut acc = identity(&Fp2::ONE);
+        for col in (0..self.cols).rev() {
+            acc = acc.double();
+            let mut u = 0usize;
+            for row in 0..TEETH {
+                if v.bit(row * self.cols + col) {
+                    u |= 1 << row;
+                }
+            }
+            if u != 0 {
+                acc = acc.add_cached(&self.entries[u - 1]);
+            }
+        }
+        let (x, y) = crate::engine::normalize(&acc);
+        AffinePoint { x, y }
+    }
+}
+
+/// The process-wide comb table for the standard generator, built on first
+/// use (signing and key generation always multiply `G`).
+///
+/// ```
+/// use fourq_curve::{generator_table, AffinePoint};
+/// use fourq_fp::Scalar;
+/// let k = Scalar::from_u64(99);
+/// assert_eq!(generator_table().mul(&k), AffinePoint::generator().mul(&k));
+/// ```
+pub fn generator_table() -> &'static FixedBaseTable {
+    static TABLE: std::sync::OnceLock<FixedBaseTable> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| FixedBaseTable::new(&AffinePoint::generator()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fourq_fp::U256;
+
+    #[test]
+    fn comb_matches_pipeline() {
+        let g = AffinePoint::generator();
+        let table = FixedBaseTable::new(&g);
+        for v in [1u64, 2, 3, 62, 63, 64, 0xffff_ffff_ffff_fffe] {
+            let k = Scalar::from_u64(v);
+            assert_eq!(table.mul(&k), g.mul(&k), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn comb_full_width_scalars() {
+        let g = AffinePoint::generator();
+        let table = FixedBaseTable::new(&g);
+        let k = Scalar::from_u256(
+            U256::from_hex("29CBC14E5E0A72F05397829CBC14E5DFBD004DFE0F79992FB2540EC7768CE6")
+                .unwrap(),
+        ); // N - 1
+        assert_eq!(table.mul(&k), g.mul(&k));
+        assert_eq!(table.mul(&Scalar::ZERO), AffinePoint::identity());
+    }
+
+    #[test]
+    fn comb_for_non_generator() {
+        let g = AffinePoint::generator();
+        let b = g.mul(&Scalar::from_u64(4242));
+        let table = FixedBaseTable::new(&b);
+        let k = Scalar::from_u64(777777);
+        assert_eq!(table.mul(&k), b.mul(&k));
+        assert_eq!(table.base(), &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "identity")]
+    fn identity_base_rejected() {
+        let _ = FixedBaseTable::new(&AffinePoint::identity());
+    }
+
+    #[test]
+    fn table_size_is_fifteen() {
+        let table = FixedBaseTable::new(&AffinePoint::generator());
+        assert_eq!(table.entries.len(), 15);
+    }
+}

@@ -1,0 +1,53 @@
+//! FourQ curve parameters.
+//!
+//! Provenance: `p` and `d` are stated in the DATE 2019 paper itself; the
+//! subgroup order `N`, cofactor and generator follow the FourQ
+//! specification and were revalidated offline (`tools/validate_params.py`)
+//! and again by this crate's unit tests (`[N]G = O`, `[392N]P = O` for
+//! random `P`).
+
+use fourq_fp::{Fp2, U256};
+
+/// The curve constant
+/// `d = 4205857648805777768770 + 125317048443780598345676279555970305165·i`.
+pub const D: Fp2 = Fp2::from_u128_pair(0xe4_0000000000000142, 0x5e472f846657e0fcb3821488f1fc0c8d);
+
+/// `2·d`, the constant appearing in the precomputed-point coordinate `2dT`.
+pub const TWO_D: Fp2 = Fp2::new(D.re.add_const(D.re), D.im.add_const(D.im));
+
+/// x-coordinate of the standard FourQ generator.
+pub const GENERATOR_X: Fp2 = Fp2::from_u128_pair(
+    0x1A3472237C2FB305286592AD7B3833AA,
+    0x1E1F553F2878AA9C96869FB360AC77F6,
+);
+
+/// y-coordinate of the standard FourQ generator.
+pub const GENERATOR_Y: Fp2 = Fp2::from_u128_pair(
+    0x0E3FEE9BA120785AB924A2462BCBB287,
+    0x6E1C4AF8630E024249A7C344844C8B5C,
+);
+
+/// The prime subgroup order `N` (246 bits); `#E(F_p²) = 392·N`.
+pub const ORDER: U256 = fourq_fp::SUBGROUP_ORDER;
+
+/// The cofactor `392 = 2³ · 7²`.
+pub const COFACTOR: u64 = 392;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fourq_fp::Fp;
+
+    #[test]
+    fn two_d_is_double_d() {
+        assert_eq!(D + D, TWO_D);
+    }
+
+    #[test]
+    fn d_matches_paper_decimal() {
+        // The paper prints d in decimal; check both components.
+        let re: u128 = 4205857648805777768770;
+        let im: u128 = 125317048443780598345676279555970305165;
+        assert_eq!(D, Fp2::new(Fp::from_u128(re), Fp::from_u128(im)));
+    }
+}

@@ -1,0 +1,92 @@
+#![allow(clippy::needless_range_loop)]
+//! Property-based tests for decomposition, recoding and the group law.
+
+use fourq_curve::{decompose, recode, AffinePoint, DIGITS};
+use fourq_fp::{Scalar, U256};
+use proptest::prelude::*;
+
+fn arb_scalar() -> impl Strategy<Value = Scalar> {
+    any::<[u64; 4]>().prop_map(|l| Scalar::from_u256(U256(l)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn decompose_recode_reconstructs(k in arb_scalar()) {
+        let d = decompose(&k);
+        let r = recode(&d);
+        let rec = r.reconstruct();
+        for j in 0..4 {
+            prop_assert_eq!(rec[j], d.limbs[j] as i128);
+        }
+        // limbs reassemble k (or k+1 when parity-corrected)
+        let mut v = U256::ZERO;
+        for j in (0..4).rev() {
+            for _ in 0..fourq_curve::LIMB_BITS {
+                v = v.overflowing_add(&v).0;
+            }
+            v = v.overflowing_add(&U256::from_u64(d.limbs[j])).0;
+        }
+        let expect = if d.corrected {
+            k.to_u256().checked_add(&U256::ONE).unwrap()
+        } else {
+            k.to_u256()
+        };
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn recoded_digits_well_formed(k in arb_scalar()) {
+        let r = recode(&decompose(&k));
+        for i in 0..DIGITS {
+            prop_assert!(r.indices[i] < 8);
+            prop_assert!(r.signs[i] == 1 || r.signs[i] == -1);
+        }
+        prop_assert_eq!(r.signs[DIGITS - 1], 1);
+    }
+}
+
+proptest! {
+    // scalar multiplications are ~ms each; keep the case count moderate
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn decomposed_mul_matches_generic(k in arb_scalar()) {
+        let g = AffinePoint::generator();
+        prop_assert_eq!(g.mul(&k), g.mul_generic(&k));
+    }
+
+    #[test]
+    fn window_mul_matches_pipeline(k in arb_scalar()) {
+        let g = AffinePoint::generator();
+        prop_assert_eq!(fourq_curve::window_scalar_mul(&k.to_u256(), &g), g.mul(&k));
+    }
+
+    #[test]
+    fn addition_is_commutative_and_associative(a in 1u64..u64::MAX, b in 1u64..u64::MAX) {
+        let g = AffinePoint::generator();
+        let p = g.mul(&Scalar::from_u64(a));
+        let q = g.mul(&Scalar::from_u64(b));
+        prop_assert_eq!(p.add(&q), q.add(&p));
+        let r = g.double();
+        prop_assert_eq!(p.add(&q).add(&r), p.add(&q.add(&r)));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip(a in 1u64..u64::MAX) {
+        let p = AffinePoint::generator().mul(&Scalar::from_u64(a));
+        prop_assert_eq!(AffinePoint::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn double_scalar_mul_correct(a in any::<u64>(), b in any::<u64>(), q in 1u64..1000) {
+        let g = AffinePoint::generator();
+        let qp = g.mul(&Scalar::from_u64(q));
+        let (a, b) = (Scalar::from_u64(a), Scalar::from_u64(b));
+        prop_assert_eq!(
+            fourq_curve::double_scalar_mul(&a, &g, &b, &qp),
+            g.mul(&a).add(&qp.mul(&b))
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! The field abstraction used to run curve formulas either on values or on
+//! the microinstruction tracer.
+//!
+//! The paper obtains its microinstruction sequences by *recording the
+//! execution trace* of a Python implementation (§III-C, steps 1–2). The Rust
+//! counterpart: every curve formula in `fourq-curve` is generic over
+//! [`Fp2Like`]; instantiated with [`crate::Fp2`] it computes values,
+//! instantiated with the tracing type of `fourq-trace` it emits the exact
+//! `F_p²` microinstruction stream those values would execute on the ASIC
+//! datapath.
+
+use crate::fp2::Fp2;
+
+/// Operations an `F_p²` datapath element supports.
+///
+/// The operation set matches the ASIC's two arithmetic units: `mul`/`sqr`
+/// issue on the pipelined Karatsuba multiplier, `add`/`sub`/`neg`/`conj` on
+/// the adder/subtractor (Fig. 1(a)).
+///
+/// Implementations must be pure: the result depends only on operand values.
+/// `value()` exposes the concrete field value (tracing implementations carry
+/// it alongside the trace so functional checks remain possible).
+pub trait Fp2Like: Clone {
+    /// Field addition.
+    fn add(&self, rhs: &Self) -> Self;
+    /// Field subtraction.
+    fn sub(&self, rhs: &Self) -> Self;
+    /// Field multiplication.
+    fn mul(&self, rhs: &Self) -> Self;
+    /// Field squaring (separate so the tracer can label it; the multiplier
+    /// unit executes it).
+    fn sqr(&self) -> Self;
+    /// Field negation.
+    fn neg(&self) -> Self;
+    /// Complex conjugation (executes on the adder/subtractor unit).
+    fn conj(&self) -> Self;
+    /// The concrete value this element currently holds.
+    fn value(&self) -> Fp2;
+
+    /// Doubling, provided as `add(self, self)` by default.
+    fn dbl(&self) -> Self {
+        self.add(self)
+    }
+}

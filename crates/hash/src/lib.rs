@@ -1,0 +1,130 @@
+//! SHA-2 hashing (FIPS 180-4) and HMAC (RFC 2104), from scratch.
+//!
+//! The DATE 2019 paper motivates the FourQ accelerator with ECDSA message
+//! authentication for intelligent transportation systems; ECDSA needs a
+//! hash (`e = HASH(m)`, §II-A step 1, citing FIPS 180-4). This crate is
+//! that substrate: [`Sha256`], [`Sha512`] and [`Hmac`] with the standard
+//! streaming interface.
+//!
+//! # Example
+//!
+//! ```
+//! use fourq_hash::Sha256;
+//! let d = Sha256::digest(b"abc");
+//! assert_eq!(d[0..4], [0xba, 0x78, 0x16, 0xbf]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod sha256;
+mod sha512;
+
+pub use sha256::Sha256;
+pub use sha512::Sha512;
+
+/// The streaming-hash interface shared by [`Sha256`] and [`Sha512`].
+pub trait Digest: Sized {
+    /// Digest length in bytes.
+    const OUTPUT_LEN: usize;
+    /// Internal block length in bytes.
+    const BLOCK_LEN: usize;
+    /// Creates a fresh hasher.
+    fn new() -> Self;
+    /// Absorbs input bytes.
+    fn update(&mut self, data: &[u8]);
+    /// Finishes and returns the digest.
+    fn finalize(self) -> Vec<u8>;
+
+    /// One-shot convenience.
+    fn digest_oneshot(data: &[u8]) -> Vec<u8> {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+}
+
+/// HMAC over a SHA-2 function (RFC 2104), used for deterministic nonce
+/// derivation in the signature crate.
+///
+/// ```
+/// use fourq_hash::{Hmac, Sha256};
+/// let tag = Hmac::<Sha256>::mac(b"key", b"message");
+/// assert_eq!(tag.len(), 32);
+/// ```
+pub struct Hmac<H> {
+    inner: H,
+    okey: Vec<u8>,
+}
+
+impl<H: Digest> Hmac<H> {
+    /// Creates an HMAC instance keyed with `key`.
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = if key.len() > H::BLOCK_LEN {
+            H::digest_oneshot(key)
+        } else {
+            key.to_vec()
+        };
+        k.resize(H::BLOCK_LEN, 0);
+        let ikey: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
+        let okey: Vec<u8> = k.iter().map(|b| b ^ 0x5c).collect();
+        let mut inner = H::new();
+        inner.update(&ikey);
+        Hmac { inner, okey }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finishes and returns the authentication tag.
+    pub fn finalize(self) -> Vec<u8> {
+        let inner_digest = self.inner.finalize();
+        let mut outer = H::new();
+        outer.update(&self.okey);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot convenience.
+    pub fn mac(key: &[u8], msg: &[u8]) -> Vec<u8> {
+        let mut h = Hmac::<H>::new(key);
+        h.update(msg);
+        h.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn hmac_sha256_rfc4231_case1() {
+        let key = [0x0b; 20];
+        let tag = Hmac::<Sha256>::mac(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn hmac_long_key_is_hashed() {
+        let key = [0xaa; 200];
+        let t1 = Hmac::<Sha256>::mac(&key, b"msg");
+        let t2 = Hmac::<Sha256>::mac(&Sha256::digest(&key), b"msg");
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn hmac_sha512_differs_from_sha256() {
+        let a = Hmac::<Sha256>::mac(b"k", b"m");
+        let b = Hmac::<Sha512>::mac(b"k", b"m");
+        assert_ne!(a.len(), b.len());
+    }
+}

@@ -1,0 +1,118 @@
+//! Ephemeral Diffie–Hellman key agreement over FourQ.
+//!
+//! Vehicles and roadside units in the paper's ITS setting also need
+//! session keys (e.g. for encrypted unicast after authentication); this
+//! module provides the standard cofactor-clearing ECDH.
+
+use fourq_curve::AffinePoint;
+use fourq_fp::Scalar;
+use fourq_hash::Sha512;
+
+/// An ECDH key pair.
+#[derive(Clone, Debug)]
+pub struct EphemeralSecret {
+    secret: Scalar,
+    /// The public point `[d]G`, compressed.
+    pub public: [u8; 32],
+}
+
+/// Errors during key agreement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgreeError {
+    /// The peer's public key does not decode to a curve point.
+    InvalidPeerKey,
+    /// The shared point degenerated to the identity (peer key was in the
+    /// small cofactor subgroup).
+    DegenerateShare,
+}
+
+impl core::fmt::Display for AgreeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AgreeError::InvalidPeerKey => write!(f, "peer public key is not a curve point"),
+            AgreeError::DegenerateShare => write!(f, "shared secret degenerated to the identity"),
+        }
+    }
+}
+impl std::error::Error for AgreeError {}
+
+impl EphemeralSecret {
+    /// Derives a key pair from 32 bytes of entropy (caller supplies the
+    /// randomness; the scalar is the SHA-512 of the seed reduced mod `N`,
+    /// forced nonzero).
+    pub fn from_seed(seed: &[u8; 32]) -> EphemeralSecret {
+        let h = Sha512::digest(seed);
+        let mut wide = [0u8; 64];
+        wide.copy_from_slice(&h);
+        let mut secret = Scalar::from_wide_bytes(&wide);
+        if secret.is_zero() {
+            secret = Scalar::ONE;
+        }
+        let public = fourq_curve::generator_table().mul(&secret).encode();
+        EphemeralSecret { secret, public }
+    }
+
+    /// Computes the shared secret with a peer's public key: the SHA-512 of
+    /// the encoded point `[8·d]P_peer` (cofactor-cleared against
+    /// small-subgroup confinement).
+    ///
+    /// # Errors
+    ///
+    /// [`AgreeError::InvalidPeerKey`] if the peer key fails to decode,
+    /// [`AgreeError::DegenerateShare`] if the result is the identity.
+    pub fn agree(&self, peer_public: &[u8; 32]) -> Result<[u8; 64], AgreeError> {
+        let peer = AffinePoint::decode(peer_public).map_err(|_| AgreeError::InvalidPeerKey)?;
+        // multiply by 8·d: the cofactor is 392 = 8·49, but the curve's
+        // rational 2-power torsion is cleared by 8; clearing the full 392
+        // is cheapest as one scalar multiplication.
+        let cleared = peer
+            .mul(&self.secret)
+            .mul_u256_generic(&fourq_fp::U256::from_u64(392));
+        if cleared.is_identity() {
+            return Err(AgreeError::DegenerateShare);
+        }
+        let mut out = [0u8; 64];
+        out.copy_from_slice(&Sha512::digest(&cleared.encode()));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agreement_is_symmetric() {
+        let a = EphemeralSecret::from_seed(&[1u8; 32]);
+        let b = EphemeralSecret::from_seed(&[2u8; 32]);
+        let sab = a.agree(&b.public).unwrap();
+        let sba = b.agree(&a.public).unwrap();
+        assert_eq!(sab, sba);
+    }
+
+    #[test]
+    fn different_peers_different_keys() {
+        let a = EphemeralSecret::from_seed(&[3u8; 32]);
+        let b = EphemeralSecret::from_seed(&[4u8; 32]);
+        let c = EphemeralSecret::from_seed(&[5u8; 32]);
+        assert_ne!(a.agree(&b.public).unwrap(), a.agree(&c.public).unwrap());
+    }
+
+    #[test]
+    fn invalid_peer_key_rejected() {
+        let a = EphemeralSecret::from_seed(&[6u8; 32]);
+        let garbage = [0xeeu8; 32];
+        // Either the decode fails (usual) or the share succeeds for a
+        // valid accidental point; accept both but never panic.
+        match a.agree(&garbage) {
+            Ok(_) | Err(AgreeError::InvalidPeerKey) | Err(AgreeError::DegenerateShare) => {}
+        }
+    }
+
+    #[test]
+    fn identity_peer_degenerates() {
+        let a = EphemeralSecret::from_seed(&[7u8; 32]);
+        let id = AffinePoint::identity().encode();
+        assert_eq!(a.agree(&id), Err(AgreeError::DegenerateShare));
+    }
+}

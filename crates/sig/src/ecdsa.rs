@@ -1,0 +1,202 @@
+//! The ECDSA workflow of the paper's §II-A, instantiated on FourQ.
+//!
+//! The generation and verification steps follow the paper's numbered lists
+//! exactly. One adaptation is needed because FourQ points live over `F_p²`:
+//! step 4's `r = x₁ mod n` reduces the *encoded* 32-byte x-coordinate as a
+//! 256-bit integer modulo `N` (a standard adaptation for extension-field
+//! curves; documented in `DESIGN.md`).
+//!
+//! Nonces are derived deterministically (RFC 6979 flavour: HMAC-SHA-256
+//! over the secret key and message digest), so no RNG is required.
+
+use fourq_curve::AffinePoint;
+use fourq_fp::{Scalar, U256};
+use fourq_hash::{Hmac, Sha256};
+
+/// An ECDSA signature `(r, s)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Signature {
+    /// `r = enc(x₁) mod N`.
+    pub r: Scalar,
+    /// `s = k⁻¹(z + r·d) mod N`.
+    pub s: Scalar,
+}
+
+/// An ECDSA key pair.
+#[derive(Clone, Debug)]
+pub struct KeyPair {
+    secret: Scalar,
+    /// The public key `Q_A = [d_A]G`.
+    pub public: AffinePoint,
+}
+
+/// Errors that can occur while signing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignError {
+    /// The secret key is zero (invalid).
+    ZeroKey,
+    /// Nonce retry limit exhausted (practically unreachable).
+    BadNonce,
+}
+
+impl core::fmt::Display for SignError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SignError::ZeroKey => write!(f, "secret key is zero"),
+            SignError::BadNonce => write!(f, "could not derive a usable nonce"),
+        }
+    }
+}
+impl std::error::Error for SignError {}
+
+/// `z`: the leftmost `L_n = 246` bits of `e = SHA-256(m)` (§II-A, step 5 of
+/// generation / step 3 of verification).
+fn message_scalar(msg: &[u8]) -> Scalar {
+    let e = Sha256::digest(msg);
+    // Interpret the digest big-endian, take the 246 leftmost bits.
+    let mut le = e;
+    le.reverse();
+    let z = U256::from_le_bytes(&le).shr(256 - 246);
+    Scalar::from_u256(z)
+}
+
+/// The `r` component: encoded x-coordinate reduced modulo `N`.
+fn point_to_r(p: &AffinePoint) -> Scalar {
+    Scalar::from_u256(U256::from_le_bytes(&p.x.to_bytes()))
+}
+
+impl KeyPair {
+    /// Creates a key pair from a secret scalar.
+    ///
+    /// # Errors
+    ///
+    /// [`SignError::ZeroKey`] if `secret` is zero.
+    pub fn from_secret(secret: Scalar) -> Result<KeyPair, SignError> {
+        if secret.is_zero() {
+            return Err(SignError::ZeroKey);
+        }
+        Ok(KeyPair {
+            secret,
+            public: fourq_curve::generator_table().mul(&secret),
+        })
+    }
+
+    /// Signs a message following §II-A steps 1–5.
+    ///
+    /// # Errors
+    ///
+    /// [`SignError::BadNonce`] if 100 successive derived nonces yield
+    /// `r = 0` or `s = 0` (probability ≈ 2⁻²⁴⁶·¹⁰⁰ — unreachable; the
+    /// retry loop mirrors the "go back to step 2" arrows of the paper).
+    pub fn sign(&self, msg: &[u8]) -> Result<Signature, SignError> {
+        let z = message_scalar(msg);
+        for counter in 0u8..100 {
+            // Step 2: deterministic nonce (RFC 6979 flavour).
+            let mut key = self.secret.to_le_bytes().to_vec();
+            key.push(counter);
+            let mac = Hmac::<Sha256>::mac(&key, msg);
+            let mut kb = [0u8; 32];
+            kb.copy_from_slice(&mac);
+            let k = Scalar::from_le_bytes(&kb);
+            if k.is_zero() {
+                continue;
+            }
+            // Step 3: (x₁, y₁) = [k]G.
+            let p = fourq_curve::generator_table().mul(&k);
+            // Step 4: r = x₁ mod n.
+            let r = point_to_r(&p);
+            if r.is_zero() {
+                continue;
+            }
+            // Step 5: s = k⁻¹(z + r·d).
+            let s = k.inv() * (z + r * self.secret);
+            if s.is_zero() {
+                continue;
+            }
+            return Ok(Signature { r, s });
+        }
+        Err(SignError::BadNonce)
+    }
+}
+
+/// Verifies a signature following §II-A verification steps 1–5.
+pub fn verify(public: &AffinePoint, msg: &[u8], sig: &Signature) -> bool {
+    // Step 1: r, s ∈ [1, n-1].
+    if sig.r.is_zero() || sig.s.is_zero() {
+        return false;
+    }
+    if !public.is_on_curve() || public.is_identity() {
+        return false;
+    }
+    // Step 2: w = s⁻¹.
+    let w = sig.s.inv();
+    // Step 3: u₁ = zw, u₂ = rw.
+    let z = message_scalar(msg);
+    let u1 = z * w;
+    let u2 = sig.r * w;
+    // Step 4: (x₁, y₁) = [u₁]G + [u₂]Q_A (joint Straus–Shamir evaluation).
+    let p = fourq_curve::double_scalar_mul(&u1, &AffinePoint::generator(), &u2, public);
+    if p.is_identity() {
+        return false;
+    }
+    // Step 5: valid iff r = x₁ mod n.
+    point_to_r(&p) == sig.r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kp(seed: u64) -> KeyPair {
+        KeyPair::from_secret(Scalar::from_u64(seed)).unwrap()
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = kp(0xabcdef123);
+        let sig = kp.sign(b"vehicle 42 position update").unwrap();
+        assert!(verify(&kp.public, b"vehicle 42 position update", &sig));
+    }
+
+    #[test]
+    fn rejects_wrong_message_and_key() {
+        let k1 = kp(111);
+        let k2 = kp(222);
+        let sig = k1.sign(b"a").unwrap();
+        assert!(!verify(&k1.public, b"b", &sig));
+        assert!(!verify(&k2.public, b"a", &sig));
+    }
+
+    #[test]
+    fn rejects_zero_components() {
+        let k1 = kp(333);
+        let sig = k1.sign(b"m").unwrap();
+        let bad = Signature {
+            r: Scalar::ZERO,
+            s: sig.s,
+        };
+        assert!(!verify(&k1.public, b"m", &bad));
+        let bad = Signature {
+            r: sig.r,
+            s: Scalar::ZERO,
+        };
+        assert!(!verify(&k1.public, b"m", &bad));
+    }
+
+    #[test]
+    fn zero_key_rejected() {
+        assert_eq!(
+            KeyPair::from_secret(Scalar::ZERO).err(),
+            Some(SignError::ZeroKey)
+        );
+    }
+
+    #[test]
+    fn signature_malleability_of_message_bits() {
+        // Messages differing only after hashing must produce different z.
+        let k1 = kp(444);
+        let s1 = k1.sign(b"msg-1").unwrap();
+        let s2 = k1.sign(b"msg-2").unwrap();
+        assert_ne!(s1, s2);
+    }
+}

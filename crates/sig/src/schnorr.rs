@@ -1,0 +1,263 @@
+//! A Schnorr-style signature scheme over FourQ (SchnorrQ-flavoured).
+//!
+//! Signing costs one fixed-base scalar multiplication; verification costs
+//! two scalar multiplications and one point addition — the operation mix
+//! the paper's throughput analysis assumes (§II-A).
+
+use fourq_curve::AffinePoint;
+use fourq_fp::Scalar;
+use fourq_hash::{Digest, Sha512};
+
+/// A signature `(R, s)`: the commitment point (compressed) and the response
+/// scalar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Signature {
+    /// Encoded commitment `R = [r]G`.
+    pub r: [u8; 32],
+    /// Response `s = r + h·d (mod N)`.
+    pub s: Scalar,
+}
+
+/// A public key (the point `A = [d]G`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PublicKey {
+    /// The public point.
+    pub point: AffinePoint,
+    /// Its compressed encoding (cached for hashing).
+    pub encoded: [u8; 32],
+}
+
+/// A key pair derived deterministically from a 32-byte seed.
+#[derive(Clone, Debug)]
+pub struct KeyPair {
+    /// Secret scalar `d`.
+    secret: Scalar,
+    /// Nonce-derivation key (second half of the seed expansion).
+    nonce_key: [u8; 32],
+    /// The public key.
+    pub public: PublicKey,
+}
+
+impl KeyPair {
+    /// Expands a 32-byte seed into a key pair (SHA-512 split into the
+    /// secret scalar and the nonce key, as SchnorrQ does).
+    pub fn from_seed(seed: &[u8; 32]) -> KeyPair {
+        let expanded = Sha512::digest(seed);
+        let mut dbytes = [0u8; 64];
+        dbytes[..32].copy_from_slice(&expanded[..32]);
+        let secret = Scalar::from_wide_bytes(&dbytes);
+        let mut nonce_key = [0u8; 32];
+        nonce_key.copy_from_slice(&expanded[32..]);
+        let point = fourq_curve::generator_table().mul(&secret);
+        KeyPair {
+            secret,
+            nonce_key,
+            public: PublicKey {
+                point,
+                encoded: point.encode(),
+            },
+        }
+    }
+
+    /// Signs a message (deterministic nonce: `SHA-512(nonce_key ‖ m)`).
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        let mut h = <Sha512 as Digest>::new();
+        h.update(&self.nonce_key);
+        h.update(msg);
+        let mut wide = [0u8; 64];
+        wide.copy_from_slice(&h.finalize());
+        let r = Scalar::from_wide_bytes(&wide);
+        // r = 0 is astronomically unlikely; fall back to r = 1 so signing
+        // is total.
+        let r = if r.is_zero() { Scalar::ONE } else { r };
+        let commitment = fourq_curve::generator_table().mul(&r);
+        let renc = commitment.encode();
+        let h = challenge(&renc, &self.public.encoded, msg);
+        let s = r + h * self.secret;
+        Signature { r: renc, s }
+    }
+}
+
+/// The Fiat–Shamir challenge `h = SHA-512(R ‖ A ‖ m) mod N`.
+fn challenge(renc: &[u8; 32], aenc: &[u8; 32], msg: &[u8]) -> Scalar {
+    let mut h = <Sha512 as Digest>::new();
+    h.update(renc);
+    h.update(aenc);
+    h.update(msg);
+    let mut wide = [0u8; 64];
+    wide.copy_from_slice(&h.finalize());
+    Scalar::from_wide_bytes(&wide)
+}
+
+/// Verifies a signature: `[s]G == R + [h]A`.
+///
+/// Returns `false` for malformed `R` encodings, wrong messages, or wrong
+/// keys — never panics on attacker-controlled input.
+pub fn verify(public: &PublicKey, msg: &[u8], sig: &Signature) -> bool {
+    let commitment = match AffinePoint::decode(&sig.r) {
+        Ok(p) => p,
+        Err(_) => return false,
+    };
+    let h = challenge(&sig.r, &public.encoded, msg);
+    // [s]G == R + [h]A  ⇔  [s]G + [N−h]A == R (one joint double-scalar
+    // multiplication instead of two separate ones).
+    let lhs = fourq_curve::double_scalar_mul(
+        &sig.s,
+        &AffinePoint::generator(),
+        &h.neg(),
+        &public.point,
+    );
+    lhs == commitment
+}
+
+/// Batch verification of many `(public key, message, signature)` triples
+/// with random linear combination — the throughput optimisation an ITS
+/// roadside unit facing the paper's "1000 messages per second" load would
+/// deploy.
+///
+/// Checks `[Σ cᵢ·sᵢ]G == Σ [cᵢ]Rᵢ + Σ [cᵢ·hᵢ]Aᵢ` for deterministic
+/// pseudorandom 64-bit coefficients `cᵢ` derived from the whole batch
+/// (so a forger cannot anticipate them).
+///
+/// Returns `false` if any signature in the batch is invalid (callers can
+/// fall back to per-item [`verify`] to locate offenders) or if any `R`
+/// fails to decode.
+pub fn verify_batch(items: &[(&PublicKey, &[u8], &Signature)]) -> bool {
+    if items.is_empty() {
+        return true;
+    }
+    // Coefficient seed binds the entire batch.
+    let mut seed_hash = <Sha512 as Digest>::new();
+    for (pk, msg, sig) in items {
+        seed_hash.update(&pk.encoded);
+        seed_hash.update(&(msg.len() as u64).to_le_bytes());
+        seed_hash.update(msg);
+        seed_hash.update(&sig.r);
+        seed_hash.update(&sig.s.to_le_bytes());
+    }
+    let seed = seed_hash.finalize();
+
+    let mut lhs_scalar = Scalar::ZERO;
+    let mut rhs_terms: Vec<(Scalar, fourq_curve::AffinePoint)> =
+        Vec::with_capacity(2 * items.len());
+    for (i, (pk, msg, sig)) in items.iter().enumerate() {
+        let commitment = match fourq_curve::AffinePoint::decode(&sig.r) {
+            Ok(p) => p,
+            Err(_) => return false,
+        };
+        // c_i = SHA-512(seed ‖ i) truncated to 64 bits, forced nonzero.
+        let mut ch = <Sha512 as Digest>::new();
+        ch.update(&seed);
+        ch.update(&(i as u64).to_le_bytes());
+        let cb = ch.finalize();
+        let mut c8 = [0u8; 8];
+        c8.copy_from_slice(&cb[..8]);
+        let c = Scalar::from_u64(u64::from_le_bytes(c8) | 1);
+
+        let h = challenge(&sig.r, &pk.encoded, msg);
+        lhs_scalar = lhs_scalar + c * sig.s;
+        rhs_terms.push((c, commitment));
+        rhs_terms.push((c * h, pk.point));
+    }
+    let lhs = fourq_curve::generator_table().mul(&lhs_scalar);
+    let rhs = fourq_curve::multi_scalar_mul(&rhs_terms);
+    lhs == rhs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = KeyPair::from_seed(&[42u8; 32]);
+        let msg = b"intersection 12 clear";
+        let sig = kp.sign(msg);
+        assert!(verify(&kp.public, msg, &sig));
+    }
+
+    #[test]
+    fn deterministic_signing() {
+        let kp = KeyPair::from_seed(&[1u8; 32]);
+        assert_eq!(kp.sign(b"m"), kp.sign(b"m"));
+        assert_ne!(kp.sign(b"m"), kp.sign(b"m2"));
+    }
+
+    #[test]
+    fn rejects_wrong_message() {
+        let kp = KeyPair::from_seed(&[3u8; 32]);
+        let sig = kp.sign(b"green light");
+        assert!(!verify(&kp.public, b"red light", &sig));
+    }
+
+    #[test]
+    fn rejects_wrong_key() {
+        let kp1 = KeyPair::from_seed(&[4u8; 32]);
+        let kp2 = KeyPair::from_seed(&[5u8; 32]);
+        let sig = kp1.sign(b"msg");
+        assert!(!verify(&kp2.public, b"msg", &sig));
+    }
+
+    #[test]
+    fn rejects_tampered_signature() {
+        let kp = KeyPair::from_seed(&[6u8; 32]);
+        let mut sig = kp.sign(b"msg");
+        sig.s = sig.s + Scalar::ONE;
+        assert!(!verify(&kp.public, b"msg", &sig));
+        let mut sig2 = kp.sign(b"msg");
+        sig2.r[0] ^= 0xff;
+        assert!(!verify(&kp.public, b"msg", &sig2));
+    }
+
+    #[test]
+    fn batch_verification_accepts_valid_batch() {
+        let kps: Vec<KeyPair> = (0u8..5).map(|i| KeyPair::from_seed(&[i + 10; 32])).collect();
+        let msgs: Vec<Vec<u8>> = (0..5).map(|i| format!("msg {i}").into_bytes()).collect();
+        let sigs: Vec<Signature> = kps
+            .iter()
+            .zip(&msgs)
+            .map(|(kp, m)| kp.sign(m))
+            .collect();
+        let items: Vec<(&PublicKey, &[u8], &Signature)> = kps
+            .iter()
+            .zip(&msgs)
+            .zip(&sigs)
+            .map(|((kp, m), s)| (&kp.public, m.as_slice(), s))
+            .collect();
+        assert!(verify_batch(&items));
+    }
+
+    #[test]
+    fn batch_verification_rejects_one_bad_item() {
+        let kps: Vec<KeyPair> = (0u8..4).map(|i| KeyPair::from_seed(&[i + 30; 32])).collect();
+        let msgs: Vec<Vec<u8>> = (0..4).map(|i| format!("cam {i}").into_bytes()).collect();
+        let mut sigs: Vec<Signature> = kps
+            .iter()
+            .zip(&msgs)
+            .map(|(kp, m)| kp.sign(m))
+            .collect();
+        sigs[2].s = sigs[2].s + Scalar::ONE; // corrupt one
+        let items: Vec<(&PublicKey, &[u8], &Signature)> = kps
+            .iter()
+            .zip(&msgs)
+            .zip(&sigs)
+            .map(|((kp, m), s)| (&kp.public, m.as_slice(), s))
+            .collect();
+        assert!(!verify_batch(&items));
+    }
+
+    #[test]
+    fn batch_verification_empty_is_true() {
+        assert!(verify_batch(&[]));
+    }
+
+    #[test]
+    fn malformed_r_is_rejected_not_panicking() {
+        let kp = KeyPair::from_seed(&[7u8; 32]);
+        let sig = Signature {
+            r: [0xee; 32],
+            s: Scalar::from_u64(1),
+        };
+        assert!(!verify(&kp.public, b"msg", &sig));
+    }
+}

@@ -1,0 +1,479 @@
+//! The recording field type and the trace data model.
+
+use core::cell::RefCell;
+use core::fmt;
+use fourq_fp::{Fp2, Fp2Like};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Identifier of a value in a trace. Ids `0..inputs.len()` are the inputs
+/// (and lifted constants); ids `inputs.len()..` are operation results, in
+/// issue order.
+pub type NodeId = usize;
+
+/// The microinstruction kinds of the two-unit datapath (Fig. 1(a)).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpKind {
+    /// `F_p²` multiplication (Karatsuba multiplier unit).
+    Mul,
+    /// `F_p²` squaring (multiplier unit).
+    Sqr,
+    /// `F_p²` addition (adder/subtractor unit).
+    Add,
+    /// `F_p²` subtraction (adder/subtractor unit).
+    Sub,
+    /// Negation (adder/subtractor unit).
+    Neg,
+    /// Complex conjugation (adder/subtractor unit — negates the imaginary
+    /// half).
+    Conj,
+}
+
+/// Which arithmetic unit executes an operation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Unit {
+    /// The pipelined Karatsuba `F_p²` multiplier.
+    Multiplier,
+    /// The `F_p²` adder/subtractor.
+    AddSub,
+}
+
+impl OpKind {
+    /// The unit this operation issues on.
+    pub fn unit(self) -> Unit {
+        match self {
+            OpKind::Mul | OpKind::Sqr => Unit::Multiplier,
+            _ => Unit::AddSub,
+        }
+    }
+
+    /// Human-readable mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Mul => "mul",
+            OpKind::Sqr => "sqr",
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Neg => "neg",
+            OpKind::Conj => "conj",
+        }
+    }
+}
+
+/// One recorded microinstruction.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// First operand.
+    pub a: NodeId,
+    /// Second operand (`None` for unary `Neg`/`Conj`/`Sqr`).
+    pub b: Option<NodeId>,
+}
+
+/// Operation-count statistics of a trace (for the paper's "57 % of
+/// operations are `F_p²` multiplications" profiling claim).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Count of `Mul` ops.
+    pub mul: usize,
+    /// Count of `Sqr` ops.
+    pub sqr: usize,
+    /// Count of `Add` ops.
+    pub add: usize,
+    /// Count of `Sub` ops.
+    pub sub: usize,
+    /// Count of `Neg` ops.
+    pub neg: usize,
+    /// Count of `Conj` ops.
+    pub conj: usize,
+}
+
+impl OpStats {
+    /// Total operations.
+    pub fn total(&self) -> usize {
+        self.mul + self.sqr + self.add + self.sub + self.neg + self.conj
+    }
+
+    /// Operations issuing on the multiplier unit.
+    pub fn multiplier_ops(&self) -> usize {
+        self.mul + self.sqr
+    }
+
+    /// Fraction of operations issuing on the multiplier unit.
+    pub fn multiplier_fraction(&self) -> f64 {
+        self.multiplier_ops() as f64 / self.total() as f64
+    }
+}
+
+impl fmt::Display for OpStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mul {} + sqr {} | add {} sub {} neg {} conj {} (multiplier {:.1}%)",
+            self.mul,
+            self.sqr,
+            self.add,
+            self.sub,
+            self.neg,
+            self.conj,
+            100.0 * self.multiplier_fraction()
+        )
+    }
+}
+
+/// A finished execution trace: named inputs, SSA operation list, named
+/// outputs, and the concrete value of every id (for functional checks).
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Named inputs and lifted constants.
+    pub inputs: Vec<(String, Fp2)>,
+    /// The recorded operations.
+    pub nodes: Vec<Node>,
+    /// Named outputs (`(name, id)`).
+    pub outputs: Vec<(String, NodeId)>,
+    /// Value of every id (inputs followed by node results).
+    pub values: Vec<Fp2>,
+}
+
+impl Trace {
+    /// The id of the first operation (inputs come before).
+    pub fn first_op_id(&self) -> NodeId {
+        self.inputs.len()
+    }
+
+    /// Operation-count statistics.
+    pub fn stats(&self) -> OpStats {
+        let mut s = OpStats::default();
+        for n in &self.nodes {
+            match n.kind {
+                OpKind::Mul => s.mul += 1,
+                OpKind::Sqr => s.sqr += 1,
+                OpKind::Add => s.add += 1,
+                OpKind::Sub => s.sub += 1,
+                OpKind::Neg => s.neg += 1,
+                OpKind::Conj => s.conj += 1,
+            }
+        }
+        s
+    }
+
+    /// Re-evaluates the whole trace from the inputs and checks every stored
+    /// value; returns `false` on any mismatch. This is the independent
+    /// functional audit of the recording itself.
+    pub fn self_check(&self) -> bool {
+        let mut vals: Vec<Fp2> = self.inputs.iter().map(|(_, v)| *v).collect();
+        for n in &self.nodes {
+            let a = vals[n.a];
+            let v = match n.kind {
+                OpKind::Mul => a.mul_karatsuba(&vals[n.b.expect("mul is binary")]),
+                OpKind::Add => a + vals[n.b.expect("add is binary")],
+                OpKind::Sub => a - vals[n.b.expect("sub is binary")],
+                OpKind::Sqr => a.square(),
+                OpKind::Neg => -a,
+                OpKind::Conj => a.conj(),
+            };
+            vals.push(v);
+        }
+        vals == self.values
+    }
+
+    /// Renders the program as an assembler-style listing (one SSA
+    /// microinstruction per line), e.g. for inspecting the recorded
+    /// program ROM contents.
+    pub fn disassemble(&self) -> String {
+        use core::fmt::Write as _;
+        let base = self.first_op_id();
+        let name = |id: usize| -> String {
+            if id < base {
+                self.inputs[id].0.clone()
+            } else {
+                format!("v{}", id - base)
+            }
+        };
+        let mut out = String::new();
+        for (id, (n, _)) in self.inputs.iter().enumerate() {
+            let _ = writeln!(out, "; input r{id} = {n}");
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            match node.b {
+                Some(b) => {
+                    let _ = writeln!(
+                        out,
+                        "v{i:<5} = {:<4} {}, {}",
+                        node.kind.mnemonic(),
+                        name(node.a),
+                        name(b)
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "v{i:<5} = {:<4} {}", node.kind.mnemonic(), name(node.a));
+                }
+            }
+        }
+        for (n, id) in &self.outputs {
+            let _ = writeln!(out, "; output {n} = {}", name(*id));
+        }
+        out
+    }
+
+    /// The dependency list of each operation: operand ids that are
+    /// themselves operations (inputs impose no ordering constraint).
+    pub fn op_deps(&self) -> Vec<Vec<usize>> {
+        let base = self.first_op_id();
+        self.nodes
+            .iter()
+            .map(|n| {
+                let mut d = Vec::with_capacity(2);
+                if n.a >= base {
+                    d.push(n.a - base);
+                }
+                if let Some(b) = n.b {
+                    if b >= base {
+                        d.push(b - base);
+                    }
+                }
+                d.sort_unstable();
+                d.dedup();
+                d
+            })
+            .collect()
+    }
+}
+
+#[derive(Default)]
+struct TraceBuilder {
+    inputs: Vec<(String, Fp2)>,
+    nodes: Vec<Node>,
+    outputs: Vec<(String, NodeId)>,
+    values: Vec<Fp2>,
+    /// Structural CSE map: (kind, a, b) -> existing id. The paper's ROM
+    /// stores each microinstruction once; re-recorded identical ops (e.g.
+    /// lifted constants reused across formulas) should not duplicate.
+    memo: HashMap<(OpKind, NodeId, Option<NodeId>), NodeId>,
+}
+
+/// Records microinstructions executed through [`TracedFp2`] handles.
+///
+/// Cloneable handle; all clones share the same underlying trace.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Rc<RefCell<TraceBuilder>>,
+}
+
+impl Tracer {
+    /// Creates an empty tracer.
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Registers a named input (or constant) and returns its handle.
+    pub fn input(&self, name: &str, value: Fp2) -> TracedFp2 {
+        let mut b = self.inner.borrow_mut();
+        assert!(
+            b.nodes.is_empty(),
+            "inputs must be registered before any operation is recorded"
+        );
+        let id = b.inputs.len();
+        b.inputs.push((name.to_string(), value));
+        b.values.push(value);
+        TracedFp2 {
+            id,
+            value,
+            tracer: self.clone(),
+        }
+    }
+
+    /// Marks a value as a named output of the program.
+    pub fn mark_output(&self, name: &str, v: &TracedFp2) {
+        assert!(
+            Rc::ptr_eq(&self.inner, &v.tracer.inner),
+            "output value belongs to a different tracer"
+        );
+        self.inner
+            .borrow_mut()
+            .outputs
+            .push((name.to_string(), v.id));
+    }
+
+    /// Finishes recording and returns the trace.
+    pub fn finish(&self) -> Trace {
+        let b = self.inner.borrow();
+        Trace {
+            inputs: b.inputs.clone(),
+            nodes: b.nodes.clone(),
+            outputs: b.outputs.clone(),
+            values: b.values.clone(),
+        }
+    }
+
+    fn record(&self, kind: OpKind, a: &TracedFp2, b: Option<&TracedFp2>, value: Fp2) -> TracedFp2 {
+        assert!(
+            Rc::ptr_eq(&self.inner, &a.tracer.inner),
+            "operands belong to different tracers"
+        );
+        if let Some(b) = b {
+            assert!(
+                Rc::ptr_eq(&self.inner, &b.tracer.inner),
+                "operands belong to different tracers"
+            );
+        }
+        let mut t = self.inner.borrow_mut();
+        let key = (kind, a.id, b.map(|x| x.id));
+        if let Some(&id) = t.memo.get(&key) {
+            return TracedFp2 {
+                id,
+                value: t.values[id],
+                tracer: self.clone(),
+            };
+        }
+        let id = t.inputs.len() + t.nodes.len();
+        t.nodes.push(Node {
+            kind,
+            a: a.id,
+            b: b.map(|x| x.id),
+        });
+        t.values.push(value);
+        t.memo.insert(key, id);
+        TracedFp2 {
+            id,
+            value,
+            tracer: self.clone(),
+        }
+    }
+}
+
+/// An `F_p²` value that records every operation applied to it.
+///
+/// Implements [`Fp2Like`], so any formula from `fourq-curve` runs on it
+/// unchanged.
+#[derive(Clone)]
+pub struct TracedFp2 {
+    id: NodeId,
+    value: Fp2,
+    tracer: Tracer,
+}
+
+impl TracedFp2 {
+    /// The trace id of this value.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+}
+
+impl fmt::Debug for TracedFp2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TracedFp2(#{} = {:?})", self.id, self.value)
+    }
+}
+
+impl Fp2Like for TracedFp2 {
+    fn add(&self, rhs: &Self) -> Self {
+        self.tracer
+            .record(OpKind::Add, self, Some(rhs), self.value + rhs.value)
+    }
+    fn sub(&self, rhs: &Self) -> Self {
+        self.tracer
+            .record(OpKind::Sub, self, Some(rhs), self.value - rhs.value)
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        self.tracer.record(
+            OpKind::Mul,
+            self,
+            Some(rhs),
+            self.value.mul_karatsuba(&rhs.value),
+        )
+    }
+    fn sqr(&self) -> Self {
+        self.tracer.record(OpKind::Sqr, self, None, self.value.square())
+    }
+    fn neg(&self) -> Self {
+        self.tracer.record(OpKind::Neg, self, None, -self.value)
+    }
+    fn conj(&self) -> Self {
+        self.tracer
+            .record(OpKind::Conj, self, None, self.value.conj())
+    }
+    fn value(&self) -> Fp2 {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_ops_in_order() {
+        let t = Tracer::new();
+        let a = t.input("a", Fp2::from(2u64));
+        let b = t.input("b", Fp2::from(3u64));
+        let c = a.mul(&b); // id 2
+        let d = c.add(&a); // id 3
+        t.mark_output("d", &d);
+        let tr = t.finish();
+        assert_eq!(tr.inputs.len(), 2);
+        assert_eq!(tr.nodes.len(), 2);
+        assert_eq!(tr.outputs, vec![("d".to_string(), 3)]);
+        assert_eq!(tr.values[3], Fp2::from(8u64));
+        assert!(tr.self_check());
+    }
+
+    #[test]
+    fn cse_deduplicates_identical_ops() {
+        let t = Tracer::new();
+        let a = t.input("a", Fp2::from(2u64));
+        let b = t.input("b", Fp2::from(3u64));
+        let c1 = a.mul(&b);
+        let c2 = a.mul(&b);
+        assert_eq!(c1.id(), c2.id());
+        assert_eq!(t.finish().nodes.len(), 1);
+    }
+
+    #[test]
+    fn unit_mapping() {
+        assert_eq!(OpKind::Mul.unit(), Unit::Multiplier);
+        assert_eq!(OpKind::Sqr.unit(), Unit::Multiplier);
+        assert_eq!(OpKind::Add.unit(), Unit::AddSub);
+        assert_eq!(OpKind::Conj.unit(), Unit::AddSub);
+    }
+
+    #[test]
+    fn deps_skip_inputs() {
+        let t = Tracer::new();
+        let a = t.input("a", Fp2::from(2u64));
+        let b = t.input("b", Fp2::from(3u64));
+        let c = a.mul(&b); // op 0
+        let _d = c.add(&b); // op 1 depends only on op 0
+        let tr = t.finish();
+        let deps = tr.op_deps();
+        assert_eq!(deps[0], Vec::<usize>::new());
+        assert_eq!(deps[1], vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different tracers")]
+    fn cross_tracer_ops_panic() {
+        let t1 = Tracer::new();
+        let t2 = Tracer::new();
+        let a = t1.input("a", Fp2::from(1u64));
+        let b = t2.input("b", Fp2::from(2u64));
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn stats_count() {
+        let t = Tracer::new();
+        let a = t.input("a", Fp2::from(2u64));
+        let b = a.sqr();
+        let c = b.add(&a);
+        let _ = c.mul(&b).conj();
+        let s = t.finish().stats();
+        assert_eq!(s.sqr, 1);
+        assert_eq!(s.add, 1);
+        assert_eq!(s.mul, 1);
+        assert_eq!(s.conj, 1);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.multiplier_ops(), 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! The paper's motivating workload (§I): message authentication for an
+//! intelligent transportation system. Roadside units and vehicles sign
+//! and verify cooperative awareness messages; the paper sizes the problem
+//! at ~1000 verifications per second of channel load.
+//!
+//! Run with: `cargo run --release --example its_message_auth`
+
+use fourq::sig::{ecdsa, schnorr};
+use fourq::fp::Scalar;
+use std::time::Instant;
+
+fn main() {
+    // A small fleet with per-vehicle keys.
+    let vehicles: Vec<schnorr::KeyPair> = (0u8..8)
+        .map(|i| schnorr::KeyPair::from_seed(&[i + 1; 32]))
+        .collect();
+    let rsu_ecdsa =
+        ecdsa::KeyPair::from_secret(Scalar::from_u64(0x0123_4567_89ab_cdef)).expect("nonzero key");
+
+    // Vehicles broadcast signed CAMs.
+    let mut bundle = Vec::new();
+    for (i, v) in vehicles.iter().enumerate() {
+        let msg = format!("CAM: vehicle {i}, lane {}, 4{} km/h", i % 3, i);
+        let sig = v.sign(msg.as_bytes());
+        bundle.push((v.public, msg, sig));
+    }
+
+    // The intersection controller verifies the flood of messages.
+    let t0 = Instant::now();
+    let mut ok = 0;
+    let rounds = 4;
+    for _ in 0..rounds {
+        for (pk, msg, sig) in &bundle {
+            if schnorr::verify(pk, msg.as_bytes(), sig) {
+                ok += 1;
+            }
+        }
+    }
+    let dt = t0.elapsed();
+    let total_verifies = rounds * bundle.len() as u32;
+    let per_verify = dt / total_verifies;
+    println!("verified {ok}/{total_verifies} signatures");
+    println!(
+        "software verification: {:?}/msg  (~{:.0} msg/s on this host)",
+        per_verify,
+        1.0 / per_verify.as_secs_f64()
+    );
+    println!(
+        "paper's ASIC at 1.2 V: one scalar multiplication every 10.1 us \
+         => ~49500 ECDSA-style verifications/s (2 SM each)"
+    );
+
+    // A tampered message must fail.
+    let (pk, msg, sig) = &bundle[0];
+    let mut forged = msg.clone();
+    forged.push_str(" [PRIORITY OVERRIDE]");
+    assert!(!schnorr::verify(pk, forged.as_bytes(), sig));
+    println!("tampered message correctly rejected");
+
+    // ECDSA flow of the paper's SII-A, for one infrastructure message.
+    let m = b"signal phase: NS green for 12 s";
+    let s = rsu_ecdsa.sign(m).expect("signing succeeds");
+    assert!(ecdsa::verify(&rsu_ecdsa.public, m, &s));
+    println!("ECDSA roadside-unit message verified");
+}

@@ -1,0 +1,112 @@
+//! Cross-crate cryptographic integration tests with randomized inputs.
+
+use fourq::curve::AffinePoint;
+use fourq::fp::{Fp, Fp2, Scalar, U256};
+use rand::{Rng, SeedableRng};
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(0x4u64 * 0x101)
+}
+
+fn random_scalar(rng: &mut impl Rng) -> Scalar {
+    let mut limbs = [0u64; 4];
+    for l in &mut limbs {
+        *l = rng.gen();
+    }
+    Scalar::from_u256(U256(limbs))
+}
+
+#[test]
+fn randomized_decomposed_vs_generic_mul() {
+    let g = AffinePoint::generator();
+    let mut rng = rng();
+    for i in 0..24 {
+        let k = random_scalar(&mut rng);
+        assert_eq!(g.mul(&k), g.mul_generic(&k), "iteration {i}: k = {k}");
+    }
+}
+
+#[test]
+fn randomized_group_homomorphism() {
+    let g = AffinePoint::generator();
+    let mut rng = rng();
+    for _ in 0..10 {
+        let a = random_scalar(&mut rng);
+        let b = random_scalar(&mut rng);
+        let lhs = g.mul(&a).add(&g.mul(&b));
+        let rhs = g.mul(&(a + b));
+        assert_eq!(lhs, rhs);
+        // and scalar composition
+        assert_eq!(g.mul(&a).mul(&b), g.mul(&(a * b)));
+    }
+}
+
+#[test]
+fn randomized_point_compression() {
+    let g = AffinePoint::generator();
+    let mut rng = rng();
+    for _ in 0..16 {
+        let p = g.mul(&random_scalar(&mut rng));
+        assert_eq!(AffinePoint::decode(&p.encode()).expect("decodable"), p);
+    }
+}
+
+#[test]
+fn randomized_field_axioms() {
+    let mut rng = rng();
+    let rand_fp2 = |rng: &mut rand::rngs::StdRng| {
+        Fp2::new(
+            Fp::from_u128(rng.gen::<u128>()),
+            Fp::from_u128(rng.gen::<u128>()),
+        )
+    };
+    for _ in 0..200 {
+        let a = rand_fp2(&mut rng);
+        let b = rand_fp2(&mut rng);
+        let c = rand_fp2(&mut rng);
+        assert_eq!(a.mul_karatsuba(&b), a.mul_schoolbook(&b));
+        assert_eq!((a + b) * c, a * c + b * c);
+        assert_eq!(a * b, b * a);
+        if !a.is_zero() {
+            assert_eq!(a * a.inv(), Fp2::ONE);
+        }
+    }
+}
+
+#[test]
+fn randomized_signature_roundtrips() {
+    let mut rng = rng();
+    for i in 0u8..6 {
+        let mut seed = [0u8; 32];
+        rng.fill(&mut seed);
+        let kp = fourq::sig::schnorr::KeyPair::from_seed(&seed);
+        let msg = format!("message {i}");
+        let sig = kp.sign(msg.as_bytes());
+        assert!(fourq::sig::schnorr::verify(&kp.public, msg.as_bytes(), &sig));
+        assert!(!fourq::sig::schnorr::verify(&kp.public, b"other", &sig));
+    }
+}
+
+#[test]
+fn order_and_cofactor_structure() {
+    // #E = 392·N: for random subgroup points, [N]P = O.
+    let g = AffinePoint::generator();
+    let mut rng = rng();
+    for _ in 0..4 {
+        let p = g.mul(&random_scalar(&mut rng));
+        assert!(p.is_in_subgroup());
+    }
+}
+
+#[test]
+fn hash_and_curve_interop() {
+    // Derive a scalar from a hash and use it — the signature path in
+    // miniature, all components from this workspace.
+    let digest = fourq::hash::Sha512::digest(b"interop");
+    let mut wide = [0u8; 64];
+    wide.copy_from_slice(&digest);
+    let k = Scalar::from_wide_bytes(&wide);
+    let p = AffinePoint::generator().mul(&k);
+    assert!(p.is_on_curve());
+    assert!(!p.is_identity());
+}

@@ -1,0 +1,124 @@
+//! Cross-crate integration tests: the full trace → schedule → simulate
+//! pipeline against the software library, across machine configurations
+//! and scalars.
+
+use fourq::cpu::{simulate, simulate_scalar_mul, trace_to_problem};
+use fourq::curve::AffinePoint;
+use fourq::fp::{Scalar, U256};
+use fourq::sched::{lower_bound, schedule, MachineConfig};
+use fourq::trace::{trace_scalar_mul, trace_scalar_mul_for};
+
+fn full_scalar() -> Scalar {
+    Scalar::from_u256(
+        U256::from_hex("1d3f297b1a2c4d5e6f708192a3b4c5d6e7f8091a2b3c4d5e6f70819202122231")
+            .unwrap(),
+    )
+}
+
+#[test]
+fn datapath_equals_software_for_various_scalars() {
+    let machine = MachineConfig::paper();
+    for k in [
+        Scalar::from_u64(1),
+        Scalar::from_u64(2),
+        Scalar::from_u64(0xffff_ffff_ffff_fffe),
+        full_scalar(),
+    ] {
+        let sim = simulate_scalar_mul(&k, &machine, 2);
+        assert_eq!(sim.result, AffinePoint::generator().mul(&k));
+    }
+}
+
+#[test]
+fn datapath_equals_software_for_non_generator_base() {
+    let machine = MachineConfig::paper();
+    let base = AffinePoint::generator().mul(&Scalar::from_u64(777));
+    let k = Scalar::from_u64(0x1234_5678_9abc_def1);
+    let sim = fourq::cpu::simulate_scalar_mul_for(&base, &k, &machine, 2);
+    assert_eq!(sim.result, base.mul(&k));
+}
+
+#[test]
+fn pipeline_works_across_machine_configs() {
+    let k = Scalar::from_u64(0xdead_beef_1234_5677);
+    let recorded = trace_scalar_mul(&k);
+    let problem = trace_to_problem(&recorded.trace);
+    let configs = [
+        MachineConfig::paper(),
+        MachineConfig {
+            mul_latency: 4,
+            ..MachineConfig::paper()
+        },
+        MachineConfig {
+            mul_units: 2,
+            read_ports: 8,
+            write_ports: 4,
+            ..MachineConfig::paper()
+        },
+        MachineConfig {
+            forwarding: false,
+            ..MachineConfig::paper()
+        },
+        MachineConfig {
+            read_ports: 2,
+            write_ports: 1,
+            ..MachineConfig::paper()
+        },
+    ];
+    for (ci, machine) in configs.iter().enumerate() {
+        let sched = schedule(&problem, machine, 2);
+        sched
+            .validate(&problem, machine)
+            .unwrap_or_else(|e| panic!("config {ci}: invalid schedule: {e}"));
+        let sim = simulate(&recorded.trace, &sched, machine)
+            .unwrap_or_else(|e| panic!("config {ci}: simulation failed: {e}"));
+        assert_eq!(sim.outputs[0].1, recorded.expected.x, "config {ci}");
+        assert_eq!(sim.outputs[1].1, recorded.expected.y, "config {ci}");
+        assert!(sim.cycles >= lower_bound(&problem, machine), "config {ci}");
+    }
+}
+
+#[test]
+fn schedule_quality_gap_is_bounded() {
+    // The open-source scheduler must stay within 25% of the lower bound on
+    // the real workload (the paper's CP-solver flow motivates automated
+    // scheduling; ours documents its gap).
+    let recorded = trace_scalar_mul(&full_scalar());
+    let problem = trace_to_problem(&recorded.trace);
+    let machine = MachineConfig::paper();
+    let sched = schedule(&problem, &machine, 48);
+    let lb = lower_bound(&problem, &machine);
+    let gap = sched.makespan as f64 / lb as f64;
+    assert!(gap < 1.55, "schedule gap too large: {gap:.3} (lb {lb}, got {})", sched.makespan);
+}
+
+#[test]
+fn traced_program_is_scalar_independent_in_size() {
+    // Op counts may differ only by the sign-flip negations (at most the
+    // digit count) and the parity-correction addition.
+    let a = trace_scalar_mul(&Scalar::from_u64(3)).trace.stats();
+    let b = trace_scalar_mul(&full_scalar()).trace.stats();
+    let diff = (a.total() as i64 - b.total() as i64).abs();
+    assert!(diff < 80, "trace sizes diverge: {} vs {}", a.total(), b.total());
+}
+
+#[test]
+fn signature_over_simulated_datapath_point() {
+    // Use the simulated-datapath result as a public key and verify a
+    // signature against it — ties sig, curve and cpu crates together.
+    let machine = MachineConfig::paper();
+    let secret = Scalar::from_u64(0x5eed_1234_abcd_ef01);
+    let sim = simulate_scalar_mul(&secret, &machine, 2);
+    let kp = fourq::sig::ecdsa::KeyPair::from_secret(secret).unwrap();
+    assert_eq!(kp.public, sim.result);
+    let sig = kp.sign(b"cross-crate message").unwrap();
+    assert!(fourq::sig::ecdsa::verify(&sim.result, b"cross-crate message", &sig));
+}
+
+#[test]
+fn trace_for_arbitrary_base_self_checks() {
+    let base = AffinePoint::generator().mul(&Scalar::from_u64(31337));
+    let rec = trace_scalar_mul_for(&base, &Scalar::from_u64(99991));
+    assert!(rec.trace.self_check());
+    assert_eq!(rec.expected, base.mul(&Scalar::from_u64(99991)));
+}

@@ -1,0 +1,106 @@
+# Find degree-10 endomorphism eta (= sqrt(-10) CM) and Frobenius-type psi by
+# walking the rational 2*5 isogeny graph from W and W^p.
+exec(open('/root/repo/tools/derive_psi.py').read().split("# rational 2-torsion of W itself")[0])
+
+def w_neg(P): return None if P is None else (P[0], f2neg(P[1]))
+
+# --- odd Velu (degree 5), kernel given by x-coords of the two +-pairs ---
+def velu5(a,b,xs):
+    v=ZERO; w=ZERO
+    terms=[]
+    for xQ in xs:
+        gx=f2add(f2scale(f2sqr(xQ),3),a)          # 3xQ^2+a
+        uQ=f2scale(f2add(f2mul(f2sqr(xQ),xQ), f2add(f2mul(a,xQ),b)),4)  # 4yQ^2
+        vQ=f2scale(gx,2)
+        v=f2add(v,vQ); w=f2add(w,f2add(uQ,f2mul(xQ,vQ)))
+        terms.append((xQ,vQ,uQ))
+    a5=f2sub(a,f2scale(v,5)); b5=f2sub(b,f2scale(w,7))
+    def iso(P):
+        if P is None: return None
+        x,y=P
+        X=x; S=ZERO
+        for xQ,vQ,uQ in terms:
+            dxi=f2inv(f2sub(x,xQ))
+            dxi2=f2sqr(dxi); dxi3=f2mul(dxi2,dxi)
+            X=f2add(X, f2add(f2mul(vQ,dxi), f2mul(uQ,dxi2)))
+            S=f2add(S, f2add(f2scale(f2mul(uQ,dxi3),2), f2mul(vQ,dxi2)))
+        Y=f2mul(y, f2sub(ONE,S))
+        return (X,Y)
+    return a5,b5,iso
+
+# division polynomial psi5 for y^2=x^3+ax+b (in x only)
+def divpoly5(a,b):
+    # psi2^2 = 4(x^3+ax+b) ; psi3 = 3x^4+6ax^2+12bx-a^2
+    # psi4 = psi2*(2x^6+10ax^4+40bx^3-10a^2x^2-8abx-(2a^3+16b^2))
+    # psi5 = psi4*psi2^2... use recurrence with polynomials where psi2 factors handled:
+    # standard: psi5 = psi4*psi2^3*? -- easier: use recurrence on "omega" forms.
+    # psi_{2m+1} = psi_{m+2} psi_m^3 - psi_{m-1} psi_{m+1}^3  (m=2)
+    # with psi1=1, psi2=2y, psi3, psi4=..., and y^2 replaced by f=x^3+ax+b.
+    # psi5 = psi4*psi2^3 ... let's do it carefully treating psi_even = 2y*g_even.
+    # psi2 = 2y -> represent even ones divided by 2y.
+    # psi3(x) = 3x^4+6a x^2+12b x - a^2
+    # psi4 = 4y(x^6+5ax^4+20bx^3-5a^2x^2-4abx-8b^2-a^3)  -> g4 = 2*(that poly)/?  psi4/(2y) = 2(x^6+...)
+    # psi5 = psi4*psi2^3 - psi3^3 ... no: psi_{2m+1} = psi_{m+2}*psi_m^3 - psi_{m-1}*psi_{m+1}^3 with m=2:
+    # psi5 = psi4*psi2^3 - psi1*psi3^3
+    # psi4*psi2^3 = (2y*g4)*(2y)^3 = 16 y^4 g4 = 16 f^2 g4 where g4 = psi4/(2y).
+    f=[b,a,ZERO,ONE]
+    a2=f2mul(a,a); a3=f2mul(a2,a); b2=f2mul(b,b); ab=f2mul(a,b)
+    g4=[f2neg(f2add(f2scale(b2,8),a3)), f2neg(f2scale(ab,4)), f2neg(f2scale(a2,5)),
+        f2scale(b,20), f2scale(a,5), ZERO, ONE]   # x^6+5a x^4+20b x^3 -5a^2x^2 -4ab x -(8b^2+a^3)
+    g4=[f2scale(c,2) for c in g4]                 # psi4/(2y) = 2*(...)
+    psi3=[f2neg(a2), f2scale(b,12), f2scale(a,6), ZERO, (3%p,0)]
+    t1=pmul(pmul(f,f),[f2scale(c,16) for c in g4])  # 16 f^2 g4
+    t2=pmul(pmul(psi3,psi3),psi3)
+    return psub(t1,t2)
+
+def x_double(a,b,x1):
+    # x(2R) = ((x^2-a)^2 - 8bx) / (4(x^3+ax+b))
+    num=f2sub(f2sqr(f2sub(f2sqr(x1),a)), f2scale(f2mul(b,x1),8))
+    den=f2scale(f2add(f2mul(f2sqr(x1),x1),f2add(f2mul(a,x1),b)),4)
+    return f2mul(num,f2inv(den))
+
+def rational_5subgroups(a,b):
+    p5=divpoly5(a,b)
+    rts=roots_in_fp2(p5)
+    subs=[]; seen=set()
+    for x1 in rts:
+        x2=x_double(a,b,x1)
+        key=tuple(sorted([x1,x2]))
+        if key in seen: continue
+        seen.add(key)
+        subs.append((x1,x2))
+    return subs
+
+jW=jinv(aw,bw)
+jWp=f2conj(jW)
+
+def explore(tag, a0,b0):
+    """2-isogeny then 5-isogenies from (a0,b0); report codomain j's."""
+    out=[]
+    r2=roots_in_fp2([b0,a0,ZERO,ONE])
+    for x0 in r2:
+        aC,bC,v2=velu2(a0,b0,x0)
+        subs=rational_5subgroups(aC,bC)
+        for (x1,x2) in subs:
+            a5,b5,v5=velu5(aC,bC,[x1,x2])
+            out.append((x0,(x1,x2),a5,b5,v2,v5,jinv(a5,b5)))
+    # also 5 first then 2
+    subs=rational_5subgroups(a0,b0)
+    for (x1,x2) in subs:
+        a5,b5,v5=velu5(a0,b0,[x1,x2])
+        r2b=roots_in_fp2([b5,a5,ZERO,ONE])
+        for x0 in r2b:
+            aC,bC,v2=velu2(a5,b5,x0)
+            out.append(("5first",(x1,x2,x0),aC,bC,v5,v2,jinv(aC,bC)))
+    for rec in out:
+        jj=rec[-1]
+        print(tag, "path codomain j==jW:", jj==jW, " j==jWp:", jj==jWp)
+    return out
+
+# sanity: velu5 correctness on W (if any rational 5-subgroup): check point maps onto codomain
+print("exploring from W:")
+res_W = explore("W ", aw, bw)
+print("exploring from W^p:")
+res_Wp = explore("Wp", f2conj(aw), f2conj(bw))
+import pickle
+pickle.dump(dict(aw=aw,bw=bw), open('/tmp/wcurve.pkl','wb'))

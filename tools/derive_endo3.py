@@ -1,0 +1,126 @@
+# Factor psi5 into irreducible quadratics over Fp2; for each stable 5-subgroup
+# run Velu in Fp4 = Fp2[t]/h(t); look for codomain j == j(W) (CM path) and
+# j == j(W)^p (Frobenius path), composing with the rational 2-isogeny.
+exec(open('/root/repo/tools/derive_endo2.py').read().split("jW=jinv(aw,bw)")[0])
+import random
+random.seed(7)
+
+jW=jinv(aw,bw); jWp=f2conj(jW)
+
+def ddf_quadratics(f):
+    """return list of irreducible monic quadratic factors of f over Fp2 (no linear factors assumed)"""
+    f=pnorm(f[:]); fi=f2inv(f[-1]); f=[f2mul(c,fi) for c in f]
+    # remove linear factors
+    xq=ppowmod([ZERO,ONE],p*p,f)
+    lin=pgcd(psub(xq,[ZERO,ONE]),f)
+    if len(lin)>1: f=pdiv(f,lin)
+    xq2=ppowmod([ZERO,ONE],p**4,f)
+    g=pgcd(psub(xq2,[ZERO,ONE]),f)
+    quads=[]
+    def split(h):
+        if len(h)-1==0: return
+        if len(h)-1==2: quads.append(h); return
+        while True:
+            a=[(random.randrange(p),random.randrange(p)) for _ in range(3)]+[ONE]
+            t=psub(ppowmod(a,(p**4-1)//2,h),[ONE])
+            w=pgcd(t,h)
+            if 0<len(w)-1<len(h)-1:
+                split(w); split(pdiv(h,w)); return
+    split(g)
+    return quads
+
+# ---- Fp4 = Fp2[t]/(t^2 + c1 t + c0) ----
+class F4:
+    def __init__(s,c0,c1): s.c0=c0; s.c1=c1
+    def add(s,a,b): return (f2add(a[0],b[0]), f2add(a[1],b[1]))
+    def sub(s,a,b): return (f2sub(a[0],b[0]), f2sub(a[1],b[1]))
+    def neg(s,a): return (f2neg(a[0]),f2neg(a[1]))
+    def mul(s,a,b):
+        a0b0=f2mul(a[0],b[0]); a1b1=f2mul(a[1],b[1])
+        mid=f2add(f2mul(a[0],b[1]),f2mul(a[1],b[0]))
+        # t^2 = -c1 t - c0
+        return (f2sub(a0b0,f2mul(a1b1,s.c0)), f2sub(mid,f2mul(a1b1,s.c1)))
+    def sqr(s,a): return s.mul(a,a)
+    def scale(s,a,k): return (f2scale(a[0],k),f2scale(a[1],k))
+    def conj(s,a):  # t -> -c1 - t
+        return (f2sub(a[0],f2mul(a[1],s.c1)), f2neg(a[1]))
+    def inv(s,a):
+        ac=s.conj(a); n=s.mul(a,ac)  # in Fp2 (t-part 0)
+        assert n[1]==ZERO
+        ni=f2inv(n[0])
+        return (f2mul(ac[0],ni), f2mul(ac[1],ni))
+    def emb(s,a): return (a,ZERO)
+
+def velu5_f4(F,a,b,x1,x2):
+    """Velu deg-5 over field F (Fp4), kernel x-coords x1,x2; a,b embedded."""
+    aF=F.emb(a); bF=F.emb(b)
+    terms=[]
+    v=(ZERO,ZERO); w=(ZERO,ZERO)
+    for xQ in (x1,x2):
+        gx=F.add(F.scale(F.sqr(xQ),3),aF)
+        uQ=F.scale(F.add(F.mul(F.sqr(xQ),xQ),F.add(F.mul(aF,xQ),bF)),4)
+        vQ=F.scale(gx,2)
+        v=F.add(v,vQ); w=F.add(w,F.add(uQ,F.mul(xQ,vQ)))
+        terms.append((xQ,vQ,uQ))
+    a5=F.sub(aF,F.scale(v,5)); b5=F.sub(bF,F.scale(w,7))
+    def iso(P):
+        if P is None: return None
+        x,y=P  # Fp4 elements
+        X=x; S=(ZERO,ZERO)
+        for xQ,vQ,uQ in terms:
+            dxi=F.inv(F.sub(x,xQ))
+            dxi2=F.sqr(dxi); dxi3=F.mul(dxi2,dxi)
+            X=F.add(X,F.add(F.mul(vQ,dxi),F.mul(uQ,dxi2)))
+            S=F.add(S,F.add(F.scale(F.mul(uQ,dxi3),2),F.mul(vQ,dxi2)))
+        Y=F.mul(y,F.sub(F.emb(ONE),S))
+        return (X,Y)
+    return a5,b5,iso
+
+def stable_5_isogenies(a,b,tag):
+    """5-isogenies from y^2=x^3+ax+b with Galois-stable kernels; return codomains in Fp2."""
+    out=[]
+    quads=ddf_quadratics(divpoly5(a,b))
+    print(tag,"irreducible quadratic factors of psi5:",len(quads))
+    for h in quads:
+        c0,c1=h[0],h[1]
+        F=F4(c0,c1)
+        x1=(ZERO,ONE)              # t
+        x2=F.sub(F.neg((c1,ZERO)),x1)   # -c1 - t
+        # subgroup-stability: x_double(x1) must be x2 (roots of same h) -> else skip
+        aF=F.emb(a); bF=F.emb(b)
+        num=F.sub(F.sqr(F.sub(F.sqr(x1),aF)),F.scale(F.mul(bF,x1),8))
+        den=F.scale(F.add(F.mul(F.sqr(x1),x1),F.add(F.mul(aF,x1),bF)),4)
+        xd=F.mul(num,F.inv(den))
+        if xd!=x2 and xd!=x1:
+            continue   # kernel not {±R,±2R} within this factor
+        a5,b5,iso=velu5_f4(F,a,b,x1,x2)
+        if a5[1]!=ZERO or b5[1]!=ZERO:
+            continue  # codomain not rational over Fp2
+        out.append((h,a5[0],b5[0],F,iso))
+    return out
+
+# path A (CM eta): W --2--> C --5--> ?=W
+r2=roots_in_fp2([bw,aw,ZERO,ONE])
+x0=r2[0]
+aC,bC,v2=velu2(aw,bw,x0)
+print("C: j in Fp?", jinv(aC,bC)[1]==0)
+for h,a5,b5,F,iso in stable_5_isogenies(aC,bC,"C:"):
+    jj=jinv(a5,b5)
+    print("  5-isog codomain j==jW:",jj==jW," j==jWp:",jj==jWp)
+
+# path B (psi): W^p --2--> C' --5--> ?=W
+awp,bwp=f2conj(aw),f2conj(bw)
+r2p=roots_in_fp2([bwp,awp,ZERO,ONE])
+aCp,bCp,v2p=velu2(awp,bwp,r2p[0])
+for h,a5,b5,F,iso in stable_5_isogenies(aCp,bCp,"C':"):
+    jj=jinv(a5,b5)
+    print("  5-isog codomain j==jW:",jj==jW," j==jWp:",jj==jWp)
+
+# also direct 5-isogenies from W and W^p
+for h,a5,b5,F,iso in stable_5_isogenies(aw,bw,"W:"):
+    jj=jinv(a5,b5)
+    print("  direct-5 from W: j==jW:",jj==jW," j==jWp:",jj==jWp,
+          " j in Fp:",jj[1]==0)
+for h,a5,b5,F,iso in stable_5_isogenies(awp,bwp,"Wp:"):
+    jj=jinv(a5,b5)
+    print("  direct-5 from Wp: j==jW:",jj==jW," j==jWp:",jj==jWp)

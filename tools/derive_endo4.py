@@ -1,0 +1,47 @@
+exec(open('/root/repo/tools/derive_endo3.py').read().split("# path A (CM eta)")[0])
+
+jW=jinv(aw,bw)
+print("j(W) in Fp?", jW[1]==0)
+
+# irrational 2-torsion: factor cubic = (x-x0)*quad
+r2=roots_in_fp2([bw,aw,ZERO,ONE])
+x0=r2[0]
+quad=pdiv([bw,aw,ZERO,ONE],[f2neg(x0),ONE])
+print("quad deg:",len(quad)-1,"coeffs:",[[hex(c) for c in co] for co in quad])
+c0,c1=quad[0],quad[1]
+F=F4(c0,c1)  # Fp4 = Fp2[t]/(t^2+c1 t+c0)
+
+# velu2 over Fp4 with kernel x = t  (and the conjugate root)
+def velu2_f4(F,a,b,x0):
+    aF=F.emb(a); bF=F.emb(b)
+    tt=F.add(F.scale(F.sqr(x0),3),aF)
+    w=F.mul(x0,tt)
+    a2=F.sub(aF,F.scale(tt,5)); b2=F.sub(bF,F.scale(w,7))
+    def iso(P):
+        if P is None: return None
+        x,y=P
+        if x==x0: return None
+        dxi=F.inv(F.sub(x,x0))
+        return (F.add(x,F.mul(tt,dxi)), F.mul(y,F.sub(F.emb(ONE),F.mul(tt,F.sqr(dxi)))))
+    return a2,b2,iso
+
+def jinv4(F,a,b):
+    a3=F.scale(F.mul(F.sqr(a),a),4)
+    den=F.add(a3,F.scale(F.sqr(b),27))
+    return F.scale(F.mul(a3,F.inv(den)),1728)
+
+for x0f in [(ZERO,ONE), ( f2neg(f2add(c1,ZERO)) , f2neg(ONE) )]:
+    # second root = -c1 - t
+    xk = x0f if x0f==(ZERO,ONE) else (f2neg(c1), f2neg(ONE)[0:1] and (f2neg(c1), f2neg(ONE)))
+    pass
+# roots: t and -c1-t
+roots=[(ZERO,ONE), (f2neg(c1), f2neg(ONE))]
+for xk in roots:
+    aC,bC,v2=velu2_f4(F,aw,bw,xk)
+    jC=jinv4(F,aC,bC)
+    # jC in Fp2? (t-part zero) and in Fp?
+    infp2 = jC[1]==ZERO
+    infp  = infp2 and jC[0][1]==0
+    print("kernel",xk==(ZERO,ONE) and "t" or "-c1-t", " j(C) in Fp2:",infp2," in Fp:",infp)
+    if infp2:
+        print("   jC =",[hex(c) for c in jC[0]])

@@ -1,0 +1,105 @@
+# psi = dual_velu  o  iso^-1  o  frobenius_p  o  iso  o  velu2 : W -> W
+# where velu2: W -> C (2-isogeny), C has j in Fp, iso: C -> What (a model over Fp),
+# iso is defined over Fp4.  Composite should be Fp2-rational.
+exec(open('/root/repo/tools/derive_endo.py').read().split("# conjugate curve")[0])
+
+import random
+random.seed(1)
+
+# --- poly helpers (same as derive_endo, re-add) ---
+def pnorm(f):
+    while f and f[-1]==ZERO: f.pop()
+    return f
+def pmul(f,g):
+    r=[ZERO]*(len(f)+len(g)-1)
+    for i,fi in enumerate(f):
+        if fi==ZERO: continue
+        for j,gj in enumerate(g):
+            r[i+j]=f2add(r[i+j],f2mul(fi,gj))
+    return pnorm(r)
+def pmod(f,g):
+    f=f[:]; gi=f2inv(g[-1])
+    while len(f)>=len(g):
+        c=f2mul(f[-1],gi); off=len(f)-len(g)
+        for i,gc in enumerate(g): f[off+i]=f2sub(f[off+i],f2mul(c,gc))
+        f=pnorm(f)
+        if not f: break
+    return f
+def pdiv(f,g):
+    f=f[:]; q=[ZERO]*(len(f)-len(g)+1); gi=f2inv(g[-1])
+    while len(f)>=len(g):
+        c=f2mul(f[-1],gi); off=len(f)-len(g); q[off]=c
+        for i,gc in enumerate(g): f[off+i]=f2sub(f[off+i],f2mul(c,gc))
+        f=pnorm(f)
+        if not f: break
+    return pnorm(q)
+def pgcd(f,g):
+    f,g=pnorm(f[:]),pnorm(g[:])
+    while g: f,g=g,pmod(f,g)
+    if f:
+        fi=f2inv(f[-1]); f=[f2mul(c,fi) for c in f]
+    return f
+def psub(f,g):
+    n=max(len(f),len(g))
+    return pnorm([f2sub(f[i] if i<len(f) else ZERO, g[i] if i<len(g) else ZERO) for i in range(n)])
+def ppowmod(base,e,mod):
+    r=[ONE]; b=pmod(base[:],mod)
+    while e:
+        if e&1: r=pmod(pmul(r,b),mod)
+        b=pmod(pmul(b,b),mod); e>>=1
+    return r
+def roots_in_fp2(f):
+    f=pnorm(f[:]); fi=f2inv(f[-1]); f=[f2mul(c,fi) for c in f]
+    xq=ppowmod([ZERO,ONE],p*p,f)
+    g=pgcd(psub(xq,[ZERO,ONE]),f)
+    res=[]
+    def split(h):
+        if len(h)<=1: return
+        if len(h)==2: res.append(f2neg(h[0])); return
+        while True:
+            r=(random.randrange(p),random.randrange(p))
+            t=psub(ppowmod([r,ONE],(p*p-1)//2,h),[ONE])
+            w=pgcd(t,h)
+            if 0<len(w)-1<len(h)-1:
+                split(w); split(pdiv(h,w)); return
+    split(g)
+    return res
+
+def w_add(aw_,P,Q):
+    if P is None: return Q
+    if Q is None: return P
+    (x1,y1),(x2,y2)=P,Q
+    if x1==x2:
+        if f2add(y1,y2)==ZERO: return None
+        lam=f2mul(f2add(f2scale(f2sqr(x1),3),aw_),f2inv(f2scale(y1,2)))
+    else:
+        lam=f2mul(f2sub(y2,y1),f2inv(f2sub(x2,x1)))
+    x3=f2sub(f2sub(f2sqr(lam),x1),x2)
+    return (x3, f2sub(f2mul(lam,f2sub(x1,x3)),y1))
+def w_smul(aw_,k,P):
+    R=None
+    while k:
+        if k&1: R=w_add(aw_,R,P)
+        P=w_add(aw_,P,P); k>>=1
+    return R
+def jinv(a,b):
+    a3=f2scale(f2mul(f2sqr(a),a),4)
+    return f2scale(f2mul(a3,f2inv(f2add(a3,f2scale(f2sqr(b),27)))),1728)
+def velu2(a,b,x0):
+    t=f2add(f2scale(f2sqr(x0),3),a); w=f2mul(x0,t)
+    a2=f2sub(a,f2scale(t,5)); b2=f2sub(b,f2scale(w,7))
+    def iso(P):
+        if P is None: return None
+        x,y=P
+        if x==x0: return None
+        dxi=f2inv(f2sub(x,x0))
+        return (f2add(x,f2mul(t,dxi)), f2mul(y,f2sub(ONE,f2mul(t,f2sqr(dxi)))))
+    return a2,b2,iso
+
+# rational 2-torsion of W itself
+r2=roots_in_fp2([bw,aw,ZERO,ONE])
+print("rational 2-torsion roots of W:", len(r2))
+for x0 in r2:
+    aC,bC,velu=velu2(aw,bw,x0)
+    jC=jinv(aC,bC)
+    print("  x0:", [hex(c) for c in x0], " j(C) in Fp:", jC[1]==0)

@@ -1,0 +1,117 @@
+# brute-force validation of divpoly5 + velu5 formulas over a small prime field
+q = 10009
+def inv(a): return pow(a % q, q-2, q)
+def on(a,b,P): return P is None or (P[1]**2 - (P[0]**3+a*P[0]+b)) % q == 0
+def add(a,P,Q):
+    if P is None: return Q
+    if Q is None: return P
+    (x1,y1),(x2,y2)=P,Q
+    if x1==x2:
+        if (y1+y2)%q==0: return None
+        lam=(3*x1*x1+a)*inv(2*y1)%q
+    else:
+        lam=(y2-y1)*inv(x2-x1)%q
+    x3=(lam*lam-x1-x2)%q
+    return (x3,(lam*(x1-x3)-y1)%q)
+def smul(a,k,P):
+    R=None
+    while k:
+        if k&1: R=add(a,R,P)
+        P=add(a,P,P); k>>=1
+    return R
+
+import random
+random.seed(5)
+def find_curve_with_5():
+    while True:
+        a=random.randrange(q); b=random.randrange(q)
+        if (4*a**3+27*b*b)%q==0: continue
+        # count points
+        n=1
+        for x in range(q):
+            r=(x*x*x+a*x+b)%q
+            if r==0: n+=1
+            elif pow(r,(q-1)//2,q)==1: n+=2
+        if n%5==0:
+            return a,b,n
+a,b,n=find_curve_with_5()
+print("toy curve a,b,#E:",a,b,n)
+# find point of order 5
+while True:
+    x=random.randrange(q)
+    r=(x**3+a*x+b)%q
+    if pow(r,(q-1)//2,q)!=1: continue
+    y=pow(r,(q+1)//4,q) if q%4==3 else None
+    if y is None:
+        # tonelli for q%4==1
+        def ts(n_):
+            Q=q-1; S=0
+            while Q%2==0: Q//=2; S+=1
+            z=2
+            while pow(z,(q-1)//2,q)!=q-1: z+=1
+            M,c,t,R=S,pow(z,Q,q),pow(n_,Q,q),pow(n_,(Q+1)//2,q)
+            while t!=1:
+                i,tt=0,t
+                while tt!=1: tt=tt*tt%q; i+=1
+                bb=pow(c,1<<(M-i-1),q)
+                M,c,t,R=i,bb*bb%q,t*bb*bb%q,R*bb%q
+            return R
+        y=ts(r)
+    P=(x,y)
+    assert on(a,b,P)
+    R5=smul(a,n//5,P)
+    if R5 is not None: break
+print("R5 order5:", smul(a,5,R5) is None)
+x1=R5[0]; R10=add(a,R5,R5); x2=R10[0]
+print("kernel x-coords:",x1,x2)
+
+# divpoly5 check (same construction as big script)
+def divpoly5(a,b):
+    a2=a*a%q; a3=a2*a%q; b2=b*b%q; ab=a*b%q
+    f=[b,a,0,1]
+    g4=[(-(8*b2+a3))%q,(-4*ab)%q,(-5*a2)%q,20*b%q,5*a%q,0,1]
+    g4=[c*2%q for c in g4]
+    psi3=[(-a2)%q,12*b%q,6*a%q,0,3]
+    def pmul(f,g):
+        r=[0]*(len(f)+len(g)-1)
+        for i,fi in enumerate(f):
+            for j,gj in enumerate(g): r[i+j]=(r[i+j]+fi*gj)%q
+        return r
+    t1=pmul(pmul(f,f),[c*16%q for c in g4])
+    t2=pmul(pmul(psi3,psi3),psi3)
+    n_=max(len(t1),len(t2))
+    return [( (t1[i] if i<len(t1) else 0)-(t2[i] if i<len(t2) else 0) )%q for i in range(n_)]
+p5=divpoly5(a,b)
+def ev(f,x):
+    r=0
+    for c in reversed(f): r=(r*x+c)%q
+    return r
+print("psi5(x1)==0:",ev(p5,x1)==0," psi5(x2)==0:",ev(p5,x2)==0)
+
+# velu5 check
+def velu5(a,b,xs):
+    v=0;w=0;terms=[]
+    for xQ in xs:
+        gx=(3*xQ*xQ+a)%q
+        uQ=4*(xQ**3+a*xQ+b)%q
+        vQ=2*gx%q
+        v=(v+vQ)%q; w=(w+uQ+xQ*vQ)%q
+        terms.append((xQ,vQ,uQ))
+    a5=(a-5*v)%q; b5=(b-7*w)%q
+    def iso(P):
+        if P is None: return None
+        x,y=P
+        if any(x==xQ for xQ,_,_ in terms): return None
+        X=x;S=0
+        for xQ,vQ,uQ in terms:
+            dxi=inv(x-xQ); dxi2=dxi*dxi%q; dxi3=dxi2*dxi%q
+            X=(X+vQ*dxi+uQ*dxi2)%q
+            S=(S+2*uQ*dxi3+vQ*dxi2)%q
+        return (X, y*(1-S)%q)
+    return a5,b5,iso
+a5,b5,iso=velu5(a,b,[x1,x2])
+Q=iso(P)
+print("image on codomain:", on(a5,b5,Q))
+P2=smul(a,7,P)
+print("additivity:", iso(add(a,P,P2))==add(a5,iso(P),iso(P2)))
+print("kernel->O:", iso(R5) is None)

@@ -1,0 +1,95 @@
+# Offline validation of FourQ parameters before baking them into Rust.
+p = 2**127 - 1
+
+def fpinv(a): return pow(a, p-2, p)
+
+# Fp2 = Fp[i]/(i^2+1), elements (a0, a1) = a0 + a1*i
+def f2add(a,b): return ((a[0]+b[0])%p, (a[1]+b[1])%p)
+def f2sub(a,b): return ((a[0]-b[0])%p, (a[1]-b[1])%p)
+def f2mul(a,b):
+    return ((a[0]*b[0]-a[1]*b[1])%p, (a[0]*b[1]+a[1]*b[0])%p)
+def f2sqr(a): return f2mul(a,a)
+def f2neg(a): return ((-a[0])%p, (-a[1])%p)
+def f2inv(a):
+    n = (a[0]*a[0]+a[1]*a[1])%p
+    ni = fpinv(n)
+    return ((a[0]*ni)%p, ((-a[1])*ni)%p)
+def f2conj(a): return (a[0], (-a[1])%p)
+
+ONE=(1,0); ZERO=(0,0)
+
+# d from the DATE'19 paper text itself:
+d = (4205857648805777768770 % p, 125317048443780598345676279555970305165 % p)
+print("d  =", hex(d[0]), hex(d[1]))
+print("d0 == 0xe40000000000000142:", d[0] == 0xe40000000000000142)
+print("d1 == 0x5e472f846657e0fcb3821488f1fc0c8d:", d[1] == 0x5e472f846657e0fcb3821488f1fc0c8d)
+
+def on_curve(P):
+    x,y = P
+    lhs = f2sub(f2sqr(y), f2sqr(x))
+    rhs = f2add(ONE, f2mul(d, f2mul(f2sqr(x), f2sqr(y))))
+    return lhs == rhs
+
+# Candidate generator from FourQlib (memory):
+Gx = (0x1A3472237C2FB305286592AD7B3833AA, 0x1E1F553F2878AA9C96869FB360AC77F6)
+Gy = (0x0E3FEE9BA120785AB924A2462BCBB287, 0x6E1C4AF8630E024249A7C344844C8B5C)
+print("candidate generator on curve:", on_curve((Gx,Gy)))
+
+# Affine Edwards addition (complete, a=-1 twisted Edwards)
+def padd(P,Q):
+    (x1,y1),(x2,y2) = P,Q
+    x1y2 = f2mul(x1,y2); y1x2 = f2mul(y1,x2)
+    y1y2 = f2mul(y1,y2); x1x2 = f2mul(x1,x2)
+    t = f2mul(d, f2mul(x1x2, y1y2))
+    x3 = f2mul(f2add(x1y2,y1x2), f2inv(f2add(ONE,t)))
+    y3 = f2mul(f2add(y1y2,x1x2), f2inv(f2sub(ONE,t)))
+    return (x3,y3)
+
+def pneg(P): return (f2neg(P[0]), P[1])
+IDENT = (ZERO, ONE)
+
+def smul(k,P):
+    R = IDENT
+    while k:
+        if k&1: R = padd(R,P)
+        P = padd(P,P); k >>= 1
+    return R
+
+# find an arbitrary point if generator is wrong: need sqrt in Fp2
+def fpsqrt(a):  # p % 4 == 3
+    r = pow(a,(p+1)//4,p)
+    return r if r*r % p == a % p else None
+def f2sqrt(a):
+    # solve x^2 = a in Fp2.  norm = a0^2+a1^2 must be QR in Fp.
+    if a == ZERO: return ZERO
+    n = (a[0]*a[0]+a[1]*a[1]) % p
+    sn = fpsqrt(n)
+    if sn is None: return None
+    for s in (sn, (-sn)%p):
+        t = (a[0]+s) * fpinv(2) % p
+        st = fpsqrt(t)
+        if st is None: continue
+        if st == 0: continue
+        x0 = st; x1 = a[1] * fpinv(2*st) % p
+        if f2sqr((x0,x1)) == a: return (x0,x1)
+    return None
+
+def find_point(seed=3):
+    x = (seed,1)
+    while True:
+        num = f2add(ONE, f2sqr(x))
+        den = f2sub(ONE, f2mul(d, f2sqr(x)))
+        y2 = f2mul(num, f2inv(den))
+        y = f2sqrt(y2)
+        if y is not None:
+            return (x,y)
+        x = (x[0]+1, x[1])
+
+P = find_point()
+print("found point on curve:", on_curve(P))
+
+# Candidate subgroup order N (memory) and cofactor 392
+N = 0x0029CBC14E5E0A72F05397829CBC14E5DFBD004DFE0F79992FB2540EC7768CE7
+print("N bits:", N.bit_length())
+full = smul(392*N, P)
+print("[392*N]P == O:", full == IDENT)
