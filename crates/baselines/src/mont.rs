@@ -177,8 +177,7 @@ mod tests {
     use super::*;
 
     fn p256_modulus() -> U256 {
-        U256::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
-            .unwrap()
+        U256::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff").unwrap()
     }
 
     #[test]

@@ -60,27 +60,18 @@ impl Default for P256 {
 impl P256 {
     /// Builds the standard curve context.
     pub fn new() -> P256 {
-        let p = U256::from_hex(
-            "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff",
-        )
-        .expect("valid modulus");
+        let p = U256::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
+            .expect("valid modulus");
         let field = MontField::new(p);
-        let b = U256::from_hex(
-            "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b",
-        )
-        .expect("valid b");
-        let order = U256::from_hex(
-            "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551",
-        )
-        .expect("valid order");
-        let gx = U256::from_hex(
-            "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296",
-        )
-        .expect("valid gx");
-        let gy = U256::from_hex(
-            "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5",
-        )
-        .expect("valid gy");
+        let b = U256::from_hex("5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b")
+            .expect("valid b");
+        let order =
+            U256::from_hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551")
+                .expect("valid order");
+        let gx = U256::from_hex("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296")
+            .expect("valid gx");
+        let gy = U256::from_hex("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5")
+            .expect("valid gy");
         let three = field.enter(U256::from_u64(3));
         P256 {
             field,

@@ -24,10 +24,8 @@ impl Default for X25519 {
 impl X25519 {
     /// Builds the curve context (`p = 2^255 − 19`, `a24 = 121665`).
     pub fn new() -> X25519 {
-        let p = U256::from_hex(
-            "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed",
-        )
-        .expect("valid modulus");
+        let p = U256::from_hex("7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed")
+            .expect("valid modulus");
         let field = MontField::new(p);
         X25519 {
             field,

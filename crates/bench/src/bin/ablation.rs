@@ -9,11 +9,10 @@
 //!    impact of the microarchitectural parameters of Fig. 1(a).
 
 use fourq_cpu::trace_to_problem;
-use fourq_sched::{
-    critical_path_priorities, list_schedule, lower_bound, schedule, serial_schedule,
-    MachineConfig,
-};
 use fourq_fp::Scalar;
+use fourq_sched::{
+    critical_path_priorities, list_schedule, lower_bound, schedule, serial_schedule, MachineConfig,
+};
 use fourq_trace::trace_scalar_mul;
 
 fn main() {
@@ -22,7 +21,9 @@ fn main() {
     println!("  schoolbook      : 4 F_p multiplications + 2 F_p add/sub per F_p^2 product");
     println!("  Karatsuba+lazy  : 3 F_p multiplications + 5 F_p add/sub per F_p^2 product");
     println!("  hardware impact : 25% fewer 64x64 partial-product arrays in the pipelined unit;");
-    println!("                    lazy reduction folds once per output component (Alg. 2, t9/t10).");
+    println!(
+        "                    lazy reduction folds once per output component (Alg. 2, t9/t10)."
+    );
 
     // Full-width scalar: degenerate (short) scalars leave the high table
     // entries unused, which lets the scheduler overlap their setup chains
@@ -36,7 +37,10 @@ fn main() {
     let recorded = trace_scalar_mul(&k);
     let problem = trace_to_problem(&recorded.trace);
 
-    println!("\n== Ablation 2: scheduling strategy (full SM, {} microinstructions) ==\n", problem.len());
+    println!(
+        "\n== Ablation 2: scheduling strategy (full SM, {} microinstructions) ==\n",
+        problem.len()
+    );
     let machine = MachineConfig::paper();
     let lb = lower_bound(&problem, &machine);
     let serial = serial_schedule(&problem, &machine);
@@ -46,7 +50,11 @@ fn main() {
         let prio: Vec<u64> = (0..n).map(|i| n - i).collect();
         list_schedule(&problem, &machine, &prio)
     };
-    let cp = list_schedule(&problem, &machine, &critical_path_priorities(&problem, &machine));
+    let cp = list_schedule(
+        &problem,
+        &machine,
+        &critical_path_priorities(&problem, &machine),
+    );
     let ils = schedule(&problem, &machine, 64);
     println!("  strategy            cycles   vs lower bound");
     println!("  ------------------  -------  --------------");
@@ -75,7 +83,11 @@ fn main() {
         println!(
             "  {lat:>10}  {:>7}   {}",
             s.makespan,
-            if lat == 2 { "(paper-like design point)" } else { "" }
+            if lat == 2 {
+                "(paper-like design point)"
+            } else {
+                ""
+            }
         );
     }
 

@@ -40,17 +40,32 @@ fn main() {
     let alloc = allocate(&recorded.trace, &sched, &machine);
     let outs = simulate_allocated(&recorded.trace, &sched, &alloc, &machine)
         .expect("allocated program executes");
-    assert_eq!(outs[0].1, recorded.expected.x, "allocation is value-correct");
+    assert_eq!(
+        outs[0].1, recorded.expected.x,
+        "allocation is value-correct"
+    );
     assert_eq!(outs[1].1, recorded.expected.y);
     let rom = ControlRom::assemble(&recorded.trace, &sched, &alloc).expect("single-issue units");
     println!("\nregister file:");
-    println!("  physical registers: {} x 256-bit F_p^2 words", alloc.num_registers);
+    println!(
+        "  physical registers: {} x 256-bit F_p^2 words",
+        alloc.num_registers
+    );
     println!("  ports             : 4R / 2W + forwarding (paper configuration)");
     println!("\nprogram ROM / controller:");
-    println!("  words             : {} (one control word per cycle)", rom.words.len());
-    println!("  word width        : {} bits (5 + 6 x {}-bit register addresses)",
-        5 + 6 * rom.addr_bits as usize, rom.addr_bits);
-    println!("  total             : {:.1} kbit", rom.size_bits() as f64 / 1000.0);
+    println!(
+        "  words             : {} (one control word per cycle)",
+        rom.words.len()
+    );
+    println!(
+        "  word width        : {} bits (5 + 6 x {}-bit register addresses)",
+        5 + 6 * rom.addr_bits as usize,
+        rom.addr_bits
+    );
+    println!(
+        "  total             : {:.1} kbit",
+        rom.size_bits() as f64 / 1000.0
+    );
 
     let area = AreaModel::paper_like(alloc.num_registers, rom.words.len());
     println!("\narea estimate (65 nm, kGE):");
@@ -59,8 +74,14 @@ fn main() {
     println!("  register file     : {:>8.0}", area.register_file_kge());
     println!("  controller + ROM  : {:>8.0}", area.controller_kge());
     println!("  integration ovh.  : {:>8.2}x", area.integration_overhead);
-    println!("  total             : {:>8.0} kGE   (paper: 1400 kGE)", area.total_kge());
-    println!("  die area          : {:>8.2} mm^2  (paper: 6.27 mm^2 for the SM unit)", area.area_mm2());
+    println!(
+        "  total             : {:>8.0} kGE   (paper: 1400 kGE)",
+        area.total_kge()
+    );
+    println!(
+        "  die area          : {:>8.2} mm^2  (paper: 6.27 mm^2 for the SM unit)",
+        area.area_mm2()
+    );
 
     println!("\nfirst microinstructions of the program:");
     for line in recorded.trace.disassemble().lines().take(12) {

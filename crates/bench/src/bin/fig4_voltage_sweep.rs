@@ -13,7 +13,10 @@ fn main() {
     println!("== Fig. 4: frequency / latency / energy vs supply voltage ==\n");
     let design = SimulatedDesign::build(64);
     let cycles = design.sim.sim.cycles;
-    println!("simulated SM cycle count: {cycles} (schedule lower bound {})", design.sim.lower_bound);
+    println!(
+        "simulated SM cycle count: {cycles} (schedule lower bound {})",
+        design.sim.lower_bound
+    );
     println!(
         "technology model: alpha-power (alpha = {:.2}, Vth = {:.3} V), \
          Ceff = {:.3} nF, leakage anchored at 0.32 V\n",

@@ -1,0 +1,74 @@
+//! Hermetic micro-benchmark runner: times the core operations of the
+//! workspace (field, curve, signatures, baselines, scheduler) and writes
+//! the machine-readable `BENCH_fourq.json` perf-trajectory file.
+//!
+//! ```text
+//! cargo run --release -p fourq-bench --bin microbench            # full run
+//! cargo run --release -p fourq-bench --bin microbench -- --filter fp2
+//! cargo run --release -p fourq-bench --bin microbench -- --out /tmp/bench.json
+//! FOURQ_BENCH_FAST=1 cargo run --release -p fourq-bench --bin microbench   # CI smoke
+//! ```
+//!
+//! By default the JSON lands at the repository root (resolved relative to
+//! this crate's manifest), so successive PRs overwrite the same
+//! `BENCH_fourq.json` and the git history of that file *is* the perf
+//! trajectory.
+
+use fourq_bench::harness::{BenchOptions, BenchReport};
+use fourq_bench::micro::run_suite;
+use std::path::PathBuf;
+
+fn default_out() -> PathBuf {
+    // crates/bench/../../BENCH_fourq.json == repo root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_fourq.json")
+}
+
+fn main() {
+    let mut out = default_out();
+    let mut filter = String::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }))
+            }
+            "--filter" => filter = args.next().unwrap_or_default(),
+            "--help" | "-h" => {
+                eprintln!("usage: microbench [--out PATH] [--filter GROUP_SUBSTRING]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let opts = BenchOptions::from_env();
+    eprintln!(
+        "microbench: {} samples x ~{:?} per bench (FOURQ_BENCH_FAST to shrink)",
+        opts.samples, opts.sample_time
+    );
+    let report = run_suite(&opts, &filter);
+    if report.results.is_empty() {
+        eprintln!("filter '{filter}' matched no groups");
+        std::process::exit(2);
+    }
+
+    let json = report.to_json();
+    // Self-check: the file we are about to write must parse back equal.
+    let reparsed = BenchReport::from_json(&json).expect("emitted JSON parses");
+    assert_eq!(reparsed, report, "JSON round-trip drifted");
+
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {} ({} results)", out.display(), report.results.len());
+}

@@ -10,12 +10,19 @@
 //! | `table2_comparison` | Table II — comparison to prior art + headline ratios |
 //! | `ablation` | design-choice ablations (§III): multiplier algorithm, scheduler, pipeline depth, ports |
 //!
-//! The library part hosts the one piece they share: building "our" row of
-//! Table II from a simulated scalar multiplication plus the calibrated
-//! technology model.
+//! Micro-benchmarks (formerly Criterion benches) live in the hermetic
+//! [`harness`] + [`micro`] modules, driven by the `microbench` binary,
+//! which writes the repo-root `BENCH_fourq.json` perf-trajectory file.
+//!
+//! The library part additionally hosts the one piece the table/figure
+//! binaries share: building "our" row of Table II from a simulated scalar
+//! multiplication plus the calibrated technology model.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
+pub mod micro;
 
 use fourq_cpu::ScalarMulSim;
 use fourq_fp::Scalar;

@@ -1,0 +1,165 @@
+//! The micro-benchmark suite: every group the old Criterion benches
+//! covered, re-expressed on the hermetic [`crate::harness`].
+//!
+//! | group | paper hook |
+//! |-------|------------|
+//! | `fp2_mul` | Algorithm 2 — Karatsuba + lazy reduction vs schoolbook |
+//! | `scalar_mul` | Algorithm 1 — decomposed kernel vs double-and-add, plus fixed-base |
+//! | `signatures` | §I ITS motivation — Schnorr/ECDSA sign + verify throughput |
+//! | `curve_compare` | Table II shape — FourQ vs P-256 vs Curve25519 in software |
+//! | `scheduling` | §III-C turn-around — scheduling must be fast per design iteration |
+
+use crate::harness::{run, BenchOptions, BenchReport};
+use fourq_baselines::{p256::P256, x25519::X25519};
+use fourq_curve::{decompose, recode, AffinePoint};
+use fourq_fp::{Fp, Fp2, Scalar, U256};
+use fourq_sig::{ecdsa, schnorr};
+use fourq_testkit::TestRng;
+use std::hint::black_box;
+
+/// Fixed seed for bench operand generation: results must be comparable
+/// run-over-run, so operands are deterministic.
+const BENCH_SEED: u64 = 0xBE0C_4007_DA7E_0001;
+
+fn bench_scalar(rng: &mut TestRng) -> Scalar {
+    let mut limbs = [0u64; 4];
+    rng.fill_u64(&mut limbs);
+    Scalar::from_u256(U256(limbs))
+}
+
+/// `F_p²` multiplication ablation (the paper's multiplier design choice).
+pub fn fp2_mul(report: &mut BenchReport, opts: &BenchOptions) {
+    let mut rng = TestRng::from_seed(BENCH_SEED);
+    let a = Fp2::new(
+        Fp::from_u128(rng.next_u128()),
+        Fp::from_u128(rng.next_u128()),
+    );
+    let b = Fp2::new(
+        Fp::from_u128(rng.next_u128()),
+        Fp::from_u128(rng.next_u128()),
+    );
+    report.push(run("fp2_mul", "karatsuba_lazy", opts, || {
+        black_box(a).mul_karatsuba(black_box(&b))
+    }));
+    report.push(run("fp2_mul", "schoolbook", opts, || {
+        black_box(a).mul_schoolbook(black_box(&b))
+    }));
+    report.push(run("fp2_mul", "square", opts, || black_box(a).square()));
+    report.push(run("fp2_mul", "add", opts, || black_box(a) + black_box(b)));
+    report.push(run("fp2_mul", "invert", opts, || black_box(a).inv()));
+}
+
+/// Variable-base (decomposed vs generic), fixed-base, and the
+/// decompose+recode front-end in isolation.
+pub fn scalar_mul(report: &mut BenchReport, opts: &BenchOptions) {
+    let mut rng = TestRng::from_seed(BENCH_SEED ^ 1);
+    let g = AffinePoint::generator();
+    let k = bench_scalar(&mut rng);
+    let table = fourq_curve::generator_table();
+    report.push(run("scalar_mul", "variable_base_decomposed", opts, || {
+        g.mul(black_box(&k))
+    }));
+    report.push(run("scalar_mul", "double_and_add_reference", opts, || {
+        g.mul_generic(black_box(&k))
+    }));
+    report.push(run("scalar_mul", "fixed_base_table", opts, || {
+        table.mul(black_box(&k))
+    }));
+    report.push(run("scalar_mul", "decompose_recode_only", opts, || {
+        recode(&decompose(black_box(&k)))
+    }));
+}
+
+/// The ITS workload: signature generation and verification.
+pub fn signatures(report: &mut BenchReport, opts: &BenchOptions) {
+    let mut rng = TestRng::from_seed(BENCH_SEED ^ 2);
+    let msg = b"CAM: vehicle 42, lane 3, 48 km/h, intersection 12 in 80 m";
+    let mut seed = [0u8; 32];
+    rng.fill_bytes(&mut seed);
+    let skp = schnorr::KeyPair::from_seed(&seed);
+    let ssig = skp.sign(msg);
+    let ekp = ecdsa::KeyPair::from_secret(bench_scalar(&mut rng)).expect("nonzero secret");
+    let esig = ekp.sign(msg).expect("signable");
+    report.push(run("signatures", "schnorr_sign", opts, || {
+        skp.sign(black_box(msg))
+    }));
+    report.push(run("signatures", "schnorr_verify", opts, || {
+        schnorr::verify(&skp.public, black_box(msg), &ssig)
+    }));
+    report.push(run("signatures", "ecdsa_sign", opts, || {
+        ekp.sign(black_box(msg))
+    }));
+    report.push(run("signatures", "ecdsa_verify", opts, || {
+        ecdsa::verify(&ekp.public, black_box(msg), &esig)
+    }));
+}
+
+/// Cross-curve software comparison backing the Table II shape.
+pub fn curve_compare(report: &mut BenchReport, opts: &BenchOptions) {
+    let fourq_g = AffinePoint::generator();
+    let k = Scalar::from_u256(
+        U256::from_hex("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+            .expect("valid hex"),
+    );
+    report.push(run("curve_compare", "fourq_scalar_mul", opts, || {
+        fourq_g.mul(black_box(&k))
+    }));
+
+    let p256 = P256::new();
+    let kp = U256::from_hex("7fffffff11112222333344445555666677778888aaaabbbbccccddddeeee0001")
+        .expect("valid hex");
+    report.push(run("curve_compare", "p256_scalar_mul", opts, || {
+        let r = p256.scalar_mul(black_box(&kp), &p256.generator());
+        p256.to_affine(&r)
+    }));
+
+    let x = X25519::new();
+    let secret = [0x5au8; 32];
+    report.push(run("curve_compare", "x25519_ladder", opts, || {
+        x.public_key(black_box(&secret))
+    }));
+}
+
+/// The scheduling flow itself (trace → problem → schedule).
+pub fn scheduling(report: &mut BenchReport, opts: &BenchOptions) {
+    use fourq_cpu::trace_to_problem;
+    use fourq_sched::{schedule, MachineConfig};
+    use fourq_trace::{trace_double_add_iteration, trace_scalar_mul};
+
+    let machine = MachineConfig::paper();
+    let loop_problem = trace_to_problem(&trace_double_add_iteration());
+    report.push(run("scheduling", "loop_body_ils64", opts, || {
+        schedule(&loop_problem, &machine, 64)
+    }));
+
+    let sm = trace_scalar_mul(&Scalar::from_u64(0xfeef_dead_beef_cafe));
+    let sm_problem = trace_to_problem(&sm.trace);
+    report.push(run("scheduling", "full_sm_critical_path", opts, || {
+        schedule(&sm_problem, &machine, 0)
+    }));
+    report.push(run("scheduling", "trace_full_sm", opts, || {
+        trace_scalar_mul(&Scalar::from_u64(0x1234_5678))
+    }));
+}
+
+/// A benchmark group: fills a report under the given options.
+type GroupFn = fn(&mut BenchReport, &BenchOptions);
+
+/// Runs every group whose name passes `filter` (empty filter = all).
+pub fn run_suite(opts: &BenchOptions, filter: &str) -> BenchReport {
+    let groups: [(&str, GroupFn); 5] = [
+        ("fp2_mul", fp2_mul),
+        ("scalar_mul", scalar_mul),
+        ("signatures", signatures),
+        ("curve_compare", curve_compare),
+        ("scheduling", scheduling),
+    ];
+    let mut report = BenchReport::default();
+    for (name, group) in groups {
+        if filter.is_empty() || name.contains(filter) {
+            eprintln!("group {name}:");
+            group(&mut report, opts);
+        }
+    }
+    report
+}

@@ -1,0 +1,47 @@
+//! Smoke test: a real harness measurement round-trips through the JSON
+//! writer/parser byte-for-byte, which is the contract that keeps
+//! `BENCH_fourq.json` machine-readable across PRs.
+
+use fourq_bench::harness::{run, BenchOptions, BenchReport};
+use fourq_fp::{Fp, Fp2};
+use std::time::Duration;
+
+#[test]
+fn measured_report_round_trips_through_json() {
+    let opts = BenchOptions {
+        warmup: Duration::from_micros(500),
+        sample_time: Duration::from_micros(500),
+        samples: 3,
+    };
+    let a = Fp2::new(Fp::from_u64(123), Fp::from_u64(456));
+    let b = Fp2::new(Fp::from_u64(789), Fp::from_u64(101112));
+
+    let mut report = BenchReport::default();
+    report.push(run("smoke", "fp2_mul", &opts, || a.mul_karatsuba(&b)));
+    report.push(run("smoke", "fp2_add", &opts, || a + b));
+
+    let json = report.to_json();
+    let parsed = BenchReport::from_json(&json).expect("harness JSON must parse");
+    assert_eq!(parsed, report);
+    assert_eq!(
+        parsed.to_json(),
+        json,
+        "second serialisation must be stable"
+    );
+
+    // sanity on the measured numbers themselves
+    for rec in &parsed.results {
+        assert!(rec.ns_per_op > 0.0);
+        assert!(rec.ops_per_sec > 0.0);
+        assert!((rec.ops_per_sec - 1e9 / rec.ns_per_op).abs() < 1e-3 * rec.ops_per_sec);
+    }
+}
+
+#[test]
+fn fast_options_come_from_env_contract() {
+    // from_env falls back to standard when the variable is unset; the
+    // fast profile must keep every bench runnable (samples >= 1).
+    let fast = BenchOptions::fast();
+    assert!(fast.samples >= 1);
+    assert!(fast.sample_time > Duration::ZERO);
+}

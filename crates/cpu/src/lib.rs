@@ -107,7 +107,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::OperandNotReady { op, cycle } => {
-                write!(f, "operation {op} reads an unavailable operand at cycle {cycle}")
+                write!(
+                    f,
+                    "operation {op} reads an unavailable operand at cycle {cycle}"
+                )
             }
             SimError::LengthMismatch => write!(f, "schedule length does not match trace"),
             SimError::IssueConflict { unit, cycle } => {
@@ -261,7 +264,8 @@ pub fn simulate(
 
     let cycles = sched.makespan;
     if cycles > 0 {
-        stats.mul_utilization = stats.mul_issued as f64 / (cycles as f64 * machine.mul_units as f64);
+        stats.mul_utilization =
+            stats.mul_issued as f64 / (cycles as f64 * machine.mul_units as f64);
         stats.addsub_utilization =
             stats.addsub_issued as f64 / (cycles as f64 * machine.addsub_units as f64);
     }

@@ -21,7 +21,11 @@ use std::fmt::Write as _;
 ///
 /// Returns [`SimError::LengthMismatch`] if the schedule does not belong
 /// to the trace.
-pub fn export_vcd(trace: &Trace, sched: &Schedule, machine: &MachineConfig) -> Result<String, SimError> {
+pub fn export_vcd(
+    trace: &Trace,
+    sched: &Schedule,
+    machine: &MachineConfig,
+) -> Result<String, SimError> {
     let n = trace.nodes.len();
     if sched.start.len() != n {
         return Err(SimError::LengthMismatch);
@@ -79,9 +83,8 @@ pub fn export_vcd(trace: &Trace, sched: &Schedule, machine: &MachineConfig) -> R
     for (i, node) in trace.nodes.iter().enumerate() {
         if node.kind.unit() == Unit::Multiplier {
             let s = sched.start[i] as usize;
-            for c in s..(s + machine.mul_latency as usize).min(cycles as usize) {
-                mul_busy[c] = true;
-            }
+            let end = (s + machine.mul_latency as usize).min(cycles as usize);
+            mul_busy[s..end].fill(true);
         }
     }
 

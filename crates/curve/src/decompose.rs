@@ -51,9 +51,7 @@ pub fn decompose(k: &Scalar) -> Decomposition {
     let corrected = !v.is_odd();
     if corrected {
         // k < N < 2^246, so k+1 cannot overflow 256 bits.
-        v = v
-            .checked_add(&fourq_fp::U256::ONE)
-            .expect("k + 1 < 2^256");
+        v = v.checked_add(&fourq_fp::U256::ONE).expect("k + 1 < 2^256");
     }
     let limbs = [
         v.extract_bits(0, LIMB_BITS),
@@ -187,7 +185,9 @@ mod tests {
         for _ in 0..200 {
             let mut limbs = [0u64; 4];
             for l in limbs.iter_mut() {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 *l = state;
             }
             check_roundtrip(Scalar::from_u256(U256(limbs)));

@@ -53,7 +53,7 @@ impl FixedBaseTable {
     pub fn new(base: &AffinePoint) -> FixedBaseTable {
         assert!(!base.is_identity(), "fixed-base table of the identity");
         let cols = BITS / TEETH; // 62
-        // row generators: R_j = [2^(j*cols)]B as extended points
+                                 // row generators: R_j = [2^(j*cols)]B as extended points
         let mut rows: Vec<ExtendedPoint<Fp2>> = Vec::with_capacity(TEETH);
         let mut cur = ExtendedPoint::from_affine(&base.x, &base.y, &Fp2::ONE);
         for _ in 0..TEETH {

@@ -60,8 +60,8 @@ mod multi;
 pub mod params;
 
 pub use affine::{AffinePoint, DecodePointError};
-pub use fixed_base::{generator_table, FixedBaseTable};
 pub use decompose::{decompose, recode, Decomposition, Recoded, DIGITS, LIMB_BITS};
 pub use engine::{normalize, scalar_mul_engine, MulOutput};
 pub use extended::{CachedPoint, ExtendedPoint};
+pub use fixed_base::{generator_table, FixedBaseTable};
 pub use multi::{batch_normalize, double_scalar_mul, multi_scalar_mul, window_scalar_mul};

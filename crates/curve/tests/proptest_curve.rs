@@ -1,24 +1,21 @@
 #![allow(clippy::needless_range_loop)]
 //! Property-based tests for decomposition, recoding and the group law.
+//!
+//! Runs on the hermetic `fourq-testkit` property runner; every failure
+//! prints a `FOURQ_PROP_SEED` recipe that replays the exact case.
 
 use fourq_curve::{decompose, recode, AffinePoint, DIGITS};
 use fourq_fp::{Scalar, U256};
-use proptest::prelude::*;
+use fourq_testkit::prop_check;
 
-fn arb_scalar() -> impl Strategy<Value = Scalar> {
-    any::<[u64; 4]>().prop_map(|l| Scalar::from_u256(U256(l)))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn decompose_recode_reconstructs(k in arb_scalar()) {
+#[test]
+fn decompose_recode_reconstructs() {
+    prop_check!(cases = 64, |k: Scalar| {
         let d = decompose(&k);
         let r = recode(&d);
         let rec = r.reconstruct();
         for j in 0..4 {
-            prop_assert_eq!(rec[j], d.limbs[j] as i128);
+            assert_eq!(rec[j], d.limbs[j] as i128);
         }
         // limbs reassemble k (or k+1 when parity-corrected)
         let mut v = U256::ZERO;
@@ -33,60 +30,73 @@ proptest! {
         } else {
             k.to_u256()
         };
-        prop_assert_eq!(v, expect);
-    }
-
-    #[test]
-    fn recoded_digits_well_formed(k in arb_scalar()) {
-        let r = recode(&decompose(&k));
-        for i in 0..DIGITS {
-            prop_assert!(r.indices[i] < 8);
-            prop_assert!(r.signs[i] == 1 || r.signs[i] == -1);
-        }
-        prop_assert_eq!(r.signs[DIGITS - 1], 1);
-    }
+        assert_eq!(v, expect);
+    });
 }
 
-proptest! {
-    // scalar multiplications are ~ms each; keep the case count moderate
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn recoded_digits_well_formed() {
+    prop_check!(cases = 64, |k: Scalar| {
+        let r = recode(&decompose(&k));
+        for i in 0..DIGITS {
+            assert!(r.indices[i] < 8);
+            assert!(r.signs[i] == 1 || r.signs[i] == -1);
+        }
+        assert_eq!(r.signs[DIGITS - 1], 1);
+    });
+}
 
-    #[test]
-    fn decomposed_mul_matches_generic(k in arb_scalar()) {
+// scalar multiplications are ~ms each; keep the case count moderate
+
+#[test]
+fn decomposed_mul_matches_generic() {
+    prop_check!(cases = 12, |k: Scalar| {
         let g = AffinePoint::generator();
-        prop_assert_eq!(g.mul(&k), g.mul_generic(&k));
-    }
+        assert_eq!(g.mul(&k), g.mul_generic(&k));
+    });
+}
 
-    #[test]
-    fn window_mul_matches_pipeline(k in arb_scalar()) {
+#[test]
+fn window_mul_matches_pipeline() {
+    prop_check!(cases = 12, |k: Scalar| {
         let g = AffinePoint::generator();
-        prop_assert_eq!(fourq_curve::window_scalar_mul(&k.to_u256(), &g), g.mul(&k));
-    }
+        assert_eq!(fourq_curve::window_scalar_mul(&k.to_u256(), &g), g.mul(&k));
+    });
+}
 
-    #[test]
-    fn addition_is_commutative_and_associative(a in 1u64..u64::MAX, b in 1u64..u64::MAX) {
+#[test]
+fn addition_is_commutative_and_associative() {
+    prop_check!(cases = 12, |rng| {
+        let a = rng.range_u64(1, u64::MAX);
+        let b = rng.range_u64(1, u64::MAX);
         let g = AffinePoint::generator();
         let p = g.mul(&Scalar::from_u64(a));
         let q = g.mul(&Scalar::from_u64(b));
-        prop_assert_eq!(p.add(&q), q.add(&p));
+        assert_eq!(p.add(&q), q.add(&p));
         let r = g.double();
-        prop_assert_eq!(p.add(&q).add(&r), p.add(&q.add(&r)));
-    }
+        assert_eq!(p.add(&q).add(&r), p.add(&q.add(&r)));
+    });
+}
 
-    #[test]
-    fn encode_decode_roundtrip(a in 1u64..u64::MAX) {
+#[test]
+fn encode_decode_roundtrip() {
+    prop_check!(cases = 12, |rng| {
+        let a = rng.range_u64(1, u64::MAX);
         let p = AffinePoint::generator().mul(&Scalar::from_u64(a));
-        prop_assert_eq!(AffinePoint::decode(&p.encode()).unwrap(), p);
-    }
+        assert_eq!(AffinePoint::decode(&p.encode()).unwrap(), p);
+    });
+}
 
-    #[test]
-    fn double_scalar_mul_correct(a in any::<u64>(), b in any::<u64>(), q in 1u64..1000) {
+#[test]
+fn double_scalar_mul_correct() {
+    prop_check!(cases = 12, |rng; a: u64, b: u64| {
+        let q = rng.range_u64(1, 1000);
         let g = AffinePoint::generator();
         let qp = g.mul(&Scalar::from_u64(q));
         let (a, b) = (Scalar::from_u64(a), Scalar::from_u64(b));
-        prop_assert_eq!(
+        assert_eq!(
             fourq_curve::double_scalar_mul(&a, &g, &b, &qp),
             g.mul(&a).add(&qp.mul(&b))
         );
-    }
+    });
 }

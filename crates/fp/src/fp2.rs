@@ -338,7 +338,10 @@ mod tests {
         let cases = [
             (el(0, 0), el(5, 7)),
             (el(1, 2), el(3, 4)),
-            (el((1 << 126) + 17, (1 << 125) + 3), el(u64::MAX as u128, 1 << 120)),
+            (
+                el((1 << 126) + 17, (1 << 125) + 3),
+                el(u64::MAX as u128, 1 << 120),
+            ),
         ];
         for (a, b) in cases {
             assert_eq!(a.mul_karatsuba(&b), a.mul_schoolbook(&b));

@@ -43,6 +43,6 @@ mod wide;
 
 pub use fp::Fp;
 pub use fp2::{Fp2, MulKind};
-pub use scalar::{ParseScalarError, Scalar, U256, N as SUBGROUP_ORDER};
+pub use scalar::{ParseScalarError, Scalar, N as SUBGROUP_ORDER, U256};
 pub use traits::Fp2Like;
 pub use wide::Wide;

@@ -11,8 +11,7 @@
 //! runs out).
 
 use crate::{
-    critical_path_priorities, lower_bound, schedule, MachineConfig, Problem,
-    Schedule, UnitKind,
+    critical_path_priorities, lower_bound, schedule, MachineConfig, Problem, Schedule, UnitKind,
 };
 
 /// Result of an exact search.
@@ -83,10 +82,15 @@ impl<'a> Searcher<'a> {
                 }
             }
         }
-        for (ui, unit) in [UnitKind::Multiplier, UnitKind::AddSub].into_iter().enumerate() {
+        for (ui, unit) in [UnitKind::Multiplier, UnitKind::AddSub]
+            .into_iter()
+            .enumerate()
+        {
             if remaining[ui] > 0 {
                 let units = self.machine.units(unit).max(1) as u64;
-                lb = lb.max(cycle + remaining[ui].div_ceil(units) + self.machine.latency(unit) as u64 - 1);
+                lb = lb.max(
+                    cycle + remaining[ui].div_ceil(units) + self.machine.latency(unit) as u64 - 1,
+                );
             }
         }
         if lb >= self.best_makespan {
@@ -184,7 +188,14 @@ impl<'a> Searcher<'a> {
                     }
                 }
                 let issued = m.is_some() as usize + a.is_some() as usize;
-                self.dfs(start, earliest, preds_left, cycle + 1, done + issued, new_makespan);
+                self.dfs(
+                    start,
+                    earliest,
+                    preds_left,
+                    cycle + 1,
+                    done + issued,
+                    new_makespan,
+                );
                 // rollback
                 for (s, e) in saved {
                     earliest[s] = e;

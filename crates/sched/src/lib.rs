@@ -396,10 +396,7 @@ pub fn list_schedule(problem: &Problem, machine: &MachineConfig, priority: &[u64
     let n = problem.len();
     let mut start = vec![u64::MAX; n];
     if n == 0 {
-        return Schedule {
-            start,
-            makespan: 0,
-        };
+        return Schedule { start, makespan: 0 };
     }
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut preds_left = vec![0usize; n];
@@ -439,24 +436,19 @@ pub fn list_schedule(problem: &Problem, machine: &MachineConfig, priority: &[u64
                 // pick best candidate for this unit at this cycle
                 let mut best: Option<usize> = None;
                 for &i in &ready {
-                    if start[i] != u64::MAX
-                        || problem.jobs[i].unit != unit
-                        || earliest[i] > cycle
-                    {
+                    if start[i] != u64::MAX || problem.jobs[i].unit != unit || earliest[i] > cycle {
                         continue;
                     }
                     // port feasibility
                     let mut rf_reads = problem.jobs[i].input_operands as u32;
                     for &d in &problem.jobs[i].deps {
-                        let dep_finish =
-                            start[d] + machine.latency(problem.jobs[d].unit) as u64;
+                        let dep_finish = start[d] + machine.latency(problem.jobs[d].unit) as u64;
                         if !(machine.forwarding && dep_finish == cycle) {
                             rf_reads += 1;
                         }
                     }
                     let lat = machine.latency(unit) as u64;
-                    if reads_used.get(&cycle).copied().unwrap_or(0) + rf_reads
-                        > machine.read_ports
+                    if reads_used.get(&cycle).copied().unwrap_or(0) + rf_reads > machine.read_ports
                     {
                         continue;
                     }
@@ -468,9 +460,7 @@ pub fn list_schedule(problem: &Problem, machine: &MachineConfig, priority: &[u64
                     match best {
                         None => best = Some(i),
                         Some(b) => {
-                            if priority[i] > priority[b]
-                                || (priority[i] == priority[b] && i < b)
-                            {
+                            if priority[i] > priority[b] || (priority[i] == priority[b] && i < b) {
                                 best = Some(i);
                             }
                         }
@@ -518,10 +508,7 @@ pub fn serial_schedule(problem: &Problem, machine: &MachineConfig) -> Schedule {
         start.push(t);
         t += machine.latency(j.unit) as u64;
     }
-    Schedule {
-        start,
-        makespan: t,
-    }
+    Schedule { start, makespan: t }
 }
 
 /// Iterated local search around critical-path list scheduling: restarts
@@ -728,11 +715,7 @@ mod tests {
             } else {
                 UnitKind::Multiplier
             };
-            let deps = if i < 4 {
-                vec![]
-            } else {
-                vec![i - 4, i - 3]
-            };
+            let deps = if i < 4 { vec![] } else { vec![i - 4, i - 3] };
             let input_operands = if deps.is_empty() { 2 } else { 0 };
             jobs.push(Job {
                 unit,

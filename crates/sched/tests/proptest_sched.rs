@@ -1,103 +1,119 @@
 //! Property-based tests: on random DAGs and random machine shapes, every
 //! produced schedule must pass the independent validator, respect the
 //! lower bound, and never exceed the serial schedule.
+//!
+//! Runs on the hermetic `fourq-testkit` property runner; every failure
+//! prints a `FOURQ_PROP_SEED` recipe that replays the exact case.
 
 use fourq_sched::{
     critical_path_priorities, list_schedule, lower_bound, schedule, serial_schedule, Job,
     MachineConfig, Problem, UnitKind,
 };
-use proptest::prelude::*;
+use fourq_testkit::{prop_check, TestRng};
 
 /// Random DAG: each job depends on up to 2 earlier jobs (datapath
 /// operations are at most binary — more operands than read ports would
 /// make the machine unable to execute the program at all).
-fn arb_problem() -> impl Strategy<Value = Problem> {
-    (1usize..120, any::<u64>()).prop_map(|(n, seed)| {
-        let mut s = seed | 1;
-        let mut next = move || {
-            s ^= s << 13;
-            s ^= s >> 7;
-            s ^= s << 17;
-            s
-        };
-        let jobs = (0..n)
-            .map(|i| {
-                let unit = if next() % 5 < 3 {
-                    UnitKind::Multiplier
-                } else {
-                    UnitKind::AddSub
-                };
-                let mut deps = Vec::new();
-                if i > 0 {
-                    for _ in 0..(next() % 3) {
-                        deps.push((next() % i as u64) as usize);
-                    }
-                    deps.sort_unstable();
-                    deps.dedup();
-                    deps.truncate(2); // ops are at most binary
+fn arb_problem(rng: &mut TestRng) -> Problem {
+    let n = rng.range_usize(1, 120);
+    let seed = rng.next_u64();
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let jobs = (0..n)
+        .map(|i| {
+            let unit = if next() % 5 < 3 {
+                UnitKind::Multiplier
+            } else {
+                UnitKind::AddSub
+            };
+            let mut deps = Vec::new();
+            if i > 0 {
+                for _ in 0..(next() % 3) {
+                    deps.push((next() % i as u64) as usize);
                 }
-                let input_operands = 2usize.saturating_sub(deps.len());
-                Job {
-                    unit,
-                    deps,
-                    input_operands,
-                }
-            })
-            .collect();
-        Problem::new(jobs)
-    })
+                deps.sort_unstable();
+                deps.dedup();
+                deps.truncate(2); // ops are at most binary
+            }
+            let input_operands = 2usize.saturating_sub(deps.len());
+            Job {
+                unit,
+                deps,
+                input_operands,
+            }
+        })
+        .collect();
+    Problem::new(jobs)
 }
 
-fn arb_machine() -> impl Strategy<Value = MachineConfig> {
-    (1u32..5, 1u32..3, 1usize..3, 1usize..3, any::<bool>()).prop_map(
-        |(mul_lat, add_lat, mul_units, add_units, fwd)| MachineConfig {
-            mul_latency: mul_lat,
-            addsub_latency: add_lat,
-            mul_units,
-            addsub_units: add_units,
-            read_ports: 4,
-            write_ports: 2,
-            forwarding: fwd,
-        },
-    )
+fn arb_machine(rng: &mut TestRng) -> MachineConfig {
+    MachineConfig {
+        mul_latency: rng.range_u64(1, 5) as u32,
+        addsub_latency: rng.range_u64(1, 3) as u32,
+        mul_units: rng.range_usize(1, 3),
+        addsub_units: rng.range_usize(1, 3),
+        read_ports: 4,
+        write_ports: 2,
+        forwarding: rng.next_bool(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn schedules_always_validate(p in arb_problem(), m in arb_machine()) {
+#[test]
+fn schedules_always_validate() {
+    prop_check!(cases = 128, |rng| {
+        let p = arb_problem(rng);
+        let m = arb_machine(rng);
         let s = schedule(&p, &m, 4);
-        prop_assert!(s.validate(&p, &m).is_ok(), "{:?}", s.validate(&p, &m));
-        prop_assert!(s.makespan >= lower_bound(&p, &m));
-    }
+        assert!(s.validate(&p, &m).is_ok(), "{:?}", s.validate(&p, &m));
+        assert!(s.makespan >= lower_bound(&p, &m));
+    });
+}
 
-    #[test]
-    fn serial_validates_and_bounds(p in arb_problem(), m in arb_machine()) {
+#[test]
+fn serial_validates_and_bounds() {
+    prop_check!(cases = 128, |rng| {
+        let p = arb_problem(rng);
+        let m = arb_machine(rng);
         let serial = serial_schedule(&p, &m);
-        prop_assert!(serial.validate(&p, &m).is_ok());
+        assert!(serial.validate(&p, &m).is_ok());
         let smart = schedule(&p, &m, 2);
-        prop_assert!(smart.makespan <= serial.makespan);
-    }
+        assert!(smart.makespan <= serial.makespan);
+    });
+}
 
-    #[test]
-    fn ils_never_worse_than_critical_path(p in arb_problem(), m in arb_machine()) {
+#[test]
+fn ils_never_worse_than_critical_path() {
+    prop_check!(cases = 128, |rng| {
+        let p = arb_problem(rng);
+        let m = arb_machine(rng);
         let cp = list_schedule(&p, &m, &critical_path_priorities(&p, &m));
         let ils = schedule(&p, &m, 12);
-        prop_assert!(ils.makespan <= cp.makespan);
-    }
+        assert!(ils.makespan <= cp.makespan);
+    });
+}
 
-    #[test]
-    fn priorities_any_permutation_is_feasible(p in arb_problem(), m in arb_machine(), seed in any::<u64>()) {
+#[test]
+fn priorities_any_permutation_is_feasible() {
+    prop_check!(cases = 128, |rng; seed: u64| {
+        let p = arb_problem(rng);
+        let m = arb_machine(rng);
         // arbitrary (even adversarial) priorities still yield valid schedules
         let n = p.len();
         let prio: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(seed | 1)).collect();
         let s = list_schedule(&p, &m, &prio);
-        prop_assert!(s.validate(&p, &m).is_ok());
-    }
+        assert!(s.validate(&p, &m).is_ok());
+    });
+}
 
-    #[test]
-    fn tight_ports_still_schedule(p in arb_problem()) {
+#[test]
+fn tight_ports_still_schedule() {
+    prop_check!(cases = 128, |rng| {
+        let p = arb_problem(rng);
         // the minimum-resource machine must still produce valid schedules
         let m = MachineConfig {
             mul_latency: 2,
@@ -109,6 +125,6 @@ proptest! {
             forwarding: false,
         };
         let s = schedule(&p, &m, 2);
-        prop_assert!(s.validate(&p, &m).is_ok());
-    }
+        assert!(s.validate(&p, &m).is_ok());
+    });
 }

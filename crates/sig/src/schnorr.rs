@@ -101,12 +101,8 @@ pub fn verify(public: &PublicKey, msg: &[u8], sig: &Signature) -> bool {
     let h = challenge(&sig.r, &public.encoded, msg);
     // [s]G == R + [h]A  ⇔  [s]G + [N−h]A == R (one joint double-scalar
     // multiplication instead of two separate ones).
-    let lhs = fourq_curve::double_scalar_mul(
-        &sig.s,
-        &AffinePoint::generator(),
-        &h.neg(),
-        &public.point,
-    );
+    let lhs =
+        fourq_curve::double_scalar_mul(&sig.s, &AffinePoint::generator(), &h.neg(), &public.point);
     lhs == commitment
 }
 
@@ -211,13 +207,11 @@ mod tests {
 
     #[test]
     fn batch_verification_accepts_valid_batch() {
-        let kps: Vec<KeyPair> = (0u8..5).map(|i| KeyPair::from_seed(&[i + 10; 32])).collect();
-        let msgs: Vec<Vec<u8>> = (0..5).map(|i| format!("msg {i}").into_bytes()).collect();
-        let sigs: Vec<Signature> = kps
-            .iter()
-            .zip(&msgs)
-            .map(|(kp, m)| kp.sign(m))
+        let kps: Vec<KeyPair> = (0u8..5)
+            .map(|i| KeyPair::from_seed(&[i + 10; 32]))
             .collect();
+        let msgs: Vec<Vec<u8>> = (0..5).map(|i| format!("msg {i}").into_bytes()).collect();
+        let sigs: Vec<Signature> = kps.iter().zip(&msgs).map(|(kp, m)| kp.sign(m)).collect();
         let items: Vec<(&PublicKey, &[u8], &Signature)> = kps
             .iter()
             .zip(&msgs)
@@ -229,13 +223,11 @@ mod tests {
 
     #[test]
     fn batch_verification_rejects_one_bad_item() {
-        let kps: Vec<KeyPair> = (0u8..4).map(|i| KeyPair::from_seed(&[i + 30; 32])).collect();
-        let msgs: Vec<Vec<u8>> = (0..4).map(|i| format!("cam {i}").into_bytes()).collect();
-        let mut sigs: Vec<Signature> = kps
-            .iter()
-            .zip(&msgs)
-            .map(|(kp, m)| kp.sign(m))
+        let kps: Vec<KeyPair> = (0u8..4)
+            .map(|i| KeyPair::from_seed(&[i + 30; 32]))
             .collect();
+        let msgs: Vec<Vec<u8>> = (0..4).map(|i| format!("cam {i}").into_bytes()).collect();
+        let mut sigs: Vec<Signature> = kps.iter().zip(&msgs).map(|(kp, m)| kp.sign(m)).collect();
         sigs[2].s = sigs[2].s + Scalar::ONE; // corrupt one
         let items: Vec<(&PublicKey, &[u8], &Signature)> = kps
             .iter()

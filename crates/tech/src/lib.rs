@@ -117,9 +117,7 @@ impl SotbModel {
         let alpha = 1.35;
         // Solve (v1-vth)^a/v1 / ((v2-vth)^a/v2) = f1/f2 for vth in (0, v2).
         let target = f1 / f2;
-        let ratio = |vth: f64| {
-            ((v1 - vth).powf(alpha) / v1) / ((v2 - vth).powf(alpha) / v2)
-        };
+        let ratio = |vth: f64| ((v1 - vth).powf(alpha) / v1) / ((v2 - vth).powf(alpha) / v2);
         let (mut lo, mut hi) = (0.0f64, v2 - 1e-4);
         for _ in 0..200 {
             let mid = 0.5 * (lo + hi);

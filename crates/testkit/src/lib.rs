@@ -1,0 +1,36 @@
+//! Hermetic test and benchmark toolkit for the FourQ workspace.
+//!
+//! The build environment for this repository has no access to a crates
+//! registry, so the usual test-support stack (`rand`, `proptest`,
+//! `criterion`) cannot be resolved at all. This crate is the in-tree
+//! replacement: ~400 lines of dependency-free Rust providing
+//!
+//! * [`TestRng`] — a seedable deterministic PRNG (xoshiro256\*\* seeded
+//!   via SplitMix64) with `next_u64`/`next_u128`/`fill_bytes`/`below`
+//!   helpers;
+//! * [`Arbitrary`] — per-type generators for primitives and the
+//!   workspace's domain types (`Fp`, `Fp2`, `U256`, `Scalar`, curve
+//!   points);
+//! * [`prop_check!`] / [`prop::check`] — a property-test runner that
+//!   derives every case from a printed seed and reports the failing
+//!   case's seed on panic, so any failure is replayable with
+//!   `FOURQ_PROP_SEED=<seed> FOURQ_PROP_CASES=1`.
+//!
+//! The micro-benchmark harness that replaces Criterion lives next to the
+//! bench binaries in `fourq-bench` (`fourq_bench::harness`), since it is
+//! release-profile tooling rather than test support.
+//!
+//! This mirrors the methodology of the reproduced paper (Awano & Ikeda,
+//! DATE 2019): the authors validate cycle counts against their own
+//! self-contained model rather than external infrastructure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arbitrary;
+pub mod prop;
+mod rng;
+
+pub use arbitrary::Arbitrary;
+pub use prop::fn_basename;
+pub use rng::{splitmix64, TestRng};

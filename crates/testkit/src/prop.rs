@@ -1,0 +1,258 @@
+//! A minimal property-test runner with reproducible failures.
+//!
+//! [`check`] runs a closure against `cases` independently seeded
+//! [`TestRng`]s. Every case's seed is derived deterministically from a
+//! base seed, and when a case panics the runner re-panics with a message
+//! that names the failing case seed and the environment variables that
+//! replay exactly that case:
+//!
+//! ```text
+//! property 'fp_field_axioms' failed at case 17/256 (case seed 0x1A2B...).
+//! reproduce with: FOURQ_PROP_SEED=0x1A2B... FOURQ_PROP_CASES=1 cargo test fp_field_axioms
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `FOURQ_PROP_SEED` — hex or decimal base seed; case 0 uses this seed
+//!   verbatim, so setting it to a reported case seed (with
+//!   `FOURQ_PROP_CASES=1`) replays the failure.
+//! * `FOURQ_PROP_CASES` — overrides the per-property case count (useful
+//!   both for replay and for soak runs).
+
+use crate::rng::{splitmix64, TestRng};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Default base seed when `FOURQ_PROP_SEED` is unset. An arbitrary but
+/// fixed constant: CI runs are reproducible by default.
+pub const DEFAULT_BASE_SEED: u64 = 0x4007_DA7E_2019_0325;
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// The base seed for this process: `FOURQ_PROP_SEED` or the fixed default.
+pub fn base_seed() -> u64 {
+    std::env::var("FOURQ_PROP_SEED")
+        .ok()
+        .and_then(|s| parse_seed(&s))
+        .unwrap_or(DEFAULT_BASE_SEED)
+}
+
+/// The case count to use for a property whose source requests `requested`
+/// cases, honouring the `FOURQ_PROP_CASES` override.
+pub fn case_count(requested: u32) -> u32 {
+    std::env::var("FOURQ_PROP_CASES")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(requested)
+}
+
+/// Runs `body` against `cases` freshly seeded generators; panics with a
+/// reproduction recipe on the first failing case.
+///
+/// Case 0 is seeded with the base seed itself; case `i > 0` with the
+/// `i`-th output of a SplitMix64 stream over the base seed. This makes
+/// "replay one case" and "run a sweep" the same mechanism.
+pub fn check<F>(name: &str, cases: u32, mut body: F)
+where
+    F: FnMut(&mut TestRng),
+{
+    let base = base_seed();
+    let cases = case_count(cases);
+    let mut stream = base;
+    for case in 0..cases {
+        let case_seed = if case == 0 {
+            base
+        } else {
+            splitmix64(&mut stream)
+        };
+        let mut rng = TestRng::from_seed(case_seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = outcome {
+            // `payload.as_ref()` (not `&payload`): a `&Box<dyn Any>` would
+            // itself unsize-coerce to `&dyn Any` and defeat the downcasts.
+            report_failure(name, case, cases, case_seed, payload.as_ref());
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// The human-readable message inside a caught panic payload (`panic!`
+/// with no arguments yields `&str`, with format arguments `String`).
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
+}
+
+fn report_failure(
+    name: &str,
+    case: u32,
+    cases: u32,
+    case_seed: u64,
+    payload: &(dyn std::any::Any + Send),
+) {
+    let msg = payload_message(payload);
+    eprintln!(
+        "\nproperty '{name}' failed at case {case}/{cases} (case seed {case_seed:#018X})\n\
+         assertion: {msg}\n\
+         reproduce with: FOURQ_PROP_SEED={case_seed:#X} FOURQ_PROP_CASES=1 cargo test {name}\n"
+    );
+}
+
+/// Declares and runs a property inline, proptest-style.
+///
+/// ```
+/// use fourq_fp::Fp;
+///
+/// fourq_testkit::prop_check!(cases = 32, |a: Fp, b: Fp| {
+///     assert_eq!(a + b, b + a);
+/// });
+/// ```
+///
+/// Each typed argument is drawn through its
+/// [`Arbitrary`](crate::Arbitrary) implementation. An extra trailing
+/// `rng` binding is available inside the body via the two-section form
+/// `|rng; a: Fp| { .. }` when a property needs ad-hoc draws (ranges,
+/// collections) beyond the typed arguments.
+#[macro_export]
+macro_rules! prop_check {
+    (cases = $cases:expr, |$rng:ident; $($arg:ident : $ty:ty),* $(,)?| $body:block) => {{
+        $crate::prop::check(
+            {
+                fn __f() {}
+                $crate::fn_basename(::std::any::type_name_of_val(&__f))
+            },
+            $cases,
+            |$rng: &mut $crate::TestRng| {
+                $(let $arg: $ty = <$ty as $crate::Arbitrary>::arbitrary($rng);)*
+                $body
+            },
+        )
+    }};
+    (cases = $cases:expr, |$rng:ident| $body:block) => {
+        $crate::prop_check!(cases = $cases, |$rng;| $body)
+    };
+    (cases = $cases:expr, |$($arg:ident : $ty:ty),* $(,)?| $body:block) => {
+        $crate::prop_check!(cases = $cases, |__rng; $($arg : $ty),*| $body)
+    };
+    (|$($rest:tt)*) => {
+        $crate::prop_check!(cases = 64, |$($rest)*)
+    };
+}
+
+/// Extracts the enclosing function's name from a `type_name_of_val`
+/// string such as `crate::tests::fp_field_axioms::__f` (implementation
+/// detail of [`prop_check!`]; public because the macro expands in other
+/// crates).
+#[doc(hidden)]
+pub fn fn_basename(type_name: &'static str) -> &'static str {
+    let without_helper = type_name.strip_suffix("::__f").unwrap_or(type_name);
+    without_helper.rsplit("::").next().unwrap_or(without_helper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = std::cell::Cell::new(0u32);
+        check("always_true", 25, |_rng| {
+            count.set(count.get() + 1);
+        });
+        assert_eq!(count.get(), 25);
+    }
+
+    #[test]
+    fn case_zero_uses_base_seed_verbatim() {
+        // The stream a property sees in case 0 must match a TestRng built
+        // directly from the base seed — this is the replay contract.
+        let mut expected = TestRng::from_seed(base_seed());
+        let want = expected.next_u64();
+        check("case_zero_contract", 1, |rng| {
+            assert_eq!(rng.next_u64(), want);
+        });
+    }
+
+    #[test]
+    fn failing_property_reports_case_seed() {
+        // Run a property that fails on a specific draw, capture the
+        // panic, and check that a fresh rng from the derived case seed
+        // reproduces exactly the failing value.
+        let seen = std::sync::Mutex::new(Vec::<(u32, u64)>::new());
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut case = 0u32;
+            check("fails_on_third", 10, |rng| {
+                let draw = rng.next_u64();
+                seen.lock().unwrap().push((case, draw));
+                case += 1;
+                assert!(seen.lock().unwrap().len() < 3, "third case fails");
+            });
+        }));
+        assert!(result.is_err(), "property must fail");
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 3);
+        // Re-derive case seed 2 the way the runner does and replay it.
+        let mut stream = base_seed();
+        let s1 = splitmix64(&mut stream);
+        let s2 = splitmix64(&mut stream);
+        assert_eq!(TestRng::from_seed(s1).next_u64(), seen[1].1);
+        assert_eq!(TestRng::from_seed(s2).next_u64(), seen[2].1);
+    }
+
+    #[test]
+    fn payload_message_extracts_str_and_string() {
+        // `panic!("literal")` payloads are `&str`; `assert!(.., "{x}")`
+        // payloads are `String`. Both must survive the boxed-Any trip —
+        // a regression test for passing `&Box<dyn Any>` instead of the
+        // inner value (which makes every downcast miss).
+        let lit = catch_unwind(|| panic!("plain literal")).unwrap_err();
+        assert_eq!(payload_message(lit.as_ref()), "plain literal");
+        let x = 42;
+        let formatted = catch_unwind(|| assert!(x < 10, "x too big: {x}")).unwrap_err();
+        assert_eq!(payload_message(formatted.as_ref()), "x too big: 42");
+        let odd = catch_unwind(|| std::panic::panic_any(7u32)).unwrap_err();
+        assert_eq!(payload_message(odd.as_ref()), "<non-string panic payload>");
+    }
+
+    #[test]
+    fn parse_seed_accepts_hex_and_decimal() {
+        assert_eq!(parse_seed("0x10"), Some(16));
+        assert_eq!(parse_seed("0X1_0"), Some(16));
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("  7 "), Some(7));
+        assert_eq!(parse_seed("zzz"), None);
+    }
+
+    #[test]
+    fn fn_basename_strips_path_and_helper() {
+        assert_eq!(fn_basename("a::b::my_prop::__f"), "my_prop");
+        assert_eq!(fn_basename("my_prop"), "my_prop");
+    }
+
+    #[test]
+    fn prop_check_macro_generates_typed_args() {
+        crate::prop_check!(cases = 8, |a: u64, b: u64| {
+            // commutativity of wrapping add — trivially true, exercises
+            // the macro plumbing end to end.
+            assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+        });
+    }
+
+    #[test]
+    fn prop_check_macro_rng_form() {
+        crate::prop_check!(cases = 8, |rng; a: u32| {
+            let k = rng.range_u64(1, 10);
+            assert!((1..10).contains(&k));
+            let _ = a;
+        });
+    }
+}

@@ -207,7 +207,12 @@ impl Trace {
                     );
                 }
                 None => {
-                    let _ = writeln!(out, "v{i:<5} = {:<4} {}", node.kind.mnemonic(), name(node.a));
+                    let _ = writeln!(
+                        out,
+                        "v{i:<5} = {:<4} {}",
+                        node.kind.mnemonic(),
+                        name(node.a)
+                    );
                 }
             }
         }
@@ -385,7 +390,8 @@ impl Fp2Like for TracedFp2 {
         )
     }
     fn sqr(&self) -> Self {
-        self.tracer.record(OpKind::Sqr, self, None, self.value.square())
+        self.tracer
+            .record(OpKind::Sqr, self, None, self.value.square())
     }
     fn neg(&self) -> Self {
         self.tracer.record(OpKind::Neg, self, None, -self.value)

@@ -18,20 +18,28 @@ fn main() {
     let k = Scalar::from_u64(0x600d_cafe_f00d_5eed);
     let recorded = trace_scalar_mul(&k);
     let stats = recorded.trace.stats();
-    println!("step 1 — trace recorded: {} microinstructions", recorded.trace.nodes.len());
+    println!(
+        "step 1 — trace recorded: {} microinstructions",
+        recorded.trace.nodes.len()
+    );
     println!("         op mix: {stats}");
     assert!(recorded.trace.self_check());
 
     // Step 2: dependency extraction.
     let problem = trace_to_problem(&recorded.trace);
-    println!("step 2 — job-shop problem: {} jobs on 2 machines", problem.len());
+    println!(
+        "step 2 — job-shop problem: {} jobs on 2 machines",
+        problem.len()
+    );
 
     // Step 3: scheduling.
     let machine = MachineConfig::paper();
     let lb = lower_bound(&problem, &machine);
     let serial = serial_schedule(&problem, &machine).makespan;
     let sched = schedule(&problem, &machine, 32);
-    sched.validate(&problem, &machine).expect("schedule is valid");
+    sched
+        .validate(&problem, &machine)
+        .expect("schedule is valid");
     println!(
         "step 3 — schedule: {} cycles (lower bound {lb}, serial {serial}, gap {:.1}%)",
         sched.makespan,

@@ -9,7 +9,9 @@ use std::time::Instant;
 
 fn main() {
     let n = 32;
-    let keypairs: Vec<KeyPair> = (0..n).map(|i| KeyPair::from_seed(&[i as u8 + 1; 32])).collect();
+    let keypairs: Vec<KeyPair> = (0..n)
+        .map(|i| KeyPair::from_seed(&[i as u8 + 1; 32]))
+        .collect();
     let messages: Vec<Vec<u8>> = (0..n)
         .map(|i| format!("CAM: vehicle {i}, intersection 7").into_bytes())
         .collect();

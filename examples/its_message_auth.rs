@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example its_message_auth`
 
-use fourq::sig::{ecdsa, schnorr};
 use fourq::fp::Scalar;
+use fourq::sig::{ecdsa, schnorr};
 use std::time::Instant;
 
 fn main() {

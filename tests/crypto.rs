@@ -1,18 +1,21 @@
 //! Cross-crate cryptographic integration tests with randomized inputs.
+//!
+//! Randomness comes from the workspace's own `fourq-testkit` PRNG with a
+//! fixed seed, so every run exercises the same deterministic case set.
 
 use fourq::curve::AffinePoint;
 use fourq::fp::{Fp, Fp2, Scalar, U256};
-use rand::{Rng, SeedableRng};
+use fourq_testkit::TestRng;
 
-fn rng() -> rand::rngs::StdRng {
-    rand::rngs::StdRng::seed_from_u64(0x4u64 * 0x101)
+// The historical seed of this suite (0x4 * 0x101 from the rand-based
+// version), kept so the suite remains a fixed deterministic workload.
+fn rng() -> TestRng {
+    TestRng::from_seed(0x4u64 * 0x101)
 }
 
-fn random_scalar(rng: &mut impl Rng) -> Scalar {
+fn random_scalar(rng: &mut TestRng) -> Scalar {
     let mut limbs = [0u64; 4];
-    for l in &mut limbs {
-        *l = rng.gen();
-    }
+    rng.fill_u64(&mut limbs);
     Scalar::from_u256(U256(limbs))
 }
 
@@ -54,10 +57,10 @@ fn randomized_point_compression() {
 #[test]
 fn randomized_field_axioms() {
     let mut rng = rng();
-    let rand_fp2 = |rng: &mut rand::rngs::StdRng| {
+    let rand_fp2 = |rng: &mut TestRng| {
         Fp2::new(
-            Fp::from_u128(rng.gen::<u128>()),
-            Fp::from_u128(rng.gen::<u128>()),
+            Fp::from_u128(rng.next_u128()),
+            Fp::from_u128(rng.next_u128()),
         )
     };
     for _ in 0..200 {
@@ -78,11 +81,15 @@ fn randomized_signature_roundtrips() {
     let mut rng = rng();
     for i in 0u8..6 {
         let mut seed = [0u8; 32];
-        rng.fill(&mut seed);
+        rng.fill_bytes(&mut seed);
         let kp = fourq::sig::schnorr::KeyPair::from_seed(&seed);
         let msg = format!("message {i}");
         let sig = kp.sign(msg.as_bytes());
-        assert!(fourq::sig::schnorr::verify(&kp.public, msg.as_bytes(), &sig));
+        assert!(fourq::sig::schnorr::verify(
+            &kp.public,
+            msg.as_bytes(),
+            &sig
+        ));
         assert!(!fourq::sig::schnorr::verify(&kp.public, b"other", &sig));
     }
 }

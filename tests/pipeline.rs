@@ -10,8 +10,7 @@ use fourq::trace::{trace_scalar_mul, trace_scalar_mul_for};
 
 fn full_scalar() -> Scalar {
     Scalar::from_u256(
-        U256::from_hex("1d3f297b1a2c4d5e6f708192a3b4c5d6e7f8091a2b3c4d5e6f70819202122231")
-            .unwrap(),
+        U256::from_hex("1d3f297b1a2c4d5e6f708192a3b4c5d6e7f8091a2b3c4d5e6f70819202122231").unwrap(),
     )
 }
 
@@ -89,7 +88,11 @@ fn schedule_quality_gap_is_bounded() {
     let sched = schedule(&problem, &machine, 48);
     let lb = lower_bound(&problem, &machine);
     let gap = sched.makespan as f64 / lb as f64;
-    assert!(gap < 1.55, "schedule gap too large: {gap:.3} (lb {lb}, got {})", sched.makespan);
+    assert!(
+        gap < 1.55,
+        "schedule gap too large: {gap:.3} (lb {lb}, got {})",
+        sched.makespan
+    );
 }
 
 #[test]
@@ -99,7 +102,12 @@ fn traced_program_is_scalar_independent_in_size() {
     let a = trace_scalar_mul(&Scalar::from_u64(3)).trace.stats();
     let b = trace_scalar_mul(&full_scalar()).trace.stats();
     let diff = (a.total() as i64 - b.total() as i64).abs();
-    assert!(diff < 80, "trace sizes diverge: {} vs {}", a.total(), b.total());
+    assert!(
+        diff < 80,
+        "trace sizes diverge: {} vs {}",
+        a.total(),
+        b.total()
+    );
 }
 
 #[test]
@@ -112,7 +120,11 @@ fn signature_over_simulated_datapath_point() {
     let kp = fourq::sig::ecdsa::KeyPair::from_secret(secret).unwrap();
     assert_eq!(kp.public, sim.result);
     let sig = kp.sign(b"cross-crate message").unwrap();
-    assert!(fourq::sig::ecdsa::verify(&sim.result, b"cross-crate message", &sig));
+    assert!(fourq::sig::ecdsa::verify(
+        &sim.result,
+        b"cross-crate message",
+        &sig
+    ));
 }
 
 #[test]

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml — the same gate, runnable in
+# the offline build environment. Every step must pass with no network
+# access: the workspace has zero external dependencies by design (see
+# DESIGN.md, "Hermetic toolchain").
+#
+# Usage: tools/ci.sh [--with-bench]
+#   --with-bench  additionally smoke-runs the microbench binary (fast
+#                 profile) to prove BENCH_fourq.json generation works.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test -q (tier-1)"
+cargo test -q
+
+step "cargo test --workspace -q"
+cargo test --workspace -q
+
+if [[ "${1:-}" == "--with-bench" ]]; then
+    step "microbench smoke (FOURQ_BENCH_FAST=1)"
+    out="$(mktemp)"
+    FOURQ_BENCH_FAST=1 cargo run --release -q -p fourq-bench --bin microbench -- --out "$out"
+    rm -f "$out"
+fi
+
+step "OK"
