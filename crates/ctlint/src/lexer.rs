@@ -1,0 +1,441 @@
+//! A hand-written Rust lexer, just deep enough for taint analysis.
+//!
+//! Produces a token stream with line numbers plus the `// ct: ...`
+//! annotation comments (ordinary comments, doc comments, strings and char
+//! literals are consumed so they can never confuse the rule matchers).
+//! This is deliberately not a full Rust grammar: the analyzer works on
+//! token shapes, and the lexer's only jobs are exact tokenisation of
+//! identifiers/operators and correct skipping of everything string-like.
+
+/// Kind of a lexed token.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal.
+    Num,
+    /// String / char / byte literal (content not retained).
+    Lit,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Punctuation / operator (max-munched, e.g. `<<=`, `&&`, `::`).
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token text (empty for `Lit`).
+    pub text: String,
+    /// 1-indexed source line.
+    pub line: u32,
+    /// Token kind.
+    pub kind: TokKind,
+}
+
+/// A parsed `// ct: ...` annotation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Annotation {
+    /// `// ct: secret` — the next item (struct/field/fn) or this line's
+    /// binding is secret. With names: `// ct: secret(a, b)` marks the
+    /// listed function parameters.
+    Secret(Vec<String>),
+    /// `// ct: public` — declassifies this line's binding.
+    Public,
+    /// `// ct: allow(R3) reason="..."` — suppress the named rule here.
+    Allow(String),
+}
+
+/// An annotation attached to a source line.
+#[derive(Clone, Debug)]
+pub struct PlacedAnnotation {
+    /// The parsed annotation.
+    pub ann: Annotation,
+    /// Line the comment itself is on.
+    pub comment_line: u32,
+    /// `true` if code precedes the comment on the same line (trailing
+    /// annotation); `false` if the comment stands alone (applies to the
+    /// next code line / item).
+    pub trailing: bool,
+    /// The line the annotation governs: its own line when trailing, else
+    /// filled in after lexing with the next code line.
+    pub target_line: u32,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream.
+    pub toks: Vec<Tok>,
+    /// All `// ct:` annotations with their attachment lines.
+    pub anns: Vec<PlacedAnnotation>,
+}
+
+/// Multi-character operators, longest first (max-munch).
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->", "=>", "::",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "..",
+];
+
+/// Parses the body of a `ct:` comment (text after `ct:`).
+fn parse_annotation(body: &str) -> Option<Annotation> {
+    let body = body.trim();
+    if let Some(rest) = body.strip_prefix("secret") {
+        let rest = rest.trim_start();
+        if let Some(inner) = rest.strip_prefix('(') {
+            let inner = inner.split(')').next().unwrap_or("");
+            let names = inner
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            return Some(Annotation::Secret(names));
+        }
+        return Some(Annotation::Secret(Vec::new()));
+    }
+    if body.starts_with("public") {
+        return Some(Annotation::Public);
+    }
+    if let Some(rest) = body.strip_prefix("allow") {
+        let rest = rest.trim_start();
+        if let Some(inner) = rest.strip_prefix('(') {
+            let rule = inner.split(')').next().unwrap_or("").trim().to_string();
+            if !rule.is_empty() {
+                return Some(Annotation::Allow(rule));
+            }
+        }
+    }
+    None
+}
+
+/// Lexes a file's source text.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut toks: Vec<Tok> = Vec::new();
+    let mut anns: Vec<PlacedAnnotation> = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let is_ident_start = |c: u8| c.is_ascii_alphabetic() || c == b'_';
+    let is_ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                // Line comment. Plain `//` may carry an annotation; doc
+                // comments (`///`, `//!`) are prose and never do.
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let is_doc = text.starts_with("///") || text.starts_with("//!");
+                if !is_doc {
+                    let after = text.trim_start_matches('/').trim_start();
+                    if let Some(body) = after.strip_prefix("ct:") {
+                        if let Some(ann) = parse_annotation(body) {
+                            let trailing =
+                                toks.last().map(|t| t.line) == Some(line) && !toks.is_empty();
+                            anns.push(PlacedAnnotation {
+                                ann,
+                                comment_line: line,
+                                trailing,
+                                target_line: if trailing { line } else { 0 },
+                            });
+                        }
+                    }
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Block comment, nested.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i = skip_string(b, i, &mut line);
+                toks.push(Tok {
+                    text: String::new(),
+                    line,
+                    kind: TokKind::Lit,
+                });
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                i = skip_raw_or_byte_string(b, i, &mut line);
+                toks.push(Tok {
+                    text: String::new(),
+                    line,
+                    kind: TokKind::Lit,
+                });
+            }
+            b'\'' => {
+                // Char literal vs lifetime.
+                if is_char_literal(b, i) {
+                    i = skip_char_literal(b, i);
+                    toks.push(Tok {
+                        text: String::new(),
+                        line,
+                        kind: TokKind::Lit,
+                    });
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && is_ident(b[i]) {
+                        i += 1;
+                    }
+                    toks.push(Tok {
+                        text: src[start..i].to_string(),
+                        line,
+                        kind: TokKind::Lifetime,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                let mut seen_dot = false;
+                while i < b.len() {
+                    let d = b[i];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        i += 1;
+                    } else if d == b'.' && !seen_dot && i + 1 < b.len() && b[i + 1].is_ascii_digit()
+                    {
+                        seen_dot = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    text: src[start..i].to_string(),
+                    line,
+                    kind: TokKind::Num,
+                });
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident(b[i]) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    text: src[start..i].to_string(),
+                    line,
+                    kind: TokKind::Ident,
+                });
+            }
+            _ => {
+                // Operator max-munch, else single char.
+                let rest = &src[i..];
+                let op = OPERATORS.iter().find(|op| rest.starts_with(**op));
+                let text = match op {
+                    Some(op) => op.to_string(),
+                    None => (c as char).to_string(),
+                };
+                i += text.len();
+                toks.push(Tok {
+                    text,
+                    line,
+                    kind: TokKind::Punct,
+                });
+            }
+        }
+    }
+
+    // Attach standalone annotations to the next code line.
+    for ann in anns.iter_mut().filter(|a| !a.trailing) {
+        let next = toks
+            .iter()
+            .map(|t| t.line)
+            .find(|&l| l > ann.comment_line)
+            .unwrap_or(ann.comment_line);
+        ann.target_line = next;
+    }
+
+    Lexed { toks, anns }
+}
+
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    // r"..."  r#"..."#  br"..."  b"..."  (identifier lexing would otherwise
+    // swallow the prefix letter).
+    let rest = &b[i..];
+    let strip = |r: &[u8]| -> Option<usize> {
+        let mut j = 0;
+        if r.get(j) == Some(&b'b') {
+            j += 1;
+        }
+        if r.get(j) == Some(&b'r') {
+            j += 1;
+            while r.get(j) == Some(&b'#') {
+                j += 1;
+            }
+        }
+        if j > 0 && r.get(j) == Some(&b'"') {
+            Some(j)
+        } else {
+            None
+        }
+    };
+    strip(rest).is_some()
+}
+
+fn skip_raw_or_byte_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let mut hashes = 0usize;
+    if b[i] == b'b' {
+        i += 1;
+    }
+    let raw = b[i] == b'r';
+    if raw {
+        i += 1;
+        while i < b.len() && b[i] == b'#' {
+            hashes += 1;
+            i += 1;
+        }
+    }
+    debug_assert_eq!(b[i], b'"');
+    if !raw {
+        return skip_string(b, i, line);
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut h = 0usize;
+            while j < b.len() && b[j] == b'#' && h < hashes {
+                h += 1;
+                j += 1;
+            }
+            if h == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    debug_assert_eq!(b[i], b'"');
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    // 'x' or '\n' style: a closing quote within a few chars.
+    if b.get(i + 1) == Some(&b'\\') {
+        return true;
+    }
+    matches!(b.get(i + 2), Some(&b'\''))
+}
+
+fn skip_char_literal(b: &[u8], mut i: usize) -> usize {
+    debug_assert_eq!(b[i], b'\'');
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_ops_and_numbers() {
+        assert_eq!(
+            texts("let x = a >> 3;"),
+            vec!["let", "x", "=", "a", ">>", "3", ";"]
+        );
+        assert_eq!(texts("a && b || c"), vec!["a", "&&", "b", "||", "c"]);
+        assert_eq!(texts("0.45..0.65"), vec!["0.45", "..", "0.65"]);
+        assert_eq!(texts("0xff_u64"), vec!["0xff_u64"]);
+    }
+
+    #[test]
+    fn strings_and_chars_are_opaque() {
+        let l = lex("let s = \"if secret / % [idx]\"; let c = 'a'; let lt: &'a u8;");
+        let idents: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect();
+        assert!(!idents.contains(&"secret".to_string()));
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Lifetime));
+    }
+
+    #[test]
+    fn comments_and_annotations() {
+        let src = "\n// ct: secret\nstruct K(u64);\nlet a = 1; // ct: public\n// ct: allow(R5) reason=\"audited\"\nfoo();\n// plain comment\n/* block /* nested */ still */ let b = 2;\n";
+        let l = lex(src);
+        assert_eq!(l.anns.len(), 3);
+        assert_eq!(l.anns[0].ann, Annotation::Secret(vec![]));
+        assert!(!l.anns[0].trailing);
+        assert_eq!(l.anns[0].target_line, 3);
+        assert_eq!(l.anns[1].ann, Annotation::Public);
+        assert!(l.anns[1].trailing);
+        assert_eq!(l.anns[1].target_line, 4);
+        assert_eq!(l.anns[2].ann, Annotation::Allow("R5".to_string()));
+        assert_eq!(l.anns[2].target_line, 6);
+        // nested block comment fully skipped
+        assert!(l.toks.iter().any(|t| t.text == "b"));
+    }
+
+    #[test]
+    fn secret_param_list() {
+        let l = lex("// ct: secret(a, b)\nfn f(a: u64, b: u64) {}\n");
+        assert_eq!(
+            l.anns[0].ann,
+            Annotation::Secret(vec!["a".to_string(), "b".to_string()])
+        );
+    }
+
+    #[test]
+    fn doc_comments_never_annotate() {
+        let l = lex("/// ct: secret\nfn f() {}\n");
+        assert!(l.anns.is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! Finding records, the machine-readable JSON report and the baseline
+//! file format.
+//!
+//! Baseline entries are keyed `rule|file|trimmed-source-line` and matched
+//! as a multiset, so they survive line-number churn from unrelated edits:
+//! a finding is "baselined" while the exact offending line still exists in
+//! the same file; touching the line re-surfaces the finding.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule identifier (`R1`..`R6`).
+    pub rule: &'static str,
+    /// Workspace-relative path (filled in by the driver).
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    pub message: String,
+    /// The trimmed offending source line.
+    pub snippet: String,
+}
+
+impl Finding {
+    pub fn new(rule: &'static str, line: u32, message: String, snippet: String) -> Finding {
+        Finding {
+            rule,
+            file: String::new(),
+            line,
+            message,
+            snippet,
+        }
+    }
+
+    /// The baseline key for this finding.
+    pub fn baseline_key(&self) -> String {
+        format!("{}|{}|{}", self.rule, self.file, self.snippet)
+    }
+}
+
+/// Escapes a string for JSON output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable report. `suppressed` counts findings
+/// matched by the baseline; the `findings` array holds the live ones.
+pub fn to_json(findings: &[Finding], suppressed: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"tool\": \"fourq-ctlint\",");
+    let _ = writeln!(out, "  \"finding_count\": {},", findings.len());
+    let _ = writeln!(out, "  \"baselined_count\": {},", suppressed);
+    out.push_str("  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \"snippet\": \"{}\"}}",
+            f.rule,
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message),
+            json_escape(&f.snippet)
+        );
+        out.push_str(if i + 1 < findings.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses a baseline file into a key → count multiset. Lines starting
+/// with `#` and blank lines are ignored.
+pub fn parse_baseline(text: &str) -> HashMap<String, usize> {
+    let mut out = HashMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        *out.entry(line.to_string()).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Splits findings into (live, baselined) against the baseline multiset.
+pub fn apply_baseline(
+    findings: Vec<Finding>,
+    baseline: &HashMap<String, usize>,
+) -> (Vec<Finding>, Vec<Finding>) {
+    let mut budget = baseline.clone();
+    let mut live = Vec::new();
+    let mut suppressed = Vec::new();
+    for f in findings {
+        match budget.get_mut(&f.baseline_key()) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                suppressed.push(f);
+            }
+            _ => live.push(f),
+        }
+    }
+    (live, suppressed)
+}
+
+/// Renders findings in baseline format (sorted, with a header).
+pub fn to_baseline(findings: &[Finding]) -> String {
+    let mut keys: Vec<String> = findings.iter().map(|f| f.baseline_key()).collect();
+    keys.sort();
+    let mut out = String::from(
+        "# fourq-ctlint baseline — audited pre-existing findings.\n\
+         # Format: rule|file|trimmed source line. Regenerate with:\n\
+         #   cargo run -p fourq-ctlint -- --workspace --update-baseline\n",
+    );
+    for k in keys {
+        out.push_str(&k);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &'static str, file: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: 1,
+            message: String::new(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrip() {
+        let findings = vec![
+            f("R5", "a.rs", "assert!(x);"),
+            f("R5", "a.rs", "assert!(x);"),
+        ];
+        let text = to_baseline(&findings);
+        let parsed = parse_baseline(&text);
+        assert_eq!(parsed.get("R5|a.rs|assert!(x);"), Some(&2));
+        let (live, supp) = apply_baseline(findings, &parsed);
+        assert!(live.is_empty());
+        assert_eq!(supp.len(), 2);
+    }
+
+    #[test]
+    fn baseline_budget_is_a_multiset() {
+        let baseline = parse_baseline("R5|a.rs|assert!(x);");
+        let findings = vec![
+            f("R5", "a.rs", "assert!(x);"),
+            f("R5", "a.rs", "assert!(x);"),
+        ];
+        let (live, supp) = apply_baseline(findings, &baseline);
+        assert_eq!(live.len(), 1);
+        assert_eq!(supp.len(), 1);
+    }
+
+    #[test]
+    fn json_escapes() {
+        let finding = Finding {
+            rule: "R1",
+            file: "a\\b.rs".to_string(),
+            line: 3,
+            message: "say \"no\"".to_string(),
+            snippet: "x\ty".to_string(),
+        };
+        let j = to_json(&[finding], 0);
+        assert!(j.contains("a\\\\b.rs"));
+        assert!(j.contains("say \\\"no\\\""));
+        assert!(j.contains("x\\ty"));
+        assert!(j.contains("\"finding_count\": 1"));
+    }
+}

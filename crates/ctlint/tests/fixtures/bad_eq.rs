@@ -1,0 +1,17 @@
+//! R4 fixture: equality and derives on secret types.
+
+// ct: secret
+#[derive(Clone, Copy)]
+#[derive(PartialEq)]
+#[derive(Debug)]
+pub struct Tag {
+    pub t: u64,
+}
+
+pub fn leak_eq(a: &Tag, b: &Tag) -> bool {
+    a.t == b.t
+}
+
+pub fn leak_ne(a: &Tag) -> bool {
+    a.t != 0
+}

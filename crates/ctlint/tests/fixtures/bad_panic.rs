@@ -1,0 +1,20 @@
+//! R5 fixture: panicking ops in an arithmetic path.
+//! (The golden test maps this file to a virtual `crates/fp/src` path.)
+
+pub fn leak_unwrap(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+pub fn leak_expect(v: Option<u64>) -> u64 {
+    v.expect("boom")
+}
+
+pub fn leak_assert(x: u64) -> u64 {
+    assert!(x < 10);
+    x
+}
+
+pub fn ok_debug_assert(x: u64) -> u64 {
+    debug_assert!(x < 10);
+    x
+}

@@ -1,0 +1,14 @@
+//! R3 fixture: secret-indexed table lookup.
+
+// ct: secret
+pub struct Digit {
+    pub d: usize,
+}
+
+pub fn leak_lookup(t: &[u64; 8], i: &Digit) -> u64 {
+    t[i.d]
+}
+
+pub fn ok_lookup(t: &[u64; 8]) -> u64 {
+    t[3]
+}

@@ -1,0 +1,22 @@
+//! R2 fixture: variable-time arithmetic on secrets.
+
+// ct: secret
+pub struct Exp {
+    pub e: u64,
+}
+
+pub fn leak_div(x: &Exp) -> u64 {
+    x.e / 3
+}
+
+pub fn leak_mod(x: &Exp) -> u64 {
+    100 % (x.e + 1)
+}
+
+pub fn leak_shift(x: &Exp, table: u64) -> u64 {
+    table >> x.e
+}
+
+pub fn ok_shift(x: &Exp) -> u64 {
+    x.e >> 3
+}

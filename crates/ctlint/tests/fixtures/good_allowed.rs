@@ -1,0 +1,15 @@
+//! Clean fixture: audited `ct: allow` exception.
+
+// ct: secret
+pub struct Key {
+    pub k: u64,
+}
+
+pub fn audited(key: &Key) -> u64 {
+    // ct: allow(R1) reason="audited example of the allow mechanism"
+    if key.k > 0 {
+        1
+    } else {
+        0
+    }
+}

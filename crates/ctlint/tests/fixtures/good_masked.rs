@@ -1,0 +1,19 @@
+//! Clean fixture: masked selection and explicit declassification.
+
+// ct: secret
+pub struct Key {
+    pub k: u64,
+}
+
+pub fn select(key: &Key, a: u64, b: u64) -> u64 {
+    let m = (key.k & 1).wrapping_neg();
+    (a & m) | (b & !m)
+}
+
+pub fn declassified(key: &Key) -> u64 {
+    let bit = key.k >> 63; // ct: public — top bit is public in this protocol
+    if bit == 1 {
+        return 1;
+    }
+    0
+}

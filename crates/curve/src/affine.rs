@@ -113,8 +113,15 @@ impl AffinePoint {
 
     /// Scalar multiplication `[k]P` using the paper's Algorithm 1 pipeline
     /// (decompose → recode → table → 62× double-and-add → normalise).
+    ///
+    /// The pipeline runs for every scalar, including zero: `decompose(0)`
+    /// parity-corrects to `k + 1 = 1` and the engine's final `−P` step
+    /// cancels it, so there is no scalar-dependent early exit. Only the
+    /// *point* (public) short-circuits.
+    // ct: secret(k)
     pub fn mul(&self, k: &Scalar) -> AffinePoint {
-        if k.is_zero() || self.is_identity() {
+        if self.is_identity() {
+            // ct: public — the base point is public input
             return AffinePoint::identity();
         }
         let d = decompose(k);

@@ -10,7 +10,7 @@
 //! the first sub-scalar, which is forced odd).
 #![allow(clippy::needless_range_loop)] // limb loops are clearer indexed
 
-use fourq_fp::Scalar;
+use fourq_fp::{Choice, CtSelect, Scalar, U256};
 
 /// Bits per decomposition limb (the radix is `2^62`).
 pub const LIMB_BITS: usize = 62;
@@ -21,18 +21,28 @@ pub const LIMB_BITS: usize = 62;
 pub const DIGITS: usize = LIMB_BITS + 1;
 
 /// The result of decomposing a scalar into four limbs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// The limbs are a bijective re-encoding of the secret scalar, so the type
+/// is secret-bearing: no `Debug`/`PartialEq` derives (rule R4 of the
+/// constant-time policy, `DESIGN.md` §8).
+// ct: secret
+#[derive(Clone, Copy)]
 pub struct Decomposition {
     /// The four sub-scalars `a₁..a₄` (each `< 2^62`, `a₁` odd).
     pub limbs: [u64; 4],
-    /// Whether `k` was even and `k+1` was decomposed instead; the caller
-    /// must subtract the base point once at the end.
-    pub corrected: bool,
+    /// Whether `k` was even and `k+1` was decomposed instead (i.e. the
+    /// parity bit of the secret scalar); the engine compensates by
+    /// subtracting the base point once at the end.
+    pub corrected: Choice,
 }
 
 /// Recoded digit sequence: `signs[i] ∈ {−1, +1}` and table indices
 /// `indices[i] ∈ 0..8`, most significant digit at `DIGITS − 1`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Digits drive the secret table lookups, so the type is secret-bearing
+/// like [`Decomposition`].
+// ct: secret
+#[derive(Clone)]
 pub struct Recoded {
     /// Sign digits `m_i` of Algorithm 1 (`s_i` after step 5).
     pub signs: [i8; DIGITS],
@@ -46,13 +56,17 @@ pub struct Recoded {
 /// is set; the scalar-multiplication engine compensates by subtracting the
 /// base point after the main loop. This mirrors FourQ's requirement that
 /// the first sub-scalar be odd (Algorithm 1, step 4).
+// ct: secret(k)
 pub fn decompose(k: &Scalar) -> Decomposition {
-    let mut v = k.to_u256();
-    let corrected = !v.is_odd();
-    if corrected {
-        // k < N < 2^246, so k+1 cannot overflow 256 bits.
-        v = v.checked_add(&fourq_fp::U256::ONE).expect("k + 1 < 2^256");
-    }
+    let v = k.to_u256();
+    // The parity bit of k is itself secret: compute k+1 unconditionally and
+    // keep it by mask selection instead of branching on the low bit.
+    let odd = v.bit64(0);
+    let corrected = Choice::from_bit(1 - odd);
+    // k < N < 2^246, so k+1 cannot overflow 256 bits.
+    let (plus_one, carry) = v.overflowing_add(&U256::ONE);
+    debug_assert!(!carry);
+    let v = U256::ct_select(&plus_one, &v, Choice::from_bit(odd));
     let limbs = [
         v.extract_bits(0, LIMB_BITS),
         v.extract_bits(LIMB_BITS, LIMB_BITS),
@@ -75,34 +89,44 @@ pub fn decompose(k: &Scalar) -> Decomposition {
 ///
 /// # Panics
 ///
-/// Panics if the first limb is even or any limb is `≥ 2^62` (i.e. if the
-/// input did not come from [`decompose`]).
+/// In debug builds only: panics if the first limb is even or any limb is
+/// `≥ 2^62` (i.e. if the input did not come from [`decompose`]). The checks
+/// are `debug_assert!`s because they inspect secret limbs; release builds
+/// compile them out and stay branch-free.
+// ct: secret(d)
 pub fn recode(d: &Decomposition) -> Recoded {
     let a1 = d.limbs[0];
-    assert!(a1 & 1 == 1, "first sub-scalar must be odd");
+    debug_assert!(a1 & 1 == 1, "first sub-scalar must be odd");
     for &l in &d.limbs {
-        assert!(l < 1 << LIMB_BITS, "limb exceeds 2^62");
+        debug_assert!(l < 1 << LIMB_BITS, "limb exceeds 2^62");
     }
     let mut signs = [0i8; DIGITS];
     let mut indices = [0u8; DIGITS];
 
     // Sign digits from a1: b1[i] = 2·bit_{i+1}(a1) − 1, top digit +1.
+    // The {0,1} → {−1,+1} map is arithmetic, not a branch on the bit.
     for (i, s) in signs.iter_mut().enumerate().take(DIGITS - 1) {
-        *s = if (a1 >> (i + 1)) & 1 == 1 { 1 } else { -1 };
+        let bit = (a1 >> (i + 1)) & 1;
+        *s = (2 * bit as i64 - 1) as i8;
     }
     signs[DIGITS - 1] = 1;
 
-    // Align the remaining sub-scalars to those signs.
+    // Align the remaining sub-scalars to those signs. Every update is mask
+    // or ring arithmetic on the secret digits; the only control flow ranges
+    // over the public digit/limb positions, the `>> 1` shift amount is a
+    // constant, and index packing multiplies by a public weight (1, 2, 4)
+    // instead of shifting by a loop binding, so every shift amount stays
+    // visibly data-independent.
     let mut rest = [d.limbs[1] as i128, d.limbs[2] as i128, d.limbs[3] as i128];
     for i in 0..DIGITS {
         let mut idx = 0u8;
-        for (j, aj) in rest.iter_mut().enumerate() {
+        let mut weight = 1u8; // bit weight of limb j in the index: 1, 2, 4
+        for aj in rest.iter_mut() {
             let bit = *aj & 1; // 0 or 1
             let digit = signs[i] as i128 * bit; // 0 or ±1
-            if bit == 1 {
-                idx |= 1 << j;
-            }
-            *aj = (*aj - digit) >> 1; // exact: aj - digit is even
+            idx |= (bit as u8) * weight;
+            weight <<= 1;
+            *aj = (*aj - digit) >> 1; // exact: aj − digit is even
         }
         indices[i] = idx;
     }
@@ -154,7 +178,7 @@ mod tests {
             assert!(!c);
             v = sum;
         }
-        let expect = if d.corrected {
+        let expect = if d.corrected.to_bool_vartime() {
             k.to_u256().checked_add(&U256::ONE).unwrap()
         } else {
             k.to_u256()
@@ -197,18 +221,19 @@ mod tests {
     #[test]
     fn even_scalars_are_corrected() {
         let d = decompose(&Scalar::from_u64(10));
-        assert!(d.corrected);
+        assert!(d.corrected.to_bool_vartime());
         assert_eq!(d.limbs[0], 11);
         let d = decompose(&Scalar::from_u64(11));
-        assert!(!d.corrected);
+        assert!(!d.corrected.to_bool_vartime());
     }
 
     #[test]
     #[should_panic(expected = "odd")]
+    #[cfg(debug_assertions)] // the precondition check is a debug_assert
     fn recode_rejects_even_first_limb() {
         let _ = recode(&Decomposition {
             limbs: [2, 0, 0, 0],
-            corrected: false,
+            corrected: Choice::FALSE,
         });
     }
 

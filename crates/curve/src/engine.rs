@@ -9,7 +9,7 @@
 
 use crate::decompose::{Recoded, DIGITS, LIMB_BITS};
 use crate::extended::{CachedPoint, ExtendedPoint};
-use fourq_fp::Fp2Like;
+use fourq_fp::{ct_eq_u64, Choice, CtSelect, Fp2Like};
 
 /// Result of the engine: projective output plus the table/loop structure
 /// sizes (useful for reporting op-count breakdowns).
@@ -30,14 +30,23 @@ pub struct MulOutput<F> {
 /// 2. build the table `T[u] = P + u₀·P₂ + u₁·P₃ + u₂·P₄` in
 ///    `(X+Y, Y−X, 2Z, 2dT)` coordinates;
 /// 3. `Q = s₆₂·T[v₆₂]`, then 62 iterations of `Q ← [2]Q; Q ← Q + s_i·T[v_i]`;
-/// 4. if the decomposition was parity-corrected, `Q ← Q − P`.
-pub fn scalar_mul_engine<F: Fp2Like>(
+/// 4. parity correction `Q ← Q − P`, performed unconditionally with the
+///    mask selecting between `−P` and a cached identity.
+///
+/// Every secret-dependent choice (table index, sign digit, parity flag) is
+/// realised by masked selection over all candidates — the software
+/// counterpart of the fixed 12,301-cycle schedule that makes the paper's
+/// ASIC constant-time. `F` therefore needs [`CtSelect`] in addition to the
+/// datapath ops; the tracer implements it as a value-level mux that records
+/// no operation, exactly like the hardware's operand-select lines.
+// ct: secret(recoded, corrected)
+pub fn scalar_mul_engine<F: Fp2Like + CtSelect>(
     x: &F,
     y: &F,
     one: &F,
     two_d: &F,
     recoded: &Recoded,
-    corrected: bool,
+    corrected: Choice,
 ) -> MulOutput<F> {
     let p1 = ExtendedPoint::from_affine(x, y, one);
 
@@ -79,40 +88,60 @@ pub fn scalar_mul_engine<F: Fp2Like>(
     ];
 
     // Step 3: the main double-and-add loop (the workload of Table I).
+    // Each digit's table entry comes out of `ct_lookup`, which scans all
+    // eight slots under a mask — the entry that survives is decided by the
+    // select lines, never by an address.
     let top = DIGITS - 1;
-    let entry = table[recoded.indices[top] as usize].with_sign(recoded.signs[top]);
-    // Q = s_top · T[v_top]: realise as identity-free start from the cached
-    // entry by adding it to the lifted affine representation of the
-    // identity... instead, convert: a cached point C represents an actual
-    // curve point; recover extended coordinates from the cached form:
-    // X = (Y+X − (Y−X))/2 scaled — cheaper: start from T as extended via
-    // add to the identity would need an identity point. We reconstruct
-    // directly: with cached (yp, ym, z2, t2d): X' = yp − ym (= 2X),
-    // Y' = yp + ym (= 2Y), Z' = z2 (= 2Z) — same projective point; and
-    // Ta = X', Tb... Ta·Tb must equal X'Y'/Z' = 4XY/2Z = 2T. With
-    // Ta = yp−ym (2X) and Tb' = (yp+ym)·? ... 2X·2Y/(2Z) = 2T needs
-    // Ta·Tb = 2X·2Y/2Z — not a plain product of our two linear forms, so
-    // instead we pay one extra doubling-free fix-up: set Ta = X', Tb = Y',
-    // giving T = X'Y' = 4XY, while the true T for (X',Y',Z') is
-    // X'Y'/Z' = 4XY/(2Z). These differ unless Z = 1/2·... — to stay exact
-    // we simply re-derive the starting point by adding the cached entry to
-    // the neutral element in extended coordinates.
+    let entry = ct_lookup(&table, recoded.indices[top], recoded.signs[top]);
+    // Q = s_top · T[v_top], realised by adding the cached entry to the
+    // neutral element in extended coordinates (cached points have no
+    // direct extended form with a consistent Ta·Tb product).
     let q0 = identity(one);
     let mut q = q0.add_cached(&entry);
 
     for i in (0..top).rev() {
         q = q.double();
-        let e = table[recoded.indices[i] as usize].with_sign(recoded.signs[i]);
+        let e = ct_lookup(&table, recoded.indices[i], recoded.signs[i]);
         q = q.add_cached(&e);
     }
 
-    // Step 4: parity correction (subtract P once if k was even).
-    if corrected {
-        let neg_p1 = table[0].neg();
-        q = q.add_cached(&neg_p1);
-    }
+    // Step 4: parity correction (subtract P once if k was even). The flag
+    // is the secret scalar's parity bit, so the addition always executes:
+    // the mask picks between −P and the cached identity (1, 1, 2Z=2, 0),
+    // which the complete addition formula absorbs without moving Q.
+    let neg_p1 = table[0].neg();
+    let id_cached = CachedPoint {
+        y_plus_x: one.clone(),
+        y_minus_x: one.clone(),
+        z2: one.dbl(),
+        t2d: one.sub(one),
+    };
+    let corr = CachedPoint::ct_select(&id_cached, &neg_p1, corrected);
+    q = q.add_cached(&corr);
 
     MulOutput { point: q }
+}
+
+/// Constant-time lookup of `signs · T[index]` from the 8-entry table.
+///
+/// Scans every slot and folds the hit in by masked selection (the
+/// multiplexer network of the paper's datapath), then applies the sign by
+/// always-compute conditional negation. `index` must be `< 8` and `sign`
+/// `±1`; both are secret digits from the recoding.
+// ct: secret(index, sign)
+fn ct_lookup<F: Fp2Like + CtSelect>(
+    table: &[CachedPoint<F>; 8],
+    index: u8,
+    sign: i8,
+) -> CachedPoint<F> {
+    let mut acc = table[0].clone();
+    for (u, entry) in table.iter().enumerate().skip(1) {
+        let hit = ct_eq_u64(index as u64, u as u64);
+        acc = CachedPoint::ct_select(&acc, entry, hit);
+    }
+    // sign ∈ {+1, −1}: the top bit of the byte is exactly "sign < 0".
+    let negate = Choice::from_bit(((sign as u8) >> 7) as u64);
+    acc.conditional_negate(negate)
 }
 
 /// The neutral element `(0 : 1 : 1)` lifted into `F`.

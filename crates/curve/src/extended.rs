@@ -8,7 +8,7 @@
 //! together the 15 `F_p²` multiplications and 13 additions/subtractions per
 //! loop iteration that the paper schedules in Table I.
 
-use fourq_fp::Fp2Like;
+use fourq_fp::{Choice, CtSelect, Fp2Like};
 
 /// A projective point in extended twisted Edwards coordinates.
 ///
@@ -138,18 +138,31 @@ impl<F: Fp2Like> CachedPoint<F> {
             t2d: self.t2d.neg(),
         }
     }
+}
 
-    /// Selects the cached point or its negation according to `sign`
-    /// (`+1` or `−1`).
+impl<F: Fp2Like + CtSelect> CachedPoint<F> {
+    /// Constant-time componentwise selection between two cached points:
+    /// returns `a` when `c` is false, `b` when `c` is true.
     ///
-    /// # Panics
-    ///
-    /// Panics if `sign` is not `±1`.
-    pub fn with_sign(&self, sign: i8) -> Self {
-        match sign {
-            1 => self.clone(),
-            -1 => self.neg(),
-            other => panic!("sign digit must be ±1, got {other}"),
+    /// This is the software form of the table-entry multiplexer in the
+    /// paper's datapath — the engine scans every table slot and lets the
+    /// mask decide which operand survives, so the memory access pattern
+    /// never depends on the secret index.
+    pub fn ct_select(a: &Self, b: &Self, c: Choice) -> Self {
+        CachedPoint {
+            y_plus_x: F::ct_select(&a.y_plus_x, &b.y_plus_x, c),
+            y_minus_x: F::ct_select(&a.y_minus_x, &b.y_minus_x, c),
+            z2: F::ct_select(&a.z2, &b.z2, c),
+            t2d: F::ct_select(&a.t2d, &b.t2d, c),
         }
+    }
+
+    /// Returns `−self` when `c` is true, `self` otherwise, with a fixed
+    /// operation sequence: the negation is always computed and the mask
+    /// selects. Replaces the old branching `with_sign(±1)` helper.
+    #[must_use]
+    pub fn conditional_negate(&self, c: Choice) -> Self {
+        let negated = self.neg();
+        Self::ct_select(self, &negated, c)
     }
 }

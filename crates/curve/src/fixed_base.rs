@@ -10,13 +10,14 @@ use crate::affine::AffinePoint;
 use crate::engine::identity;
 use crate::extended::{CachedPoint, ExtendedPoint};
 use crate::params::TWO_D;
-use fourq_fp::{Fp2, Scalar};
+use fourq_fp::{ct_eq_u64, Fp, Fp2, Scalar};
 
 /// A precomputed comb table for one base point.
 ///
 /// With `W` teeth the 246-bit scalar is cut into `W` rows of
 /// `ceil(246/W)` columns; one multiplication then costs `246/W` doublings
-/// and at most `246/W` additions.
+/// and `246/W` additions (every column adds — a zero comb value selects
+/// the cached identity at slot 0, so there is no data-dependent skip).
 ///
 /// ```
 /// use fourq_curve::{AffinePoint, FixedBaseTable};
@@ -27,8 +28,9 @@ use fourq_fp::{Fp2, Scalar};
 /// ```
 #[derive(Clone, Debug)]
 pub struct FixedBaseTable {
-    /// Cached `[u·2^(j·cols)]B` combinations: `table[u-1]` for the comb
-    /// value `u ∈ 1..2^W` (u = Σ bit_j·2^j selects which rows are set).
+    /// Cached `[u·2^(j·cols)]B` combinations: `table[u]` for the comb
+    /// value `u ∈ 0..2^W` (u = Σ bit_j·2^j selects which rows are set;
+    /// slot 0 holds the cached identity so lookups cover every value).
     entries: Vec<CachedPoint<Fp2>>,
     /// Columns per row (doublings per multiplication).
     cols: usize,
@@ -51,6 +53,7 @@ impl FixedBaseTable {
     ///
     /// Panics if `base` is the identity (no meaningful table exists).
     pub fn new(base: &AffinePoint) -> FixedBaseTable {
+        // ct: allow(R5) reason="table construction is one-time setup on a public base point"
         assert!(!base.is_identity(), "fixed-base table of the identity");
         let cols = BITS / TEETH; // 62
                                  // row generators: R_j = [2^(j*cols)]B as extended points
@@ -62,8 +65,16 @@ impl FixedBaseTable {
                 cur = cur.double();
             }
         }
-        // entries[u-1] = Σ_{j: bit_j(u)} R_j
-        let mut entries: Vec<CachedPoint<Fp2>> = Vec::with_capacity((1 << TEETH) - 1);
+        // entries[u] = Σ_{j: bit_j(u)} R_j; slot 0 is the cached identity
+        // (Y+X, Y−X, 2Z, 2dT) = (1, 1, 2, 0), absorbed by the complete
+        // addition formula, so every column performs exactly one addition.
+        let mut entries: Vec<CachedPoint<Fp2>> = Vec::with_capacity(1 << TEETH);
+        entries.push(CachedPoint {
+            y_plus_x: Fp2::ONE,
+            y_minus_x: Fp2::ONE,
+            z2: Fp2::new(Fp::from_u64(2), Fp::ZERO),
+            t2d: Fp2::ZERO,
+        });
         let mut exts: Vec<ExtendedPoint<Fp2>> = Vec::with_capacity((1 << TEETH) - 1);
         for u in 1usize..(1 << TEETH) {
             let lowest = u.trailing_zeros() as usize;
@@ -90,26 +101,37 @@ impl FixedBaseTable {
     }
 
     /// Fixed-base multiplication `[k]B` using the comb.
+    ///
+    /// Constant-time in the scalar: the comb value is gathered with mask
+    /// arithmetic, the table entry comes from a full masked scan of all
+    /// 16 slots, and every column adds (slot 0 is the identity), so the
+    /// doubling/addition sequence and memory access pattern are fixed.
+    // ct: secret(k)
     pub fn mul(&self, k: &Scalar) -> AffinePoint {
         let v = k.to_u256();
-        if v.is_zero() {
-            return AffinePoint::identity();
-        }
         let mut acc = identity(&Fp2::ONE);
         for col in (0..self.cols).rev() {
             acc = acc.double();
-            let mut u = 0usize;
+            let mut u = 0u64;
             for row in 0..TEETH {
-                if v.bit(row * self.cols + col) {
-                    u |= 1 << row;
-                }
+                u |= v.bit64(row * self.cols + col) << row;
             }
-            if u != 0 {
-                acc = acc.add_cached(&self.entries[u - 1]);
-            }
+            acc = acc.add_cached(&self.ct_lookup(u));
         }
         let (x, y) = crate::engine::normalize(&acc);
         AffinePoint { x, y }
+    }
+
+    /// Masked scan of the full table: every slot is read, the mask decides
+    /// which entry survives.
+    // ct: secret(u)
+    fn ct_lookup(&self, u: u64) -> CachedPoint<Fp2> {
+        let mut acc = self.entries[0].clone();
+        for (j, entry) in self.entries.iter().enumerate().skip(1) {
+            let hit = ct_eq_u64(u, j as u64);
+            acc = CachedPoint::ct_select(&acc, entry, hit);
+        }
+        acc
     }
 }
 
@@ -171,8 +193,9 @@ mod tests {
     }
 
     #[test]
-    fn table_size_is_fifteen() {
+    fn table_size_is_sixteen() {
+        // 15 comb combinations plus the identity in slot 0.
         let table = FixedBaseTable::new(&AffinePoint::generator());
-        assert_eq!(table.entries.len(), 15);
+        assert_eq!(table.entries.len(), 16);
     }
 }

@@ -23,8 +23,10 @@ use fourq_fp::{Fp2, Scalar, U256};
 /// assert_eq!(r, g.mul(&Scalar::from_u64(5 + 7 * 99)));
 /// ```
 pub fn double_scalar_mul(a: &Scalar, p: &AffinePoint, b: &Scalar, q: &AffinePoint) -> AffinePoint {
-    let av = a.to_u256();
-    let bv = b.to_u256();
+    // Verifier-side: u₁/u₂ are derived from the (public) signature and
+    // message, so variable-time double-and-add is fine here.
+    let av = a.to_u256(); // ct: public — verification inputs are public by protocol
+    let bv = b.to_u256(); // ct: public — verification inputs are public by protocol
     let bits = av.bits().max(bv.bits());
     if bits == 0 {
         return AffinePoint::identity();
@@ -57,7 +59,8 @@ pub fn double_scalar_mul(a: &Scalar, p: &AffinePoint, b: &Scalar, q: &AffinePoin
 /// multiplications: one 246-step doubling chain total instead of one per
 /// point. Used by batch signature verification.
 pub fn multi_scalar_mul(pairs: &[(Scalar, AffinePoint)]) -> AffinePoint {
-    let scalars: Vec<U256> = pairs.iter().map(|(k, _)| k.to_u256()).collect();
+    // Batch verification input: scalars are public signature components.
+    let scalars: Vec<U256> = pairs.iter().map(|(k, _)| k.to_u256()).collect(); // ct: public — verification inputs
     let bits = scalars.iter().map(|s| s.bits()).max().unwrap_or(0);
     if bits == 0 {
         return AffinePoint::identity();
@@ -65,7 +68,7 @@ pub fn multi_scalar_mul(pairs: &[(Scalar, AffinePoint)]) -> AffinePoint {
     let cached: Vec<_> = pairs
         .iter()
         .map(|(_, p)| ExtendedPoint::from_affine(&p.x, &p.y, &Fp2::ONE).to_cached(&TWO_D))
-        .collect();
+        .collect(); // ct: public — verification points are public by protocol
     let mut acc = identity(&Fp2::ONE);
     for i in (0..bits as usize).rev() {
         acc = acc.double();
@@ -96,6 +99,7 @@ pub fn batch_normalize(points: &[ExtendedPoint<Fp2>]) -> Vec<AffinePoint> {
     let mut prefix = Vec::with_capacity(points.len());
     let mut acc = Fp2::ONE;
     for p in points {
+        // ct: allow(R5) reason="documented panic on Z = 0; inputs are public verifier points"
         assert!(!p.z.is_zero(), "projective Z must be nonzero");
         prefix.push(acc);
         acc *= p.z;
@@ -127,6 +131,7 @@ pub fn window_scalar_mul(k: &U256, p: &AffinePoint) -> AffinePoint {
     let mut table = Vec::with_capacity(15);
     table.push(pe.clone()); // [1]P
     for _ in 1..15 {
+        // ct: allow(R5) reason="table starts with one entry; last() cannot be None"
         let prev = table.last().expect("non-empty");
         table.push(prev.add_cached(&pc));
     }

@@ -25,7 +25,7 @@ fn decompose_recode_reconstructs() {
             }
             v = v.overflowing_add(&U256::from_u64(d.limbs[j])).0;
         }
-        let expect = if d.corrected {
+        let expect = if d.corrected.to_bool_vartime() {
             k.to_u256().checked_add(&U256::ONE).unwrap()
         } else {
             k.to_u256()

@@ -63,6 +63,15 @@ impl Fp {
         self.0
     }
 
+    /// Rebuilds an element from a representative already known to be
+    /// canonical (used by the constant-time selection primitives, which
+    /// mask between two canonical values and must not re-reduce).
+    #[inline]
+    pub(crate) const fn from_raw_canonical(v: u128) -> Fp {
+        debug_assert!(v < P);
+        Fp(v)
+    }
+
     /// Whether the element is zero.
     #[inline]
     pub const fn is_zero(self) -> bool {
@@ -154,6 +163,7 @@ impl Fp {
     ///
     /// Panics if `self` is zero (zero has no inverse).
     pub fn inv(self) -> Fp {
+        // ct: allow(R5) reason="documented domain-error panic; zero has no inverse"
         assert!(!self.is_zero(), "inverse of zero in F_p");
         // t_k denotes x^(2^k - 1).
         let pow2k = |mut v: Fp, k: u32| {

@@ -44,5 +44,5 @@ mod wide;
 pub use fp::Fp;
 pub use fp2::{Fp2, MulKind};
 pub use scalar::{ParseScalarError, Scalar, N as SUBGROUP_ORDER, U256};
-pub use traits::Fp2Like;
+pub use traits::{ct_eq_u64, Choice, CtEq, CtNegate, CtSelect, Fp2Like};
 pub use wide::Wide;

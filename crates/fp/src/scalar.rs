@@ -3,6 +3,7 @@
 //! `N` is the 246-bit prime with `#E(F_p²) = 392·N`. Scalar decomposition
 //! (Algorithm 1, step 3) and the signature schemes work modulo `N`.
 
+use crate::traits::{Choice, CtEq, CtSelect};
 use core::cmp::Ordering;
 use core::fmt;
 
@@ -81,6 +82,16 @@ impl U256 {
             return false;
         }
         (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Bit `i` as a `0`/`1` word, with no boolean round-trip — the form
+    /// constant-time callers fold straight into mask arithmetic.
+    pub fn bit64(&self, i: usize) -> u64 {
+        if i >= 256 {
+            // public bound on the *position*, not on the value
+            return 0;
+        }
+        (self.0[i / 64] >> (i % 64)) & 1
     }
 
     /// Number of significant bits.
@@ -187,26 +198,42 @@ impl U256 {
     }
 
     /// Extracts `count ≤ 64` bits starting at bit `lo` as a `u64`.
+    ///
+    /// Branch-free in the *value*: the only conditions below depend on the
+    /// public positions `lo`/`count`, never on the stored bits, so the
+    /// scalar decomposition can call this on secret data.
+    // ct: secret(self)
     pub fn extract_bits(&self, lo: usize, count: usize) -> u64 {
         debug_assert!(count <= 64);
-        let mut v: u64 = 0;
-        for i in 0..count {
-            if self.bit(lo + i) {
-                v |= 1 << i;
-            }
+        if lo >= 256 || count == 0 {
+            return 0;
+        }
+        let limb = lo / 64;
+        let sh = lo % 64;
+        let mut v = self.0[limb] >> sh;
+        if sh != 0 && limb + 1 < 4 {
+            v |= self.0[limb + 1] << (64 - sh);
+        }
+        if count < 64 {
+            v &= (1u64 << count) - 1;
         }
         v
     }
 
     /// Remainder of a 512-bit value (8 LE limbs) modulo `m`.
     ///
-    /// Binary shift-subtract long division: simple, dependency-free, and
-    /// fast enough for the scalar-rate operations that need it.
+    /// Binary shift-subtract long division, constant-time in the *value*:
+    /// every iteration shifts, subtracts `m` unconditionally and keeps the
+    /// difference by mask selection on the borrow, so the work performed
+    /// is identical for all inputs of a given width. Secret scalars (nonce
+    /// reduction, `Scalar::mul`) flow through here.
     ///
     /// # Panics
     ///
     /// Panics if `m` is zero.
+    // ct: secret(wide)
     pub fn rem_wide(wide: &[u64; 8], m: &U256) -> U256 {
+        // ct: allow(R5) reason="modulus is a public parameter; panic guards a caller bug"
         assert!(!m.is_zero(), "division by zero modulus");
         // Remainder kept in 5 limbs: after the shift it can transiently
         // exceed 256 bits by one bit.
@@ -219,22 +246,20 @@ impl U256 {
                 *limb = (*limb << 1) | carry;
                 carry = top;
             }
-            // if r >= m: r -= m  (m has at most 4 limbs)
-            let ge = if r[4] != 0 {
-                true
-            } else {
-                let cand = U256([r[0], r[1], r[2], r[3]]);
-                cand >= *m
-            };
-            if ge {
-                let mut borrow = 0u64;
-                for i in 0..4 {
-                    let (d1, b1) = r[i].overflowing_sub(m.0[i]);
-                    let (d2, b2) = d1.overflowing_sub(borrow);
-                    r[i] = d2;
-                    borrow = (b1 as u64) + (b2 as u64);
-                }
-                r[4] = r[4].wrapping_sub(borrow);
+            // t = r - m over 5 limbs (m's limb 4 is zero); keep t when the
+            // subtraction did not borrow, i.e. when r >= m.
+            let mut t = [0u64; 5];
+            let mut borrow = 0u64;
+            for i in 0..5 {
+                let mi = if i < 4 { m.0[i] } else { 0 };
+                let (d1, b1) = r[i].overflowing_sub(mi);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                t[i] = d2;
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+            let keep = Choice::from_bit(1 - (borrow & 1)).mask64();
+            for i in 0..5 {
+                r[i] ^= keep & (r[i] ^ t[i]);
             }
         }
         debug_assert_eq!(r[4], 0);
@@ -318,12 +343,23 @@ impl std::error::Error for ParseScalarError {}
 
 /// An element of `Z/NZ`, the scalar field of the FourQ prime-order subgroup.
 ///
+/// Scalars are the secrets of every workload in the paper (signing keys,
+/// nonces, DH exponents), so the type is treated as tainted by the
+/// `fourq-ctlint` analyzer: equality goes through [`CtEq`] (the
+/// `PartialEq` impl below is a constant-time comparison), `Debug` output
+/// is redacted, and the modular operations are branch-free.
+///
 /// ```
 /// use fourq_fp::Scalar;
 /// let a = Scalar::from_u64(7);
 /// assert_eq!(a * a.inv(), Scalar::ONE);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+// ct: secret
+// The manual PartialEq is `ct_eq` on the canonical representative, which
+// coincides with structural equality — so the derived Hash stays
+// consistent with it.
+#[allow(clippy::derived_hash_with_manual_eq)]
+#[derive(Clone, Copy, Eq, Hash, Default)]
 pub struct Scalar(U256);
 
 impl Scalar {
@@ -359,31 +395,44 @@ impl Scalar {
         self.0
     }
 
-    /// Whether the scalar is zero.
-    pub fn is_zero(&self) -> bool {
-        self.0.is_zero()
-    }
-
-    /// Modular addition.
-    pub fn add(&self, rhs: &Scalar) -> Scalar {
-        let (sum, carry) = self.0.overflowing_add(&rhs.0);
-        // N < 2^246 so no carry is possible, but keep the general path.
-        let mut v = sum;
-        if carry || v >= N {
-            v = v.overflowing_sub(&N).0;
-        }
+    /// Rebuilds a scalar from a representative already known to be
+    /// canonical (used by the constant-time selection primitives).
+    pub(crate) fn from_raw_canonical(v: U256) -> Scalar {
+        debug_assert!(v < N);
         Scalar(v)
     }
 
-    /// Modular subtraction.
+    /// Whether the scalar is zero.
+    ///
+    /// Declassifies; for constant-time code use [`Scalar::ct_is_zero`].
+    pub fn is_zero(&self) -> bool {
+        self.ct_is_zero().to_bool_vartime()
+    }
+
+    /// Constant-time zero test.
+    pub fn ct_is_zero(&self) -> Choice {
+        self.0.ct_eq(&U256::ZERO)
+    }
+
+    /// Modular addition (branch-free: the reduction by `N` is always
+    /// computed and kept by mask selection).
+    pub fn add(&self, rhs: &Scalar) -> Scalar {
+        let (sum, carry) = self.0.overflowing_add(&rhs.0);
+        // Operands are canonical (< N < 2^246), so the raw sum never
+        // carries out of 256 bits.
+        debug_assert!(!carry);
+        let (reduced, borrow) = sum.overflowing_sub(&N);
+        let use_reduced = Choice::from_bit(1 - borrow as u64);
+        Scalar(U256::ct_select(&sum, &reduced, use_reduced))
+    }
+
+    /// Modular subtraction (branch-free: `N` is added back under a mask
+    /// derived from the borrow).
     pub fn sub(&self, rhs: &Scalar) -> Scalar {
-        match self.0.checked_sub(&rhs.0) {
-            Some(v) => Scalar(v),
-            None => {
-                let (v, _) = self.0.overflowing_add(&N);
-                Scalar(v.overflowing_sub(&rhs.0).0)
-            }
-        }
+        let (diff, borrow) = self.0.overflowing_sub(&rhs.0);
+        let (wrapped, _) = diff.overflowing_add(&N);
+        let borrowed = Choice::from_bit(borrow as u64);
+        Scalar(U256::ct_select(&diff, &wrapped, borrowed))
     }
 
     /// Modular negation.
@@ -418,7 +467,9 @@ impl Scalar {
     ///
     /// Panics if the scalar is zero.
     pub fn inv(&self) -> Scalar {
+        // ct: allow(R5) reason="documented domain-error panic; zero has no inverse"
         assert!(!self.is_zero(), "inverse of zero scalar");
+        // ct: allow(R5) reason="N is a fixed constant > 2; expect cannot fire"
         let n_minus_2 = N.checked_sub(&U256::from_u64(2)).expect("N > 2");
         self.pow(&n_minus_2)
     }
@@ -459,11 +510,27 @@ impl core::ops::Neg for Scalar {
     }
 }
 
-impl fmt::Debug for Scalar {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Scalar({})", self.0)
+/// Equality routed through the constant-time comparison: the full
+/// mask-arithmetic compare runs and only its final bit is declassified,
+/// so `==` never short-circuits on a limb prefix of a secret.
+impl PartialEq for Scalar {
+    fn eq(&self, other: &Scalar) -> bool {
+        self.ct_eq(other).to_bool_vartime()
     }
 }
+
+/// Redacted: scalars hold signing keys and nonces, so debug formatting
+/// must not dump them into logs or panic messages. Use
+/// [`Scalar::to_le_bytes`] deliberately when a value dump is needed.
+impl fmt::Debug for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Scalar(<redacted>)")
+    }
+}
+
+/// `Display` intentionally still prints the value: `{}` on a secret is a
+/// deliberate act (diagnostics binaries, test failure context), unlike the
+/// `{:?}` that rides along in `assert!`/`dbg!` output.
 impl fmt::Display for Scalar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Display::fmt(&self.0, f)

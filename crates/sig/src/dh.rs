@@ -5,15 +5,28 @@
 //! module provides the standard cofactor-clearing ECDH.
 
 use fourq_curve::AffinePoint;
-use fourq_fp::Scalar;
+use fourq_fp::{CtSelect, Scalar};
 use fourq_hash::Sha512;
 
 /// An ECDH key pair.
-#[derive(Clone, Debug)]
+///
+/// Secret-bearing: `Debug` redacts the scalar (rule R4, `DESIGN.md` §8).
+// ct: secret
+#[derive(Clone)]
 pub struct EphemeralSecret {
+    // ct: secret
     secret: Scalar,
     /// The public point `[d]G`, compressed.
     pub public: [u8; 32],
+}
+
+impl core::fmt::Debug for EphemeralSecret {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EphemeralSecret")
+            .field("secret", &"<redacted>")
+            .field("public", &self.public)
+            .finish()
+    }
 }
 
 /// Errors during key agreement.
@@ -44,10 +57,9 @@ impl EphemeralSecret {
         let h = Sha512::digest(seed);
         let mut wide = [0u8; 64];
         wide.copy_from_slice(&h);
-        let mut secret = Scalar::from_wide_bytes(&wide);
-        if secret.is_zero() {
-            secret = Scalar::ONE;
-        }
+        let secret = Scalar::from_wide_bytes(&wide);
+        // zero is astronomically unlikely; select (not branch) the fallback
+        let secret = Scalar::ct_select(&secret, &Scalar::ONE, secret.ct_is_zero());
         let public = fourq_curve::generator_table().mul(&secret).encode();
         EphemeralSecret { secret, public }
     }

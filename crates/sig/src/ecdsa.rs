@@ -23,11 +23,24 @@ pub struct Signature {
 }
 
 /// An ECDSA key pair.
-#[derive(Clone, Debug)]
+///
+/// Secret-bearing: `Debug` redacts the scalar (rule R4, `DESIGN.md` §8).
+// ct: secret
+#[derive(Clone)]
 pub struct KeyPair {
+    // ct: secret
     secret: Scalar,
     /// The public key `Q_A = [d_A]G`.
     pub public: AffinePoint,
+}
+
+impl core::fmt::Debug for KeyPair {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("KeyPair")
+            .field("secret", &"<redacted>")
+            .field("public", &self.public)
+            .finish()
+    }
 }
 
 /// Errors that can occur while signing.
@@ -90,6 +103,10 @@ impl KeyPair {
     /// retry loop mirrors the "go back to step 2" arrows of the paper).
     pub fn sign(&self, msg: &[u8]) -> Result<Signature, SignError> {
         let z = message_scalar(msg);
+        // The retry loop is variable-time by design (the paper's "go back
+        // to step 2" arrows): each retry condition is an `is_zero` check,
+        // a sanctioned declassification — a zero hit has probability
+        // ≈ 2⁻²⁴⁶, so the observable retry count carries no key material.
         for counter in 0u8..100 {
             // Step 2: deterministic nonce (RFC 6979 flavour).
             let mut key = self.secret.to_le_bytes().to_vec();

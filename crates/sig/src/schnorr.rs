@@ -5,7 +5,7 @@
 //! the paper's throughput analysis assumes (§II-A).
 
 use fourq_curve::AffinePoint;
-use fourq_fp::Scalar;
+use fourq_fp::{CtSelect, Scalar};
 use fourq_hash::{Digest, Sha512};
 
 /// A signature `(R, s)`: the commitment point (compressed) and the response
@@ -28,14 +28,30 @@ pub struct PublicKey {
 }
 
 /// A key pair derived deterministically from a 32-byte seed.
-#[derive(Clone, Debug)]
+///
+/// Secret-bearing: `Debug` is implemented manually and redacts the key
+/// material (rule R4 of the constant-time policy, `DESIGN.md` §8).
+// ct: secret
+#[derive(Clone)]
 pub struct KeyPair {
     /// Secret scalar `d`.
+    // ct: secret
     secret: Scalar,
     /// Nonce-derivation key (second half of the seed expansion).
+    // ct: secret
     nonce_key: [u8; 32],
     /// The public key.
     pub public: PublicKey,
+}
+
+impl core::fmt::Debug for KeyPair {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("KeyPair")
+            .field("secret", &"<redacted>")
+            .field("nonce_key", &"<redacted>")
+            .field("public", &self.public)
+            .finish()
+    }
 }
 
 impl KeyPair {
@@ -68,8 +84,8 @@ impl KeyPair {
         wide.copy_from_slice(&h.finalize());
         let r = Scalar::from_wide_bytes(&wide);
         // r = 0 is astronomically unlikely; fall back to r = 1 so signing
-        // is total.
-        let r = if r.is_zero() { Scalar::ONE } else { r };
+        // is total. Masked selection, not a branch: the nonce is secret.
+        let r = Scalar::ct_select(&r, &Scalar::ONE, r.ct_is_zero());
         let commitment = fourq_curve::generator_table().mul(&r);
         let renc = commitment.encode();
         let h = challenge(&renc, &self.public.encoded, msg);

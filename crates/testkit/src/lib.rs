@@ -30,6 +30,7 @@
 mod arbitrary;
 pub mod prop;
 mod rng;
+pub mod timing;
 
 pub use arbitrary::Arbitrary;
 pub use prop::fn_basename;

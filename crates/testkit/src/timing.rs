@@ -1,0 +1,137 @@
+//! Dudect-style statistical timing leakage check (Reparaz, Balasch &
+//! Verbauwhede, "Dude, is my code constant time?", DATE 2017 — the same
+//! venue as the reproduced paper).
+//!
+//! The methodology: run the operation under test on two input classes
+//! (a fixed input vs. fresh random inputs), interleaved to decorrelate
+//! clock drift, and compare the two timing populations with Welch's
+//! t-test. Constant-time code gives |t| near zero; a timing leak grows
+//! |t| with the sample count. The conventional rejection threshold is
+//! |t| > 4.5; the smoke tests in `tests/timing_smoke.rs` use a looser
+//! bound because shared CI machines are noisy.
+//!
+//! This is a *statistical smoke test*, not a proof — the static
+//! `fourq-ctlint` taint lint is the first line of defence; this check
+//! catches what the lint cannot see (e.g. data-dependent behaviour inside
+//! CPU instructions).
+
+use std::time::Instant;
+
+/// Result of a two-class timing comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct TimingReport {
+    /// Welch's t-statistic between the two classes (sign: fixed − random).
+    pub t: f64,
+    /// Samples kept per class after trimming.
+    pub kept: usize,
+    /// Mean of the fixed-input class, nanoseconds.
+    pub mean_fixed_ns: f64,
+    /// Mean of the random-input class, nanoseconds.
+    pub mean_random_ns: f64,
+}
+
+/// Welch's unequal-variance t-statistic between two samples.
+///
+/// Returns 0 when either sample has fewer than two points or zero
+/// variance in both.
+pub fn welch_t(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() < 2 || b.len() < 2 {
+        return 0.0;
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let var =
+        |v: &[f64], m: f64| v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (v.len() - 1) as f64;
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (var(a, ma), var(b, mb));
+    let denom = (va / a.len() as f64 + vb / b.len() as f64).sqrt();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (ma - mb) / denom
+}
+
+/// Drops the slowest `percent`% of samples (dudect's upper-percentile
+/// cropping: the long tail is interrupt/scheduler noise, not the
+/// operation under test).
+fn trim_upper(mut v: Vec<f64>, percent: f64) -> Vec<f64> {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let keep = ((v.len() as f64) * (1.0 - percent / 100.0)).ceil() as usize;
+    v.truncate(keep.max(2));
+    v
+}
+
+/// Runs `fixed` and `random` interleaved `samples` times each (with
+/// `inner` invocations per timed batch) and compares the populations.
+///
+/// `random` should regenerate its input each call; `fixed` should reuse
+/// one input. Both closures must do the same amount of non-measured setup
+/// work per call.
+pub fn compare<FA: FnMut(), FB: FnMut()>(
+    mut fixed: FA,
+    mut random: FB,
+    samples: usize,
+    inner: usize,
+) -> TimingReport {
+    let mut fixed_ns = Vec::with_capacity(samples);
+    let mut random_ns = Vec::with_capacity(samples);
+    // warm-up: populate caches and branch predictors outside the measurement
+    for _ in 0..inner.max(1) {
+        fixed();
+        random();
+    }
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..inner {
+            fixed();
+        }
+        fixed_ns.push(t0.elapsed().as_nanos() as f64);
+        let t0 = Instant::now();
+        for _ in 0..inner {
+            random();
+        }
+        random_ns.push(t0.elapsed().as_nanos() as f64);
+    }
+    let fixed_ns = trim_upper(fixed_ns, 10.0);
+    let random_ns = trim_upper(random_ns, 10.0);
+    let kept = fixed_ns.len().min(random_ns.len());
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    TimingReport {
+        t: welch_t(&fixed_ns[..kept], &random_ns[..kept]),
+        kept,
+        mean_fixed_ns: mean(&fixed_ns),
+        mean_random_ns: mean(&random_ns),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welch_t_identical_populations_is_zero() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(welch_t(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn welch_t_detects_shifted_population() {
+        let a: Vec<f64> = (0..100).map(|i| 100.0 + (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..100).map(|i| 200.0 + (i % 7) as f64).collect();
+        assert!(welch_t(&a, &b).abs() > 10.0);
+    }
+
+    #[test]
+    fn trim_drops_the_slow_tail() {
+        let mut v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        v.push(1e9); // one scheduler spike
+        let kept = trim_upper(v, 10.0);
+        assert!(kept.len() <= 91);
+        assert!(*kept.last().unwrap() < 1e9);
+    }
+
+    #[test]
+    fn degenerate_samples_are_zero_not_nan() {
+        assert_eq!(welch_t(&[1.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(welch_t(&[5.0, 5.0], &[5.0, 5.0]), 0.0);
+    }
+}

@@ -2,7 +2,7 @@
 
 use core::cell::RefCell;
 use core::fmt;
-use fourq_fp::{Fp2, Fp2Like};
+use fourq_fp::{Choice, CtSelect, Fp2, Fp2Like};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -402,6 +402,24 @@ impl Fp2Like for TracedFp2 {
     }
     fn value(&self) -> Fp2 {
         self.value
+    }
+}
+
+/// Value-level selection: models the operand multiplexer of the paper's
+/// datapath. No microinstruction is recorded — the ASIC's select lines
+/// steer which node feeds the next operation without consuming a cycle on
+/// either arithmetic unit, so a trace's op *sequence* stays fixed while the
+/// operand routing varies with the (secret) digits.
+impl CtSelect for TracedFp2 {
+    fn ct_select(a: &Self, b: &Self, c: Choice) -> Self {
+        // Host-side trace generation is offline (the trace is the program
+        // being compiled, not a production execution), so declassifying the
+        // select line here leaks nothing at runtime.
+        if c.to_bool_vartime() {
+            b.clone()
+        } else {
+            a.clone()
+        }
     }
 }
 

@@ -29,6 +29,9 @@ cargo test -q
 step "cargo test --workspace -q"
 cargo test --workspace -q
 
+step "fourq-ctlint (constant-time taint lint)"
+cargo run --release -q -p fourq-ctlint -- --workspace --json ctlint_report.json
+
 if [[ "${1:-}" == "--with-bench" ]]; then
     step "microbench smoke (FOURQ_BENCH_FAST=1)"
     out="$(mktemp)"
