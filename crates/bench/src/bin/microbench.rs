@@ -7,7 +7,12 @@
 //! cargo run --release -p fourq-bench --bin microbench -- --filter fp2
 //! cargo run --release -p fourq-bench --bin microbench -- --out /tmp/bench.json
 //! FOURQ_BENCH_FAST=1 cargo run --release -p fourq-bench --bin microbench   # CI smoke
+//! cargo run --release -p fourq-bench --bin microbench -- --filter batch --gate-batch
 //! ```
+//!
+//! `--gate-batch` fails the run (exit 1) when the measured
+//! `batch_to_affine` per-point cost exceeds half of a single-point
+//! normalisation — the CI tripwire for the batch pipeline's amortisation.
 //!
 //! By default the JSON lands at the repository root (resolved relative to
 //! this crate's manifest), so successive PRs overwrite the same
@@ -26,9 +31,42 @@ fn default_out() -> PathBuf {
         .join("BENCH_fourq.json")
 }
 
+/// The CI batch-amortisation gate (`--gate-batch`): `batch_to_affine`
+/// per-point cost must not exceed this fraction of a single-point
+/// normalisation, or the batch pipeline has lost its reason to exist.
+const GATE_BATCH_RATIO: f64 = 0.5;
+
+fn gate_batch(report: &BenchReport) -> Result<(), String> {
+    let lookup = |name: &str| -> Result<f64, String> {
+        report
+            .results
+            .iter()
+            .find(|r| r.group == "batch_ops" && r.name == name)
+            .map(|r| r.ns_per_op)
+            .ok_or(format!("gate: batch_ops/{name} missing from this run"))
+    };
+    let single = lookup("to_affine_single")?;
+    let per_point = lookup("batch_to_affine_n64_per_point")?;
+    let ratio = per_point / single;
+    eprintln!(
+        "gate: batch_to_affine {per_point:.1} ns/point vs single {single:.1} ns \
+         (ratio {ratio:.3}, limit {GATE_BATCH_RATIO})"
+    );
+    if ratio > GATE_BATCH_RATIO {
+        return Err(format!(
+            "gate: batch_to_affine per-point cost is {:.1}% of a single \
+             normalisation (limit {:.0}%)",
+            ratio * 100.0,
+            GATE_BATCH_RATIO * 100.0
+        ));
+    }
+    Ok(())
+}
+
 fn main() {
     let mut out = default_out();
     let mut filter = String::new();
+    let mut gate = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -39,8 +77,11 @@ fn main() {
                 }))
             }
             "--filter" => filter = args.next().unwrap_or_default(),
+            "--gate-batch" => gate = true,
             "--help" | "-h" => {
-                eprintln!("usage: microbench [--out PATH] [--filter GROUP_SUBSTRING]");
+                eprintln!(
+                    "usage: microbench [--out PATH] [--filter GROUP_SUBSTRING] [--gate-batch]"
+                );
                 return;
             }
             other => {
@@ -71,4 +112,11 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("wrote {} ({} results)", out.display(), report.results.len());
+
+    if gate {
+        if let Err(e) = gate_batch(&report) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -8,10 +8,13 @@
 //! | `signatures` | §I ITS motivation — Schnorr/ECDSA sign + verify throughput |
 //! | `curve_compare` | Table II shape — FourQ vs P-256 vs Curve25519 in software |
 //! | `scheduling` | §III-C turn-around — scheduling must be fast per design iteration |
+//! | `scalar_ops` | mod-N arithmetic ablation — Montgomery vs `rem_wide`, windowed vs binary inversion |
+//! | `batch_ops` | batch-first curve pipeline — amortized normalisation, fixed-base, MSM |
+//! | `batch_sig` | batch-first signature pipeline — RLC batch verify, batch signing |
 
-use crate::harness::{run, BenchOptions, BenchReport};
+use crate::harness::{run, BenchOptions, BenchRecord, BenchReport};
 use fourq_baselines::{p256::P256, x25519::X25519};
-use fourq_curve::{decompose, recode, AffinePoint};
+use fourq_curve::{decompose, recode, AffinePoint, FourQEngine};
 use fourq_fp::{Fp, Fp2, Scalar, U256};
 use fourq_sig::{ecdsa, schnorr};
 use fourq_testkit::TestRng;
@@ -25,6 +28,18 @@ fn bench_scalar(rng: &mut TestRng) -> Scalar {
     let mut limbs = [0u64; 4];
     rng.fill_u64(&mut limbs);
     Scalar::from_u256(U256(limbs))
+}
+
+/// Batch size for the `batch_*` groups — the ISSUE acceptance size.
+const BATCH_N: usize = 64;
+
+/// Rescales a record measured over an `n`-item batch call to per-item
+/// cost, so `batch_*` numbers compare directly against their one-shot
+/// counterparts in `BENCH_fourq.json`.
+fn per_item(mut rec: BenchRecord, n: usize) -> BenchRecord {
+    rec.ns_per_op /= n as f64;
+    rec.ops_per_sec *= n as f64;
+    rec
 }
 
 /// `F_p²` multiplication ablation (the paper's multiplier design choice).
@@ -142,15 +157,143 @@ pub fn scheduling(report: &mut BenchReport, opts: &BenchOptions) {
     }));
 }
 
+/// Mod-N scalar arithmetic ablation: the Montgomery/CIOS multiplier and
+/// windowed Fermat ladder against the original shift-subtract
+/// (`rem_wide`) paths they replaced, plus the batch inversion.
+pub fn scalar_ops(report: &mut BenchReport, opts: &BenchOptions) {
+    let mut rng = TestRng::from_seed(BENCH_SEED ^ 3);
+    let a = bench_scalar(&mut rng);
+    let b = bench_scalar(&mut rng);
+    let xs: Vec<Scalar> = (0..BATCH_N).map(|_| bench_scalar(&mut rng)).collect();
+    report.push(run("scalar_ops", "mul_montgomery", opts, || {
+        black_box(a) * black_box(b)
+    }));
+    report.push(run("scalar_ops", "mul_rem_wide", opts, || {
+        black_box(a).mul_rem_wide(black_box(&b))
+    }));
+    report.push(run("scalar_ops", "inv_windowed", opts, || {
+        black_box(a).inv()
+    }));
+    report.push(run("scalar_ops", "inv_binary_rem_wide", opts, || {
+        black_box(a).inv_binary_rem_wide()
+    }));
+    report.push(per_item(
+        run("scalar_ops", "batch_invert_n64_per_item", opts, || {
+            Scalar::batch_invert(black_box(&xs))
+        }),
+        BATCH_N,
+    ));
+}
+
+/// The batch-first curve pipeline: amortized normalisation, batched
+/// fixed-base multiplication, and both MSM algorithms at the acceptance
+/// batch size.
+pub fn batch_ops(report: &mut BenchReport, opts: &BenchOptions) {
+    let mut rng = TestRng::from_seed(BENCH_SEED ^ 4);
+    let eng = FourQEngine::shared();
+    let g = AffinePoint::generator();
+    let ext: Vec<_> = (0..BATCH_N)
+        .map(|_| g.mul_extended(&bench_scalar(&mut rng)))
+        .collect();
+    let ks: Vec<Scalar> = (0..BATCH_N).map(|_| bench_scalar(&mut rng)).collect();
+    let pairs: Vec<(Scalar, AffinePoint)> = (0..BATCH_N)
+        .map(|i| {
+            (
+                bench_scalar(&mut rng),
+                g.mul(&Scalar::from_u64(2 * i as u64 + 3)),
+            )
+        })
+        .collect();
+    report.push(run("batch_ops", "to_affine_single", opts, || {
+        eng.to_affine(black_box(&ext[0]))
+    }));
+    report.push(per_item(
+        run("batch_ops", "batch_to_affine_n64_per_point", opts, || {
+            eng.batch_to_affine(black_box(&ext))
+        }),
+        BATCH_N,
+    ));
+    report.push(run("batch_ops", "fixed_base_single", opts, || {
+        eng.fixed_base_mul(black_box(&ks[0]))
+    }));
+    report.push(per_item(
+        run("batch_ops", "batch_fixed_base_n64_per_point", opts, || {
+            eng.batch_fixed_base_mul(black_box(&ks))
+        }),
+        BATCH_N,
+    ));
+    report.push(per_item(
+        run("batch_ops", "msm_pippenger_n64_per_point", opts, || {
+            fourq_curve::msm_pippenger(black_box(&pairs))
+        }),
+        BATCH_N,
+    ));
+    report.push(per_item(
+        run("batch_ops", "msm_straus_n64_per_point", opts, || {
+            fourq_curve::msm_straus(black_box(&pairs))
+        }),
+        BATCH_N,
+    ));
+}
+
+/// The batch-first signature pipeline at the acceptance batch size:
+/// RLC batch verification (single MSM) and batch signing for both
+/// schemes, next to their one-shot counterparts for the ratio.
+pub fn batch_sig(report: &mut BenchReport, opts: &BenchOptions) {
+    let kps: Vec<schnorr::KeyPair> = (0..BATCH_N as u8)
+        .map(|i| schnorr::KeyPair::from_seed(&[i ^ 0xA5; 32]))
+        .collect();
+    let msgs: Vec<Vec<u8>> = (0..BATCH_N)
+        .map(|i| format!("CAM: vehicle {i}, lane 3, 48 km/h").into_bytes())
+        .collect();
+    let sigs: Vec<schnorr::Signature> = kps.iter().zip(&msgs).map(|(kp, m)| kp.sign(m)).collect();
+    let items: Vec<(&schnorr::PublicKey, &[u8], &schnorr::Signature)> = kps
+        .iter()
+        .zip(&msgs)
+        .zip(&sigs)
+        .map(|((kp, m), s)| (&kp.public, m.as_slice(), s))
+        .collect();
+    let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+    let ekp = ecdsa::KeyPair::from_secret(Scalar::from_u64(0xBA7C_51D5)).expect("nonzero secret");
+
+    report.push(run("batch_sig", "schnorr_verify_single", opts, || {
+        schnorr::verify(&kps[0].public, black_box(&msgs[0]), &sigs[0])
+    }));
+    report.push(per_item(
+        run(
+            "batch_sig",
+            "schnorr_batch_verify_n64_per_sig",
+            opts,
+            || schnorr::verify_batch(black_box(&items)),
+        ),
+        BATCH_N,
+    ));
+    report.push(per_item(
+        run("batch_sig", "schnorr_sign_batch_n64_per_sig", opts, || {
+            kps[0].sign_batch(black_box(&refs))
+        }),
+        BATCH_N,
+    ));
+    report.push(per_item(
+        run("batch_sig", "ecdsa_sign_batch_n64_per_sig", opts, || {
+            ekp.sign_batch(black_box(&refs))
+        }),
+        BATCH_N,
+    ));
+}
+
 /// A benchmark group: fills a report under the given options.
 type GroupFn = fn(&mut BenchReport, &BenchOptions);
 
 /// Runs every group whose name passes `filter` (empty filter = all).
 pub fn run_suite(opts: &BenchOptions, filter: &str) -> BenchReport {
-    let groups: [(&str, GroupFn); 5] = [
+    let groups: [(&str, GroupFn); 8] = [
         ("fp2_mul", fp2_mul),
         ("scalar_mul", scalar_mul),
+        ("scalar_ops", scalar_ops),
         ("signatures", signatures),
+        ("batch_ops", batch_ops),
+        ("batch_sig", batch_sig),
         ("curve_compare", curve_compare),
         ("scheduling", scheduling),
     ];

@@ -120,15 +120,24 @@ impl AffinePoint {
     /// *point* (public) short-circuits.
     // ct: secret(k)
     pub fn mul(&self, k: &Scalar) -> AffinePoint {
+        let out = self.mul_extended(k);
+        let (x, y) = normalize(&out);
+        AffinePoint { x, y }
+    }
+
+    /// Scalar multiplication returning the projective result, normalisation
+    /// deferred — the building block of the batch pipeline, where one
+    /// [`crate::batch_normalize`] amortises the `Z⁻¹` inversion over many
+    /// points instead of paying it per call.
+    // ct: secret(k)
+    pub fn mul_extended(&self, k: &Scalar) -> ExtendedPoint<Fp2> {
         if self.is_identity() {
             // ct: public — the base point is public input
-            return AffinePoint::identity();
+            return crate::engine::identity(&Fp2::ONE);
         }
         let d = decompose(k);
         let r = recode(&d);
-        let out = scalar_mul_engine(&self.x, &self.y, &Fp2::ONE, &TWO_D, &r, d.corrected);
-        let (x, y) = normalize(&out.point);
-        AffinePoint { x, y }
+        scalar_mul_engine(&self.x, &self.y, &Fp2::ONE, &TWO_D, &r, d.corrected).point
     }
 
     /// Reference scalar multiplication by plain double-and-add over the

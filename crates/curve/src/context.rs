@@ -1,0 +1,217 @@
+//! The reusable scalar-multiplication context — the batch-first entry
+//! point of the curve layer.
+//!
+//! The paper's ASIC amortises its one-time costs (precomputed tables, a
+//! fixed schedule) across every scalar multiplication it serves. The
+//! software analogue is [`FourQEngine`]: a context constructed once that
+//! owns the cached fixed-base comb table and the curve constants, and
+//! exposes *batch* operations as the primary API. Batching is where the
+//! throughput is: a single [`Fp2`] inversion costs ~54 `fp2_mul`
+//! equivalents, so `batch_to_affine` (one inversion per batch instead of
+//! per point) and the bucketed [`FourQEngine::msm`] change the per-op cost
+//! structure rather than micro-tuning single calls. Every one-shot method
+//! is a thin wrapper over the batch path with `n = 1`.
+
+use crate::affine::AffinePoint;
+use crate::extended::ExtendedPoint;
+use crate::fixed_base::FixedBaseTable;
+use crate::multi::{batch_normalize, multi_scalar_mul};
+use crate::params::{D, TWO_D};
+use fourq_fp::{Fp2, Scalar};
+
+/// A reusable FourQ computation context.
+///
+/// Owns the generator comb table (62 doublings + 62 additions per
+/// fixed-base multiplication once built) and the curve constants `d` and
+/// `2d` used by the cached-point formulas. The four-dimensional
+/// decomposition itself needs no per-engine state — this library realises
+/// the paper's φ/ψ endomorphism split as a radix-2^62 scalar cut (see
+/// `DESIGN.md` §3), whose "endomorphism constants" are the three auxiliary
+/// bases `[2^62]P, [2^124]P, [2^186]P` recomputed per point inside the
+/// kernel.
+///
+/// ```
+/// use fourq_curve::{AffinePoint, FourQEngine};
+/// use fourq_fp::Scalar;
+/// let eng = FourQEngine::shared();
+/// let k = Scalar::from_u64(7);
+/// assert_eq!(eng.fixed_base_mul(&k), AffinePoint::generator().mul(&k));
+/// ```
+#[derive(Clone, Debug)]
+pub struct FourQEngine {
+    gen_table: FixedBaseTable,
+}
+
+impl FourQEngine {
+    /// Builds a fresh engine, precomputing the generator comb table
+    /// (~60–70 point operations, one-time).
+    pub fn new() -> FourQEngine {
+        FourQEngine {
+            gen_table: FixedBaseTable::new(&AffinePoint::generator()),
+        }
+    }
+
+    /// The process-wide shared engine, built on first use. Library
+    /// entry points (signatures, key exchange) all route through this so
+    /// the comb table is precomputed exactly once per process.
+    pub fn shared() -> &'static FourQEngine {
+        static ENGINE: std::sync::OnceLock<FourQEngine> = std::sync::OnceLock::new();
+        ENGINE.get_or_init(FourQEngine::new)
+    }
+
+    /// The cached generator comb table.
+    pub fn generator_table(&self) -> &FixedBaseTable {
+        &self.gen_table
+    }
+
+    /// The curve constant `d`.
+    pub fn curve_d(&self) -> &'static Fp2 {
+        &D
+    }
+
+    /// The curve constant `2d` (the cached-point coordinate `2dT`).
+    pub fn two_d(&self) -> &'static Fp2 {
+        &TWO_D
+    }
+
+    // ------------------------------------------------------------------
+    // Variable-base scalar multiplication
+    // ------------------------------------------------------------------
+
+    /// One-shot `[k]P` — a batch of size 1.
+    // ct: secret(k)
+    pub fn scalar_mul(&self, p: &AffinePoint, k: &Scalar) -> AffinePoint {
+        let out = self.batch_scalar_mul(&[(*k, *p)]);
+        out[0]
+    }
+
+    /// Computes `[k_i]P_i` for every pair, sharing a single field
+    /// inversion across the whole batch for the final normalisation.
+    ///
+    /// Each multiplication runs the full constant-time kernel (the
+    /// per-point work is unchanged); the amortisation is in
+    /// [`FourQEngine::batch_to_affine`], which replaces `n` Fermat
+    /// inversions with one inversion plus `3(n−1)` multiplications.
+    // ct: secret(pairs)
+    pub fn batch_scalar_mul(&self, pairs: &[(Scalar, AffinePoint)]) -> Vec<AffinePoint> {
+        let projective: Vec<ExtendedPoint<Fp2>> =
+            pairs.iter().map(|(k, p)| p.mul_extended(k)).collect();
+        self.batch_to_affine(&projective)
+    }
+
+    // ------------------------------------------------------------------
+    // Fixed-base (generator) multiplication
+    // ------------------------------------------------------------------
+
+    /// One-shot `[k]G` via the cached comb table — a batch of size 1.
+    // ct: secret(k)
+    pub fn fixed_base_mul(&self, k: &Scalar) -> AffinePoint {
+        let out = self.batch_fixed_base_mul(std::slice::from_ref(k));
+        out[0]
+    }
+
+    /// Computes `[k_i]G` for every scalar with the shared comb table and
+    /// one batch-normalisation inversion. This is the key-generation /
+    /// signing workload shape: many independent secret scalars, one
+    /// public base.
+    // ct: secret(ks)
+    pub fn batch_fixed_base_mul(&self, ks: &[Scalar]) -> Vec<AffinePoint> {
+        let projective: Vec<ExtendedPoint<Fp2>> =
+            ks.iter().map(|k| self.gen_table.mul_extended(k)).collect();
+        self.batch_to_affine(&projective)
+    }
+
+    // ------------------------------------------------------------------
+    // Normalisation
+    // ------------------------------------------------------------------
+
+    /// One-shot projective → affine conversion (one inversion).
+    pub fn to_affine(&self, p: &ExtendedPoint<Fp2>) -> AffinePoint {
+        let (x, y) = crate::engine::normalize(p);
+        AffinePoint { x, y }
+    }
+
+    /// Converts a whole batch with a single field inversion
+    /// (Montgomery's trick via [`Fp2::batch_invert`]); the per-point cost
+    /// collapses from one ~1.4 µs inversion to three field
+    /// multiplications.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point has `Z = 0` (never produced by the complete
+    /// Edwards formulas).
+    pub fn batch_to_affine(&self, points: &[ExtendedPoint<Fp2>]) -> Vec<AffinePoint> {
+        batch_normalize(points)
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-scalar multiplication
+    // ------------------------------------------------------------------
+
+    /// `Σ [k_i]P_i` with public inputs (verification workloads):
+    /// Straus interleaving for small batches, bucketed Pippenger from
+    /// [`crate::PIPPENGER_THRESHOLD`] points up.
+    pub fn msm(&self, pairs: &[(Scalar, AffinePoint)]) -> AffinePoint {
+        multi_scalar_mul(pairs)
+    }
+}
+
+impl Default for FourQEngine {
+    fn default() -> Self {
+        FourQEngine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_wrappers_match_direct() {
+        let eng = FourQEngine::shared();
+        let g = AffinePoint::generator();
+        let k = Scalar::from_u64(0xfeed_f00d);
+        assert_eq!(eng.scalar_mul(&g, &k), g.mul(&k));
+        assert_eq!(eng.fixed_base_mul(&k), g.mul(&k));
+        let e = g.mul_extended(&k);
+        assert_eq!(eng.to_affine(&e), g.mul(&k));
+    }
+
+    #[test]
+    fn batch_scalar_mul_matches_one_shot() {
+        let eng = FourQEngine::shared();
+        let g = AffinePoint::generator();
+        let pairs: Vec<(Scalar, AffinePoint)> = (1u64..10)
+            .map(|i| (Scalar::from_u64(i * 31 + 5), g.mul(&Scalar::from_u64(i))))
+            .collect();
+        let batch = eng.batch_scalar_mul(&pairs);
+        for ((k, p), b) in pairs.iter().zip(&batch) {
+            assert_eq!(*b, p.mul(k));
+        }
+    }
+
+    #[test]
+    fn batch_fixed_base_matches_table() {
+        let eng = FourQEngine::shared();
+        let ks: Vec<Scalar> = (0u64..7).map(|i| Scalar::from_u64(i * i + 1)).collect();
+        let batch = eng.batch_fixed_base_mul(&ks);
+        for (k, b) in ks.iter().zip(&batch) {
+            assert_eq!(*b, eng.generator_table().mul(k));
+        }
+    }
+
+    #[test]
+    fn empty_batches() {
+        let eng = FourQEngine::shared();
+        assert!(eng.batch_scalar_mul(&[]).is_empty());
+        assert!(eng.batch_fixed_base_mul(&[]).is_empty());
+        assert!(eng.batch_to_affine(&[]).is_empty());
+    }
+
+    #[test]
+    fn engine_constants() {
+        let eng = FourQEngine::new();
+        assert_eq!(*eng.two_d(), *eng.curve_d() + *eng.curve_d());
+        assert_eq!(eng.generator_table().base(), &AffinePoint::generator());
+    }
+}

@@ -108,6 +108,16 @@ impl FixedBaseTable {
     /// doubling/addition sequence and memory access pattern are fixed.
     // ct: secret(k)
     pub fn mul(&self, k: &Scalar) -> AffinePoint {
+        let acc = self.mul_extended(k);
+        let (x, y) = crate::engine::normalize(&acc);
+        AffinePoint { x, y }
+    }
+
+    /// Fixed-base multiplication returning the projective result, so batch
+    /// callers (key generation, batch signing) can normalise many outputs
+    /// with a single shared inversion via [`crate::batch_normalize`].
+    // ct: secret(k)
+    pub fn mul_extended(&self, k: &Scalar) -> ExtendedPoint<Fp2> {
         let v = k.to_u256();
         let mut acc = identity(&Fp2::ONE);
         for col in (0..self.cols).rev() {
@@ -118,8 +128,7 @@ impl FixedBaseTable {
             }
             acc = acc.add_cached(&self.ct_lookup(u));
         }
-        let (x, y) = crate::engine::normalize(&acc);
-        AffinePoint { x, y }
+        acc
     }
 
     /// Masked scan of the full table: every slot is read, the mask decides
@@ -145,8 +154,7 @@ impl FixedBaseTable {
 /// assert_eq!(generator_table().mul(&k), AffinePoint::generator().mul(&k));
 /// ```
 pub fn generator_table() -> &'static FixedBaseTable {
-    static TABLE: std::sync::OnceLock<FixedBaseTable> = std::sync::OnceLock::new();
-    TABLE.get_or_init(|| FixedBaseTable::new(&AffinePoint::generator()))
+    crate::context::FourQEngine::shared().generator_table()
 }
 
 #[cfg(test)]

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod affine;
+mod context;
 mod decompose;
 mod engine;
 mod extended;
@@ -60,8 +61,12 @@ mod multi;
 pub mod params;
 
 pub use affine::{AffinePoint, DecodePointError};
+pub use context::FourQEngine;
 pub use decompose::{decompose, recode, Decomposition, Recoded, DIGITS, LIMB_BITS};
 pub use engine::{normalize, scalar_mul_engine, MulOutput};
 pub use extended::{CachedPoint, ExtendedPoint};
 pub use fixed_base::{generator_table, FixedBaseTable};
-pub use multi::{batch_normalize, double_scalar_mul, multi_scalar_mul, window_scalar_mul};
+pub use multi::{
+    batch_normalize, double_scalar_mul, msm_pippenger, msm_straus, multi_scalar_mul,
+    window_scalar_mul, PIPPENGER_THRESHOLD,
+};

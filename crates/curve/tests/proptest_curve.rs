@@ -88,6 +88,50 @@ fn encode_decode_roundtrip() {
 }
 
 #[test]
+fn msm_matches_repeated_scalar_mul() {
+    // Cross-checks both MSM algorithms (the dispatch covers Straus below
+    // the threshold and Pippenger above it) against the sum of
+    // independent scalar multiplications.
+    prop_check!(cases = 4, |rng| {
+        let g = AffinePoint::generator();
+        let n = rng.range_u64(1, 12) as usize;
+        let pairs: Vec<(Scalar, AffinePoint)> = (0..n)
+            .map(|_| {
+                let k = Scalar::from_u64(rng.range_u64(0, u64::MAX));
+                let p = g.mul(&Scalar::from_u64(rng.range_u64(1, 1 << 20)));
+                (k, p)
+            })
+            .collect();
+        let mut expect = AffinePoint::identity();
+        for (k, p) in &pairs {
+            expect = expect.add(&p.mul(k));
+        }
+        assert_eq!(fourq_curve::msm_pippenger(&pairs), expect);
+        assert_eq!(fourq_curve::msm_straus(&pairs), expect);
+        assert_eq!(fourq_curve::multi_scalar_mul(&pairs), expect);
+    });
+}
+
+#[test]
+fn batch_to_affine_matches_pointwise() {
+    prop_check!(cases = 6, |rng| {
+        let eng = fourq_curve::FourQEngine::shared();
+        let g = AffinePoint::generator();
+        let n = rng.range_u64(1, 9) as usize;
+        let ext: Vec<_> = (0..n)
+            .map(|_| {
+                let k = Scalar::from_u64(rng.range_u64(1, u64::MAX));
+                g.mul_extended(&k)
+            })
+            .collect();
+        let batch = eng.batch_to_affine(&ext);
+        for (e, b) in ext.iter().zip(&batch) {
+            assert_eq!(eng.to_affine(e), *b);
+        }
+    });
+}
+
+#[test]
 fn double_scalar_mul_correct() {
     prop_check!(cases = 12, |rng; a: u64, b: u64| {
         let q = rng.range_u64(1, 1000);

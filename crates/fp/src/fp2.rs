@@ -11,6 +11,12 @@ use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 /// lazy-reduction variant: 3 base-field multiplications instead of 4, with
 /// reductions delayed to the end of each accumulation. Both variants are
 /// kept so the benchmark harness can reproduce the design-choice ablation.
+///
+/// The default (and the `Mul` operator) dispatch to the measured-fastest
+/// variant. An early `Wide::reduce` stacked three Mersenne fold layers,
+/// which made the lazy path bench *slower* than schoolbook; after the
+/// single-pass 127-bit-chunk fold the Karatsuba path wins (`fp2_mul`
+/// group in `BENCH_fourq.json`), so it stays the default.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum MulKind {
     /// Schoolbook: `(a0b0 - a1b1) + i(a0b1 + a1b0)`, 4 `F_p` multiplications.
@@ -158,6 +164,45 @@ impl Fp2 {
         assert!(!self.is_zero(), "inverse of zero in F_p^2");
         let n_inv = self.norm().inv();
         Fp2::new(self.re * n_inv, -self.im * n_inv)
+    }
+
+    /// Montgomery batch inversion: inverts `n` elements with **one** real
+    /// field inversion plus `3(n−1)` multiplications — the amortisation
+    /// the batch-normalisation pipeline is built on (one `Fp2::inv` costs
+    /// ~54 `fp2_mul`, so the per-element cost collapses for large `n`).
+    ///
+    /// Zero entries are handled without data-dependent branches: each zero
+    /// is swapped for `1` in the running product via `ct_select` and its
+    /// output slot is masked back to zero, so zeros invert to zero and the
+    /// batch never panics.
+    pub fn batch_invert(xs: &[Fp2]) -> Vec<Fp2> {
+        use crate::traits::{Choice, CtSelect};
+        let ct_is_zero = |x: &Fp2| -> Choice {
+            use crate::traits::CtEq;
+            x.ct_eq(&Fp2::ZERO)
+        };
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        // Prefix products with zeros masked to one.
+        let mut prefix = Vec::with_capacity(xs.len());
+        let mut acc = Fp2::ONE;
+        for x in xs {
+            prefix.push(acc);
+            let safe = Fp2::ct_select(x, &Fp2::ONE, ct_is_zero(x));
+            acc *= safe;
+        }
+        // One real inversion of the (nonzero) running product.
+        let mut inv = acc.inv();
+        let mut out = vec![Fp2::ZERO; xs.len()];
+        for (i, x) in xs.iter().enumerate().rev() {
+            let is_zero = ct_is_zero(x);
+            let xi_inv = inv * prefix[i];
+            let safe = Fp2::ct_select(x, &Fp2::ONE, is_zero);
+            inv *= safe;
+            out[i] = Fp2::ct_select(&xi_inv, &Fp2::ZERO, is_zero);
+        }
+        out
     }
 
     /// Raises to the power `e` (128-bit exponent).
@@ -365,6 +410,36 @@ mod tests {
     #[should_panic(expected = "inverse of zero")]
     fn zero_inverse_panics() {
         let _ = Fp2::ZERO.inv();
+    }
+
+    #[test]
+    fn batch_invert_matches_individual() {
+        let xs: Vec<Fp2> = (1u128..24).map(|v| el(v * 7919, v * 104729)).collect();
+        let invs = Fp2::batch_invert(&xs);
+        for (x, i) in xs.iter().zip(&invs) {
+            assert_eq!(*i, x.inv());
+        }
+    }
+
+    #[test]
+    fn batch_invert_edge_cases() {
+        // empty
+        assert!(Fp2::batch_invert(&[]).is_empty());
+        // size 1 matches inv()
+        let a = el(12345, 67890);
+        assert_eq!(Fp2::batch_invert(&[a]), vec![a.inv()]);
+        // zeros map to zero without disturbing neighbours
+        let b = el(31337, 0);
+        let xs = [Fp2::ZERO, a, Fp2::ZERO, b];
+        let invs = Fp2::batch_invert(&xs);
+        assert_eq!(invs[0], Fp2::ZERO);
+        assert_eq!(invs[2], Fp2::ZERO);
+        assert_eq!(invs[1], a.inv());
+        assert_eq!(invs[3], b.inv());
+        // all zeros never panics
+        assert!(Fp2::batch_invert(&[Fp2::ZERO; 4])
+            .iter()
+            .all(|v| *v == Fp2::ZERO));
     }
 
     #[test]

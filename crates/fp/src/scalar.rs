@@ -19,6 +19,30 @@ pub const N: U256 = U256([
     0x0029CBC14E5E0A72,
 ]);
 
+/// `−N⁻¹ mod 2^64`, the Montgomery reduction constant for `N`.
+///
+/// Derivation checked by the `montgomery_constants` unit test
+/// (`N·(−N') ≡ 1 (mod 2^64)`).
+const N_PRIME: u64 = 0xE12FE5F079BC3929;
+
+/// `R² mod N` with `R = 2^256`: the conversion factor into the Montgomery
+/// domain. Checked against an independent `rem_wide` computation by the
+/// `montgomery_constants` unit test.
+const R2_MOD_N: U256 = U256([
+    0xC81DB8795FF3D621,
+    0x173EA5AAEA6B387D,
+    0x3D01B7C72136F61C,
+    0x0006A5F16AC8F9D3,
+]);
+
+/// `R mod N` with `R = 2^256`: the Montgomery representation of 1.
+const R_MOD_N: U256 = U256([
+    0xDBBD257A49E0F920,
+    0x9A5E224BE13735BB,
+    0x0000000000000005,
+    0x0000000000000000,
+]);
+
 /// A 256-bit unsigned integer, little-endian 64-bit limbs.
 ///
 /// ```
@@ -330,6 +354,55 @@ impl fmt::Display for U256 {
     }
 }
 
+/// Montgomery product `a·b·R⁻¹ mod N` with `R = 2^256` (CIOS, 4 limbs).
+///
+/// Constant-time: a fixed 4-round interleaved multiply/reduce loop with no
+/// data-dependent control flow; the final correction runs the subtraction
+/// unconditionally and keeps the right value by mask selection.
+///
+/// With `N < 2^246` the classic CIOS bound applies: the pre-correction
+/// accumulator is `< 2N < 2^247`, so the fifth limb is always zero and a
+/// single conditional subtraction canonicalises.
+// ct: secret(a, b)
+fn mont_mul(a: &U256, b: &U256) -> U256 {
+    let mut t = [0u64; 6];
+    for i in 0..4 {
+        // t += a[i] · b
+        let mut carry = 0u128;
+        for j in 0..4 {
+            let acc = t[j] as u128 + a.0[i] as u128 * b.0[j] as u128 + carry;
+            t[j] = acc as u64;
+            carry = acc >> 64;
+        }
+        let acc = t[4] as u128 + carry;
+        t[4] = acc as u64;
+        t[5] = t[5].wrapping_add((acc >> 64) as u64);
+        // m chosen so t + m·N ≡ 0 (mod 2^64); the low limb cancels.
+        let m = t[0].wrapping_mul(N_PRIME);
+        let mut carry = 0u128;
+        for j in 0..4 {
+            let acc = t[j] as u128 + m as u128 * N.0[j] as u128 + carry;
+            t[j] = acc as u64;
+            carry = acc >> 64;
+        }
+        let acc = t[4] as u128 + carry;
+        t[4] = acc as u64;
+        t[5] = t[5].wrapping_add((acc >> 64) as u64);
+        debug_assert_eq!(t[0], 0);
+        // divide by 2^64: shift the accumulator down one limb
+        t[0] = t[1];
+        t[1] = t[2];
+        t[2] = t[3];
+        t[3] = t[4];
+        t[4] = t[5];
+        t[5] = 0;
+    }
+    debug_assert_eq!(t[4], 0, "CIOS accumulator exceeded 2N");
+    let r = U256([t[0], t[1], t[2], t[3]]);
+    let (reduced, borrow) = r.overflowing_sub(&N);
+    U256::ct_select(&reduced, &r, Choice::from_bit(borrow as u64))
+}
+
 /// Error returned when parsing a scalar from text fails.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParseScalarError;
@@ -441,27 +514,78 @@ impl Scalar {
     }
 
     /// Modular multiplication.
+    ///
+    /// Two Montgomery products: `mont(mont(a, b), R²) = a·b·R⁻¹·R²·R⁻¹ =
+    /// a·b mod N`. Replaces the former 512-iteration shift-subtract
+    /// reduction ([`Scalar::mul_rem_wide`], kept for the ablation), cutting
+    /// a scalar multiplication from ~4 µs to tens of nanoseconds — the
+    /// change that removed the ECDSA outlier from `BENCH_fourq.json`.
     pub fn mul(&self, rhs: &Scalar) -> Scalar {
+        Scalar(mont_mul(&mont_mul(&self.0, &rhs.0), &R2_MOD_N))
+    }
+
+    /// Modular multiplication through the generic shift-subtract reduction
+    /// ([`U256::rem_wide`]) — the pre-Montgomery reference path.
+    ///
+    /// Kept (a) as an independent implementation the property tests
+    /// cross-check [`Scalar::mul`] against and (b) so the benchmark suite
+    /// can record the before/after of the Montgomery rework.
+    pub fn mul_rem_wide(&self, rhs: &Scalar) -> Scalar {
         Scalar(U256::rem_wide(&self.0.widening_mul(&rhs.0), &N))
     }
 
-    /// Modular exponentiation.
+    /// Modular exponentiation with a fixed 4-bit-window ladder run in the
+    /// Montgomery domain.
+    ///
+    /// The exponent is treated as **public** (table indices are derived
+    /// from it directly): every in-tree caller raises to a fixed public
+    /// exponent (`N − 2` for inversion, `(N−1)/2`-style probes in tests).
+    /// The *base* stays secret-safe: the ladder's operation sequence
+    /// depends only on `e.bits()`.
     pub fn pow(&self, e: &U256) -> Scalar {
+        let bits = e.bits();
+        if bits == 0 {
+            return Scalar::ONE;
+        }
+        // table[d] = self^d in Montgomery form, d ∈ 0..16
+        let base_m = mont_mul(&self.0, &R2_MOD_N);
+        let mut table = [R_MOD_N; 16];
+        for d in 1..16 {
+            table[d] = mont_mul(&table[d - 1], &base_m);
+        }
+        let windows = bits.div_ceil(4) as usize;
+        let mut acc = R_MOD_N;
+        for w in (0..windows).rev() {
+            for _ in 0..4 {
+                acc = mont_mul(&acc, &acc);
+            }
+            let digit = e.extract_bits(w * 4, 4) as usize; // public exponent digit
+            acc = mont_mul(&acc, &table[digit]);
+        }
+        // leave the Montgomery domain: mont(acc, 1) = acc·R⁻¹
+        Scalar(mont_mul(&acc, &U256::ONE))
+    }
+
+    /// Binary (square-and-multiply) exponentiation over the shift-subtract
+    /// multiplier — the pre-windowed reference path, kept for the ablation
+    /// benchmarks and as a cross-check implementation.
+    pub fn pow_binary_rem_wide(&self, e: &U256) -> Scalar {
         let mut acc = Scalar::ONE;
         let bits = e.bits();
         if bits == 0 {
             return acc;
         }
         for i in (0..bits as usize).rev() {
-            acc = acc.mul(&acc);
+            acc = acc.mul_rem_wide(&acc);
             if e.bit(i) {
-                acc = acc.mul(self);
+                acc = acc.mul_rem_wide(self);
             }
         }
         acc
     }
 
-    /// Modular inverse via Fermat (`N` is prime).
+    /// Modular inverse via Fermat (`N` is prime), computed with the
+    /// windowed Montgomery ladder of [`Scalar::pow`].
     ///
     /// # Panics
     ///
@@ -472,6 +596,59 @@ impl Scalar {
         // ct: allow(R5) reason="N is a fixed constant > 2; expect cannot fire"
         let n_minus_2 = N.checked_sub(&U256::from_u64(2)).expect("N > 2");
         self.pow(&n_minus_2)
+    }
+
+    /// The pre-Montgomery Fermat inversion (binary ladder over
+    /// [`Scalar::mul_rem_wide`]). Kept so `BENCH_fourq.json` records the
+    /// before/after of the ECDSA-outlier fix and as a test cross-check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scalar is zero.
+    pub fn inv_binary_rem_wide(&self) -> Scalar {
+        // ct: allow(R5) reason="documented domain-error panic; zero has no inverse"
+        assert!(!self.is_zero(), "inverse of zero scalar");
+        // ct: allow(R5) reason="N is a fixed constant > 2; expect cannot fire"
+        let n_minus_2 = N.checked_sub(&U256::from_u64(2)).expect("N > 2");
+        self.pow_binary_rem_wide(&n_minus_2)
+    }
+
+    /// Montgomery batch inversion: inverts `n` scalars with **one** real
+    /// inversion plus `3(n−1)` multiplications.
+    ///
+    /// Zero entries are handled without branching on the (possibly secret)
+    /// values: each zero is replaced by `1` in the running product via
+    /// `ct_select` and its output slot is forced back to zero the same
+    /// way, so `batch_invert` is total — zeros invert to zero, matching
+    /// the convention of the batch-normalisation pipeline.
+    // ct: secret(xs)
+    pub fn batch_invert(xs: &[Scalar]) -> Vec<Scalar> {
+        // ct: allow(R1) reason="batch length is public; only the element values are secret"
+        if xs.is_empty() {
+            // ct: allow(R6) reason="early exit on the public empty-batch case"
+            return Vec::new();
+        }
+        // Prefix products with zeros masked to one.
+        let mut prefix = Vec::with_capacity(xs.len());
+        let mut acc = Scalar::ONE;
+        for x in xs {
+            prefix.push(acc);
+            let safe = Scalar::ct_select(x, &Scalar::ONE, x.ct_is_zero());
+            acc = acc.mul(&safe);
+        }
+        // One real inversion of the (nonzero) full product.
+        let mut inv = acc.inv();
+        let mut out = vec![Scalar::ZERO; xs.len()];
+        for (i, x) in xs.iter().enumerate().rev() {
+            let is_zero = x.ct_is_zero();
+            // ct: allow(R3) reason="index is the public batch position, not secret data"
+            let xi_inv = inv.mul(&prefix[i]);
+            let safe = Scalar::ct_select(x, &Scalar::ONE, is_zero);
+            inv = inv.mul(&safe);
+            // ct: allow(R3) reason="index is the public batch position, not secret data"
+            out[i] = Scalar::ct_select(&xi_inv, &Scalar::ZERO, is_zero);
+        }
+        out
     }
 
     /// Little-endian 32-byte encoding of the canonical representative.
@@ -608,6 +785,91 @@ mod tests {
     fn scalar_inverse() {
         let a = Scalar::from_u64(0xdeadbeef);
         assert_eq!(a * a.inv(), Scalar::ONE);
+    }
+
+    #[test]
+    fn montgomery_constants() {
+        // N·(−N')⁻¹-style check: N·N_PRIME ≡ −1 (mod 2^64).
+        assert_eq!(N.0[0].wrapping_mul(N_PRIME), u64::MAX);
+        // R mod N: 2^256 mod N via the independent rem_wide path.
+        let mut wide = [0u64; 8];
+        wide[4] = 1; // 2^256
+        assert_eq!(U256::rem_wide(&wide, &N), R_MOD_N);
+        // R² mod N from R mod N.
+        assert_eq!(
+            U256::rem_wide(&R_MOD_N.widening_mul(&R_MOD_N), &N),
+            R2_MOD_N
+        );
+    }
+
+    #[test]
+    fn montgomery_mul_matches_rem_wide() {
+        let cases = [
+            (U256::ZERO, U256::ONE),
+            (U256::ONE, U256::ONE),
+            (U256([u64::MAX, 1, 2, 0]), U256([7, 0, 0, 0])),
+            (
+                N.checked_sub(&U256::ONE).unwrap(),
+                N.checked_sub(&U256::ONE).unwrap(),
+            ),
+            (R_MOD_N, R2_MOD_N),
+        ];
+        for (a, b) in cases {
+            let sa = Scalar::from_u256(a);
+            let sb = Scalar::from_u256(b);
+            assert_eq!(sa.mul(&sb), sa.mul_rem_wide(&sb), "a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn windowed_pow_matches_binary() {
+        let a = Scalar::from_u64(0x1234_5678_9abc_def1);
+        for e in [
+            U256::ZERO,
+            U256::ONE,
+            U256::from_u64(15),
+            U256::from_u64(16),
+            U256::from_u64(0xffff_ffff),
+            N.checked_sub(&U256::from_u64(2)).unwrap(),
+        ] {
+            assert_eq!(a.pow(&e), a.pow_binary_rem_wide(&e), "e={e:?}");
+        }
+    }
+
+    #[test]
+    fn inv_matches_binary_reference() {
+        for v in [1u64, 2, 3, 0xdeadbeef, u64::MAX] {
+            let a = Scalar::from_u64(v);
+            assert_eq!(a.inv(), a.inv_binary_rem_wide(), "v={v}");
+        }
+    }
+
+    #[test]
+    fn batch_invert_matches_scalar_inverse() {
+        let xs: Vec<Scalar> = (1u64..20).map(Scalar::from_u64).collect();
+        let invs = Scalar::batch_invert(&xs);
+        for (x, i) in xs.iter().zip(&invs) {
+            assert_eq!(*x * *i, Scalar::ONE);
+        }
+    }
+
+    #[test]
+    fn batch_invert_edge_cases() {
+        // empty
+        assert!(Scalar::batch_invert(&[]).is_empty());
+        // size 1 matches inv()
+        let a = Scalar::from_u64(42);
+        assert_eq!(Scalar::batch_invert(&[a]), vec![a.inv()]);
+        // zeros map to zero, neighbours still correct
+        let xs = [Scalar::ZERO, a, Scalar::ZERO, Scalar::from_u64(7)];
+        let invs = Scalar::batch_invert(&xs);
+        assert_eq!(invs[0], Scalar::ZERO);
+        assert_eq!(invs[2], Scalar::ZERO);
+        assert_eq!(xs[1] * invs[1], Scalar::ONE);
+        assert_eq!(xs[3] * invs[3], Scalar::ONE);
+        // all zeros
+        let invs = Scalar::batch_invert(&[Scalar::ZERO; 3]);
+        assert!(invs.iter().all(|v| *v == Scalar::ZERO));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! session keys (e.g. for encrypted unicast after authentication); this
 //! module provides the standard cofactor-clearing ECDH.
 
-use fourq_curve::AffinePoint;
+use fourq_curve::{AffinePoint, FourQEngine};
 use fourq_fp::{CtSelect, Scalar};
 use fourq_hash::Sha512;
 
@@ -54,14 +54,37 @@ impl EphemeralSecret {
     /// randomness; the scalar is the SHA-512 of the seed reduced mod `N`,
     /// forced nonzero).
     pub fn from_seed(seed: &[u8; 32]) -> EphemeralSecret {
-        let h = Sha512::digest(seed);
-        let mut wide = [0u8; 64];
-        wide.copy_from_slice(&h);
-        let secret = Scalar::from_wide_bytes(&wide);
-        // zero is astronomically unlikely; select (not branch) the fallback
-        let secret = Scalar::ct_select(&secret, &Scalar::ONE, secret.ct_is_zero());
-        let public = fourq_curve::generator_table().mul(&secret).encode();
-        EphemeralSecret { secret, public }
+        let mut out = Self::batch_from_seeds(std::slice::from_ref(seed));
+        // ct: allow(R5) reason="batch_from_seeds returns exactly one pair per seed"
+        out.pop().expect("batch of one")
+    }
+
+    /// Derives many key pairs at once — the server-side session-setup
+    /// workload. All `[d_i]G` share the comb table and one batch
+    /// normalisation inversion; results match per-seed
+    /// [`EphemeralSecret::from_seed`] exactly.
+    // ct: secret — derived scalars are secret key material
+    pub fn batch_from_seeds(seeds: &[[u8; 32]]) -> Vec<EphemeralSecret> {
+        let secrets: Vec<Scalar> = seeds
+            .iter()
+            .map(|seed| {
+                let h = Sha512::digest(seed);
+                let mut wide = [0u8; 64];
+                wide.copy_from_slice(&h);
+                let secret = Scalar::from_wide_bytes(&wide);
+                // zero is astronomically unlikely; select, don't branch
+                Scalar::ct_select(&secret, &Scalar::ONE, secret.ct_is_zero())
+            })
+            .collect();
+        let publics = FourQEngine::shared().batch_fixed_base_mul(&secrets);
+        secrets
+            .into_iter()
+            .zip(&publics)
+            .map(|(secret, public)| EphemeralSecret {
+                secret,
+                public: public.encode(),
+            })
+            .collect()
     }
 
     /// Computes the shared secret with a peer's public key: the SHA-512 of
@@ -108,6 +131,16 @@ mod tests {
         let b = EphemeralSecret::from_seed(&[4u8; 32]);
         let c = EphemeralSecret::from_seed(&[5u8; 32]);
         assert_ne!(a.agree(&b.public).unwrap(), a.agree(&c.public).unwrap());
+    }
+
+    #[test]
+    fn batch_keygen_matches_one_shot() {
+        let seeds: Vec<[u8; 32]> = (0u8..6).map(|i| [i + 50; 32]).collect();
+        let batch = EphemeralSecret::batch_from_seeds(&seeds);
+        for (seed, pair) in seeds.iter().zip(&batch) {
+            assert_eq!(pair.public, EphemeralSecret::from_seed(seed).public);
+        }
+        assert!(EphemeralSecret::batch_from_seeds(&[]).is_empty());
     }
 
     #[test]

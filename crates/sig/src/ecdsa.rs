@@ -9,7 +9,7 @@
 //! Nonces are derived deterministically (RFC 6979 flavour: HMAC-SHA-256
 //! over the secret key and message digest), so no RNG is required.
 
-use fourq_curve::AffinePoint;
+use fourq_curve::{AffinePoint, FourQEngine};
 use fourq_fp::{Scalar, U256};
 use fourq_hash::{Hmac, Sha256};
 
@@ -90,8 +90,20 @@ impl KeyPair {
         }
         Ok(KeyPair {
             secret,
-            public: fourq_curve::generator_table().mul(&secret),
+            public: FourQEngine::shared().fixed_base_mul(&secret),
         })
+    }
+
+    /// Derives the deterministic nonce for `(msg, counter)` — RFC 6979
+    /// flavour, identical for the one-shot and batch signing paths.
+    // ct: secret(self)
+    fn nonce(&self, msg: &[u8], counter: u8) -> Scalar {
+        let mut key = self.secret.to_le_bytes().to_vec();
+        key.push(counter);
+        let mac = Hmac::<Sha256>::mac(&key, msg);
+        let mut kb = [0u8; 32];
+        kb.copy_from_slice(&mac);
+        Scalar::from_le_bytes(&kb)
     }
 
     /// Signs a message following §II-A steps 1–5.
@@ -102,37 +114,77 @@ impl KeyPair {
     /// `r = 0` or `s = 0` (probability ≈ 2⁻²⁴⁶·¹⁰⁰ — unreachable; the
     /// retry loop mirrors the "go back to step 2" arrows of the paper).
     pub fn sign(&self, msg: &[u8]) -> Result<Signature, SignError> {
-        let z = message_scalar(msg);
+        let mut out = self.sign_batch(&[msg])?;
+        // ct: allow(R5) reason="sign_batch returns exactly one signature per message"
+        Ok(out.pop().expect("batch of one"))
+    }
+
+    /// Signs many messages, batching the per-signature work: each round
+    /// runs every pending `[k]G` through the shared comb table with one
+    /// batch normalisation, and every nonce inversion through
+    /// [`Scalar::batch_invert`] — one Fermat ladder per round instead of
+    /// one per signature.
+    ///
+    /// Produces bit-identical signatures to per-message [`KeyPair::sign`]
+    /// (same nonce derivation, same retry counter sequence per message).
+    ///
+    /// # Errors
+    ///
+    /// [`SignError::BadNonce`] if any message exhausts its 100 nonce
+    /// retries (probability ≈ 2⁻²⁴⁶ per retry — unreachable).
+    // ct: secret(self) — nonces and the secret scalar; messages are public
+    pub fn sign_batch(&self, msgs: &[&[u8]]) -> Result<Vec<Signature>, SignError> {
+        let zs: Vec<Scalar> = msgs.iter().map(|m| message_scalar(m)).collect();
+        let mut out: Vec<Option<Signature>> = vec![None; msgs.len()];
+        let mut pending: Vec<usize> = (0..msgs.len()).collect();
         // The retry loop is variable-time by design (the paper's "go back
         // to step 2" arrows): each retry condition is an `is_zero` check,
         // a sanctioned declassification — a zero hit has probability
         // ≈ 2⁻²⁴⁶, so the observable retry count carries no key material.
         for counter in 0u8..100 {
-            // Step 2: deterministic nonce (RFC 6979 flavour).
-            let mut key = self.secret.to_le_bytes().to_vec();
-            key.push(counter);
-            let mac = Hmac::<Sha256>::mac(&key, msg);
-            let mut kb = [0u8; 32];
-            kb.copy_from_slice(&mac);
-            let k = Scalar::from_le_bytes(&kb);
-            if k.is_zero() {
-                continue;
+            if pending.is_empty() {
+                break;
             }
-            // Step 3: (x₁, y₁) = [k]G.
-            let p = fourq_curve::generator_table().mul(&k);
-            // Step 4: r = x₁ mod n.
-            let r = point_to_r(&p);
-            if r.is_zero() {
-                continue;
+            // Step 2: deterministic nonces for every pending message.
+            let ks: Vec<Scalar> = pending
+                .iter()
+                .map(|&i| self.nonce(msgs[i], counter))
+                .collect();
+            // Step 3: (x₁, y₁) = [k]G, one shared normalisation inversion.
+            // A zero nonce maps to the identity point, whose r = 0 routes
+            // the item into the retry set below, matching the one-shot
+            // path's `k.is_zero()` check.
+            let points = FourQEngine::shared().batch_fixed_base_mul(&ks);
+            // Step 5 prep: k⁻¹ for the whole round in one real inversion
+            // (zero-safe: a zero nonce yields a zero inverse and retries).
+            let kinvs = Scalar::batch_invert(&ks);
+            let mut still_pending = Vec::new();
+            for (slot, &i) in pending.iter().enumerate() {
+                if ks[slot].is_zero() {
+                    still_pending.push(i);
+                    continue;
+                }
+                // Step 4: r = x₁ mod n.
+                let r = point_to_r(&points[slot]);
+                if r.is_zero() {
+                    still_pending.push(i);
+                    continue;
+                }
+                // Step 5: s = k⁻¹(z + r·d).
+                let s = kinvs[slot] * (zs[i] + r * self.secret);
+                if s.is_zero() {
+                    still_pending.push(i);
+                    continue;
+                }
+                out[i] = Some(Signature { r, s });
             }
-            // Step 5: s = k⁻¹(z + r·d).
-            let s = k.inv() * (z + r * self.secret);
-            if s.is_zero() {
-                continue;
-            }
-            return Ok(Signature { r, s });
+            pending = still_pending;
         }
-        Err(SignError::BadNonce)
+        if !pending.is_empty() {
+            return Err(SignError::BadNonce);
+        }
+        // ct: allow(R5) reason="every slot was filled or we returned BadNonce above"
+        Ok(out.into_iter().map(|s| s.expect("signed")).collect())
     }
 }
 
@@ -206,6 +258,19 @@ mod tests {
             KeyPair::from_secret(Scalar::ZERO).err(),
             Some(SignError::ZeroKey)
         );
+    }
+
+    #[test]
+    fn sign_batch_matches_one_shot() {
+        let k1 = kp(0x5eed);
+        let msgs: Vec<Vec<u8>> = (0..7).map(|i| format!("update {i}").into_bytes()).collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        let batch = k1.sign_batch(&refs).unwrap();
+        for (m, s) in refs.iter().zip(&batch) {
+            assert_eq!(*s, k1.sign(m).unwrap());
+            assert!(verify(&k1.public, m, s));
+        }
+        assert!(k1.sign_batch(&[]).unwrap().is_empty());
     }
 
     #[test]

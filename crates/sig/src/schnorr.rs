@@ -4,7 +4,7 @@
 //! two scalar multiplications and one point addition — the operation mix
 //! the paper's throughput analysis assumes (§II-A).
 
-use fourq_curve::AffinePoint;
+use fourq_curve::{AffinePoint, FourQEngine};
 use fourq_fp::{CtSelect, Scalar};
 use fourq_hash::{Digest, Sha512};
 
@@ -64,7 +64,7 @@ impl KeyPair {
         let secret = Scalar::from_wide_bytes(&dbytes);
         let mut nonce_key = [0u8; 32];
         nonce_key.copy_from_slice(&expanded[32..]);
-        let point = fourq_curve::generator_table().mul(&secret);
+        let point = FourQEngine::shared().fixed_base_mul(&secret);
         KeyPair {
             secret,
             nonce_key,
@@ -75,22 +75,47 @@ impl KeyPair {
         }
     }
 
-    /// Signs a message (deterministic nonce: `SHA-512(nonce_key ‖ m)`).
+    /// Signs a message (deterministic nonce: `SHA-512(nonce_key ‖ m)`) —
+    /// a batch of size 1.
     pub fn sign(&self, msg: &[u8]) -> Signature {
-        let mut h = <Sha512 as Digest>::new();
-        h.update(&self.nonce_key);
-        h.update(msg);
-        let mut wide = [0u8; 64];
-        wide.copy_from_slice(&h.finalize());
-        let r = Scalar::from_wide_bytes(&wide);
-        // r = 0 is astronomically unlikely; fall back to r = 1 so signing
-        // is total. Masked selection, not a branch: the nonce is secret.
-        let r = Scalar::ct_select(&r, &Scalar::ONE, r.ct_is_zero());
-        let commitment = fourq_curve::generator_table().mul(&r);
-        let renc = commitment.encode();
-        let h = challenge(&renc, &self.public.encoded, msg);
-        let s = r + h * self.secret;
-        Signature { r: renc, s }
+        let mut out = self.sign_batch(&[msg]);
+        // ct: allow(R5) reason="sign_batch returns exactly one signature per message"
+        out.pop().expect("batch of one")
+    }
+
+    /// Signs many messages, amortising the commitment normalisation: all
+    /// `[r_i]G` run through the shared comb table and a single batch
+    /// inversion converts every commitment to affine at once.
+    ///
+    /// Produces bit-identical signatures to per-message [`KeyPair::sign`]
+    /// (the nonce derivation is unchanged).
+    // ct: secret(self) — nonces and the secret scalar; messages are public
+    pub fn sign_batch(&self, msgs: &[&[u8]]) -> Vec<Signature> {
+        let nonces: Vec<Scalar> = msgs
+            .iter()
+            .map(|msg| {
+                let mut h = <Sha512 as Digest>::new();
+                h.update(&self.nonce_key);
+                h.update(msg);
+                let mut wide = [0u8; 64];
+                wide.copy_from_slice(&h.finalize());
+                let r = Scalar::from_wide_bytes(&wide);
+                // r = 0 is astronomically unlikely; fall back to r = 1 so
+                // signing is total. Masked selection: the nonce is secret.
+                Scalar::ct_select(&r, &Scalar::ONE, r.ct_is_zero())
+            })
+            .collect();
+        let commitments = FourQEngine::shared().batch_fixed_base_mul(&nonces);
+        msgs.iter()
+            .zip(&nonces)
+            .zip(&commitments)
+            .map(|((msg, r), commitment)| {
+                let renc = commitment.encode();
+                let h = challenge(&renc, &self.public.encoded, msg);
+                let s = *r + h * self.secret;
+                Signature { r: renc, s }
+            })
+            .collect()
     }
 }
 
@@ -127,9 +152,12 @@ pub fn verify(public: &PublicKey, msg: &[u8], sig: &Signature) -> bool {
 /// roadside unit facing the paper's "1000 messages per second" load would
 /// deploy.
 ///
-/// Checks `[Σ cᵢ·sᵢ]G == Σ [cᵢ]Rᵢ + Σ [cᵢ·hᵢ]Aᵢ` for deterministic
-/// pseudorandom 64-bit coefficients `cᵢ` derived from the whole batch
-/// (so a forger cannot anticipate them).
+/// Checks `[−Σ cᵢ·sᵢ]G + Σ [cᵢ]Rᵢ + Σ [cᵢ·hᵢ]Aᵢ == O` as one
+/// `2n + 1`-term multi-scalar multiplication through
+/// [`FourQEngine::msm`] (bucketed Pippenger for real batch sizes), for
+/// deterministic pseudorandom 64-bit coefficients `cᵢ` derived from the
+/// whole batch (so a forger cannot anticipate them). The short `cᵢ` on
+/// the `Rᵢ` terms cost nothing in their empty upper Pippenger windows.
 ///
 /// Returns `false` if any signature in the batch is invalid (callers can
 /// fall back to per-item [`verify`] to locate offenders) or if any `R`
@@ -149,15 +177,16 @@ pub fn verify_batch(items: &[(&PublicKey, &[u8], &Signature)]) -> bool {
     }
     let seed = seed_hash.finalize();
 
-    let mut lhs_scalar = Scalar::ZERO;
-    let mut rhs_terms: Vec<(Scalar, fourq_curve::AffinePoint)> =
-        Vec::with_capacity(2 * items.len());
+    let mut gen_scalar = Scalar::ZERO;
+    let mut terms: Vec<(Scalar, fourq_curve::AffinePoint)> =
+        Vec::with_capacity(2 * items.len() + 1);
     for (i, (pk, msg, sig)) in items.iter().enumerate() {
         let commitment = match fourq_curve::AffinePoint::decode(&sig.r) {
             Ok(p) => p,
             Err(_) => return false,
         };
         // c_i = SHA-512(seed ‖ i) truncated to 64 bits, forced nonzero.
+        // ct: public — RLC coefficients derive from public batch data
         let mut ch = <Sha512 as Digest>::new();
         ch.update(&seed);
         ch.update(&(i as u64).to_le_bytes());
@@ -167,13 +196,12 @@ pub fn verify_batch(items: &[(&PublicKey, &[u8], &Signature)]) -> bool {
         let c = Scalar::from_u64(u64::from_le_bytes(c8) | 1);
 
         let h = challenge(&sig.r, &pk.encoded, msg);
-        lhs_scalar = lhs_scalar + c * sig.s;
-        rhs_terms.push((c, commitment));
-        rhs_terms.push((c * h, pk.point));
+        gen_scalar = gen_scalar + c * sig.s;
+        terms.push((c, commitment));
+        terms.push((c * h, pk.point));
     }
-    let lhs = fourq_curve::generator_table().mul(&lhs_scalar);
-    let rhs = fourq_curve::multi_scalar_mul(&rhs_terms);
-    lhs == rhs
+    terms.push((gen_scalar.neg(), AffinePoint::generator()));
+    FourQEngine::shared().msm(&terms).is_identity()
 }
 
 #[cfg(test)]
@@ -257,6 +285,50 @@ mod tests {
     #[test]
     fn batch_verification_empty_is_true() {
         assert!(verify_batch(&[]));
+    }
+
+    #[test]
+    fn sign_batch_matches_one_shot() {
+        let kp = KeyPair::from_seed(&[77u8; 32]);
+        let msgs: Vec<Vec<u8>> = (0..9).map(|i| format!("lane {i}").into_bytes()).collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        let batch = kp.sign_batch(&refs);
+        for (m, s) in refs.iter().zip(&batch) {
+            assert_eq!(*s, kp.sign(m));
+            assert!(verify(&kp.public, m, s));
+        }
+        assert!(kp.sign_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn batch_of_64_accepts_and_rejects_single_forgery() {
+        // The ISSUE acceptance scenario: 64 good signatures pass; flipping
+        // exactly one signature (trying every position would be slow, so
+        // probe a few spread across the batch) must fail the whole batch.
+        let kps: Vec<KeyPair> = (0u8..64).map(|i| KeyPair::from_seed(&[i; 32])).collect();
+        let msgs: Vec<Vec<u8>> = (0..64)
+            .map(|i| format!("beacon {i}").into_bytes())
+            .collect();
+        let sigs: Vec<Signature> = kps.iter().zip(&msgs).map(|(kp, m)| kp.sign(m)).collect();
+        let items: Vec<(&PublicKey, &[u8], &Signature)> = kps
+            .iter()
+            .zip(&msgs)
+            .zip(&sigs)
+            .map(|((kp, m), s)| (&kp.public, m.as_slice(), s))
+            .collect();
+        assert!(verify_batch(&items));
+
+        for forged_at in [0usize, 31, 63] {
+            let mut bad_sigs = sigs.clone();
+            bad_sigs[forged_at].s = bad_sigs[forged_at].s + Scalar::ONE;
+            let bad_items: Vec<(&PublicKey, &[u8], &Signature)> = kps
+                .iter()
+                .zip(&msgs)
+                .zip(&bad_sigs)
+                .map(|((kp, m), s)| (&kp.public, m.as_slice(), s))
+                .collect();
+            assert!(!verify_batch(&bad_items), "forgery at {forged_at} accepted");
+        }
     }
 
     #[test]

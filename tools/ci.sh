@@ -32,8 +32,17 @@ cargo test --workspace -q
 step "fourq-ctlint (constant-time taint lint)"
 cargo run --release -q -p fourq-ctlint -- --workspace --json ctlint_report.json
 
+step "bench smoke: batch groups + amortisation gate (FOURQ_BENCH_FAST=1)"
+# Runs the batch_* benchmark groups and fails if the measured
+# batch_to_affine per-point cost exceeds 50% of a single-point
+# normalisation — the tripwire for regressions in the batch pipeline.
+out="$(mktemp)"
+FOURQ_BENCH_FAST=1 cargo run --release -q -p fourq-bench --bin microbench -- \
+    --filter batch --gate-batch --out "$out"
+rm -f "$out"
+
 if [[ "${1:-}" == "--with-bench" ]]; then
-    step "microbench smoke (FOURQ_BENCH_FAST=1)"
+    step "microbench smoke, all groups (FOURQ_BENCH_FAST=1)"
     out="$(mktemp)"
     FOURQ_BENCH_FAST=1 cargo run --release -q -p fourq-bench --bin microbench -- --out "$out"
     rm -f "$out"
