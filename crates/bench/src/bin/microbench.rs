@@ -14,6 +14,11 @@
 //! `batch_to_affine` per-point cost exceeds half of a single-point
 //! normalisation — the CI tripwire for the batch pipeline's amortisation.
 //!
+//! `--gate-parallel` fails the run when 4-thread `batch_scalar_mul` at
+//! n = 256 is below 2× the 1-thread throughput (alert-only below 2.5×,
+//! and alert-only entirely on machines with fewer than 4 hardware
+//! threads, where the speedup cannot exist).
+//!
 //! By default the JSON lands at the repository root (resolved relative to
 //! this crate's manifest), so successive PRs overwrite the same
 //! `BENCH_fourq.json` and the git history of that file *is* the perf
@@ -63,10 +68,63 @@ fn gate_batch(report: &BenchReport) -> Result<(), String> {
     Ok(())
 }
 
+/// The parallel-speedup gate (`--gate-parallel`): 4-thread
+/// `batch_scalar_mul` at n = 256 must reach at least this multiple of the
+/// 1-thread throughput; below [`GATE_PARALLEL_WARN`] it alerts without
+/// failing. On machines with fewer than 4 hardware threads the gate is
+/// alert-only (the speedup is physically unreachable there).
+const GATE_PARALLEL_MIN: f64 = 2.0;
+const GATE_PARALLEL_WARN: f64 = 2.5;
+
+fn gate_parallel(report: &BenchReport) -> Result<(), String> {
+    let lookup = |threads: u32| -> Result<f64, String> {
+        report
+            .results
+            .iter()
+            .find(|r| r.group == "parallel_ops" && r.threads == threads)
+            .map(|r| r.ns_per_op)
+            .ok_or(format!(
+                "gate: parallel_ops entry with threads={threads} missing from this run"
+            ))
+    };
+    let t1 = lookup(1)?;
+    let t4 = lookup(4)?;
+    let speedup = t1 / t4;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "gate: batch_scalar_mul n=256 speedup {speedup:.2}x at 4 threads \
+         ({t1:.0} -> {t4:.0} ns/point; fail <{GATE_PARALLEL_MIN}x, warn <{GATE_PARALLEL_WARN}x, \
+         {cores} hardware threads)"
+    );
+    if cores < 4 {
+        eprintln!(
+            "gate: only {cores} hardware thread(s) available — a 4-thread speedup is \
+             unreachable here, reporting alert-only"
+        );
+        return Ok(());
+    }
+    if speedup < GATE_PARALLEL_MIN {
+        return Err(format!(
+            "gate: 4-thread batch_scalar_mul speedup {speedup:.2}x is below the \
+             {GATE_PARALLEL_MIN}x floor"
+        ));
+    }
+    if speedup < GATE_PARALLEL_WARN {
+        eprintln!(
+            "gate: WARNING — speedup {speedup:.2}x is below the {GATE_PARALLEL_WARN}x \
+             alert threshold (passing, but the pool is losing efficiency)"
+        );
+    }
+    Ok(())
+}
+
 fn main() {
     let mut out = default_out();
     let mut filter = String::new();
     let mut gate = false;
+    let mut gate_par = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -78,9 +136,11 @@ fn main() {
             }
             "--filter" => filter = args.next().unwrap_or_default(),
             "--gate-batch" => gate = true,
+            "--gate-parallel" => gate_par = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: microbench [--out PATH] [--filter GROUP_SUBSTRING] [--gate-batch]"
+                    "usage: microbench [--out PATH] [--filter GROUP_SUBSTRING] \
+                     [--gate-batch] [--gate-parallel]"
                 );
                 return;
             }
@@ -115,6 +175,12 @@ fn main() {
 
     if gate {
         if let Err(e) = gate_batch(&report) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+    if gate_par {
+        if let Err(e) = gate_parallel(&report) {
             eprintln!("{e}");
             std::process::exit(1);
         }

@@ -78,6 +78,10 @@ pub struct BenchRecord {
     pub samples: u32,
     /// Iterations per sample chosen by calibration.
     pub iters_per_sample: u64,
+    /// Worker threads configured for the timed operation (1 =
+    /// sequential). [`run`] records 1; callers timing a multi-threaded
+    /// engine overwrite this before pushing the record.
+    pub threads: u32,
 }
 
 /// Times `f` under `opts` and returns the record for `group`/`name`.
@@ -122,6 +126,7 @@ pub fn run<R, F: FnMut() -> R>(
         },
         samples: opts.samples.max(1),
         iters_per_sample: iters,
+        threads: 1,
     }
 }
 
@@ -134,7 +139,7 @@ pub struct BenchReport {
 
 /// Schema tag embedded in the JSON so downstream tooling can detect
 /// format changes.
-pub const SCHEMA: &str = "fourq-bench/v1";
+pub const SCHEMA: &str = "fourq-bench/v2";
 
 impl BenchReport {
     /// Appends a record and echoes it to stderr as live progress.
@@ -154,13 +159,15 @@ impl BenchReport {
         for (i, r) in self.results.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"group\": {}, \"name\": {}, \"ns_per_op\": {:?}, \
-                 \"ops_per_sec\": {:?}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+                 \"ops_per_sec\": {:?}, \"samples\": {}, \"iters_per_sample\": {}, \
+                 \"threads\": {}}}{}\n",
                 quote(&r.group),
                 quote(&r.name),
                 r.ns_per_op,
                 r.ops_per_sec,
                 r.samples,
                 r.iters_per_sample,
+                r.threads,
                 if i + 1 < self.results.len() { "," } else { "" },
             ));
         }
@@ -208,6 +215,7 @@ impl BenchReport {
                 ops_per_sec: num_field("ops_per_sec")?,
                 samples: num_field("samples")? as u32,
                 iters_per_sample: num_field("iters_per_sample")? as u64,
+                threads: num_field("threads")? as u32,
             });
         }
         Ok(report)
@@ -479,6 +487,7 @@ mod tests {
             ops_per_sec: 1e9 / 123.456789,
             samples: 9,
             iters_per_sample: 40000,
+            threads: 1,
         });
         report.results.push(BenchRecord {
             group: "signatures".into(),
@@ -487,6 +496,7 @@ mod tests {
             ops_per_sec: 4e9,
             samples: 3,
             iters_per_sample: 1,
+            threads: 4,
         });
         let text = report.to_json();
         let back = BenchReport::from_json(&text).expect("parses");

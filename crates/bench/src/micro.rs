@@ -207,21 +207,25 @@ pub fn batch_ops(report: &mut BenchReport, opts: &BenchOptions) {
     report.push(run("batch_ops", "to_affine_single", opts, || {
         eng.to_affine(black_box(&ext[0]))
     }));
-    report.push(per_item(
+    let mut rec = per_item(
         run("batch_ops", "batch_to_affine_n64_per_point", opts, || {
             eng.batch_to_affine(black_box(&ext))
         }),
         BATCH_N,
-    ));
+    );
+    rec.threads = eng.threads() as u32;
+    report.push(rec);
     report.push(run("batch_ops", "fixed_base_single", opts, || {
         eng.fixed_base_mul(black_box(&ks[0]))
     }));
-    report.push(per_item(
+    let mut rec = per_item(
         run("batch_ops", "batch_fixed_base_n64_per_point", opts, || {
             eng.batch_fixed_base_mul(black_box(&ks))
         }),
         BATCH_N,
-    ));
+    );
+    rec.threads = eng.threads() as u32;
+    report.push(rec);
     report.push(per_item(
         run("batch_ops", "msm_pippenger_n64_per_point", opts, || {
             fourq_curve::msm_pippenger(black_box(&pairs))
@@ -259,7 +263,10 @@ pub fn batch_sig(report: &mut BenchReport, opts: &BenchOptions) {
     report.push(run("batch_sig", "schnorr_verify_single", opts, || {
         schnorr::verify(&kps[0].public, black_box(&msgs[0]), &sigs[0])
     }));
-    report.push(per_item(
+    // These routes go through the shared engine internally, so they run
+    // at its resolved thread budget — record it honestly.
+    let shared_threads = FourQEngine::shared().threads() as u32;
+    let mut rec = per_item(
         run(
             "batch_sig",
             "schnorr_batch_verify_n64_per_sig",
@@ -267,19 +274,56 @@ pub fn batch_sig(report: &mut BenchReport, opts: &BenchOptions) {
             || schnorr::verify_batch(black_box(&items)),
         ),
         BATCH_N,
-    ));
-    report.push(per_item(
+    );
+    rec.threads = shared_threads;
+    report.push(rec);
+    let mut rec = per_item(
         run("batch_sig", "schnorr_sign_batch_n64_per_sig", opts, || {
             kps[0].sign_batch(black_box(&refs))
         }),
         BATCH_N,
-    ));
-    report.push(per_item(
+    );
+    rec.threads = shared_threads;
+    report.push(rec);
+    let mut rec = per_item(
         run("batch_sig", "ecdsa_sign_batch_n64_per_sig", opts, || {
             ekp.sign_batch(black_box(&refs))
         }),
         BATCH_N,
-    ));
+    );
+    rec.threads = shared_threads;
+    report.push(rec);
+}
+
+/// The parallel batch engine at its acceptance size: `batch_scalar_mul`
+/// over 256 pairs, pinned to 1 and 4 worker threads via
+/// [`FourQEngine::with_threads`]. The two records differ only in their
+/// `threads` field, so the speedup ratio is directly computable from
+/// `BENCH_fourq.json` (and is what `--gate-parallel` checks).
+pub fn parallel_ops(report: &mut BenchReport, opts: &BenchOptions) {
+    const PAR_N: usize = 256;
+    let mut rng = TestRng::from_seed(BENCH_SEED ^ 5);
+    let g = AffinePoint::generator();
+    let pairs: Vec<(Scalar, AffinePoint)> = (0..PAR_N)
+        .map(|i| {
+            (
+                bench_scalar(&mut rng),
+                g.mul(&Scalar::from_u64(3 * i as u64 + 7)),
+            )
+        })
+        .collect();
+    for threads in [1usize, 4] {
+        let eng = FourQEngine::shared().with_threads(threads);
+        let name = format!("batch_scalar_mul_n256_t{threads}_per_point");
+        let mut rec = per_item(
+            run("parallel_ops", &name, opts, || {
+                eng.batch_scalar_mul(black_box(&pairs))
+            }),
+            PAR_N,
+        );
+        rec.threads = threads as u32;
+        report.push(rec);
+    }
 }
 
 /// A benchmark group: fills a report under the given options.
@@ -287,13 +331,14 @@ type GroupFn = fn(&mut BenchReport, &BenchOptions);
 
 /// Runs every group whose name passes `filter` (empty filter = all).
 pub fn run_suite(opts: &BenchOptions, filter: &str) -> BenchReport {
-    let groups: [(&str, GroupFn); 8] = [
+    let groups: [(&str, GroupFn); 9] = [
         ("fp2_mul", fp2_mul),
         ("scalar_mul", scalar_mul),
         ("scalar_ops", scalar_ops),
         ("signatures", signatures),
         ("batch_ops", batch_ops),
         ("batch_sig", batch_sig),
+        ("parallel_ops", parallel_ops),
         ("curve_compare", curve_compare),
         ("scheduling", scheduling),
     ];

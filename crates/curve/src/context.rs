@@ -15,9 +15,20 @@
 use crate::affine::AffinePoint;
 use crate::extended::ExtendedPoint;
 use crate::fixed_base::FixedBaseTable;
-use crate::multi::{batch_normalize, multi_scalar_mul};
+use crate::multi::{batch_normalize_threaded, multi_scalar_mul_threaded};
 use crate::params::{D, TWO_D};
 use fourq_fp::{Fp2, Scalar};
+
+/// Below this batch size the kernel runs sequentially regardless of the
+/// engine's thread budget: each scalar multiplication is ~70 µs, so two
+/// items per worker is already enough to amortise a thread spawn, but a
+/// batch of 2–3 is not.
+const MUL_PAR_MIN_BATCH: usize = 4;
+
+/// Work-item granularity for the scalar-multiplication paths. Chunks are
+/// claimed from an atomic cursor, so small chunks load-balance well; two
+/// multiplications (~140 µs) per claim keeps cursor traffic negligible.
+const MUL_CHUNK: usize = 2;
 
 /// A reusable FourQ computation context.
 ///
@@ -40,15 +51,37 @@ use fourq_fp::{Fp2, Scalar};
 #[derive(Clone, Debug)]
 pub struct FourQEngine {
     gen_table: FixedBaseTable,
+    threads: usize,
 }
 
 impl FourQEngine {
     /// Builds a fresh engine, precomputing the generator comb table
-    /// (~60–70 point operations, one-time).
+    /// (~60–70 point operations, one-time). The thread budget for batch
+    /// operations is resolved once here — `FOURQ_THREADS` if set, else
+    /// the machine's available parallelism (capped); see
+    /// [`fourq_pool::resolved_threads`].
     pub fn new() -> FourQEngine {
         FourQEngine {
             gen_table: FixedBaseTable::new(&AffinePoint::generator()),
+            threads: fourq_pool::resolved_threads(),
         }
+    }
+
+    /// Returns a copy of this engine pinned to exactly `n` worker
+    /// threads (clamped to `1..=`[`fourq_pool::MAX_THREADS`]), ignoring
+    /// `FOURQ_THREADS`. Batch results are bit-identical at every thread
+    /// count; this knob only changes wall-clock time. It is also what the
+    /// differential test layer uses to pin both sides of a comparison.
+    pub fn with_threads(&self, n: usize) -> FourQEngine {
+        FourQEngine {
+            gen_table: self.gen_table.clone(),
+            threads: n.clamp(1, fourq_pool::MAX_THREADS),
+        }
+    }
+
+    /// The number of worker threads batch operations may use.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The process-wide shared engine, built on first use. Library
@@ -92,10 +125,15 @@ impl FourQEngine {
     /// per-point work is unchanged); the amortisation is in
     /// [`FourQEngine::batch_to_affine`], which replaces `n` Fermat
     /// inversions with one inversion plus `3(n−1)` multiplications.
+    ///
+    /// With a multi-thread engine the multiplications are spread over
+    /// worker threads in fixed index-range chunks; outputs land at their
+    /// input index, so the result is bit-identical to the sequential run.
     // ct: secret(pairs)
     pub fn batch_scalar_mul(&self, pairs: &[(Scalar, AffinePoint)]) -> Vec<AffinePoint> {
-        let projective: Vec<ExtendedPoint<Fp2>> =
-            pairs.iter().map(|(k, p)| p.mul_extended(k)).collect();
+        let workers = self.batch_workers(pairs.len());
+        let projective =
+            fourq_pool::map_items(pairs, MUL_CHUNK, workers, |_, (k, p)| p.mul_extended(k));
         self.batch_to_affine(&projective)
     }
 
@@ -116,9 +154,21 @@ impl FourQEngine {
     /// public base.
     // ct: secret(ks)
     pub fn batch_fixed_base_mul(&self, ks: &[Scalar]) -> Vec<AffinePoint> {
-        let projective: Vec<ExtendedPoint<Fp2>> =
-            ks.iter().map(|k| self.gen_table.mul_extended(k)).collect();
+        let workers = self.batch_workers(ks.len());
+        let projective = fourq_pool::map_items(ks, MUL_CHUNK, workers, |_, k| {
+            self.gen_table.mul_extended(k)
+        });
         self.batch_to_affine(&projective)
+    }
+
+    /// The worker count for a scalar-multiplication batch of `n` items:
+    /// the engine's thread budget, or 1 below the parallel crossover.
+    fn batch_workers(&self, n: usize) -> usize {
+        if n >= MUL_PAR_MIN_BATCH {
+            self.threads
+        } else {
+            1
+        }
     }
 
     // ------------------------------------------------------------------
@@ -141,7 +191,7 @@ impl FourQEngine {
     /// Panics if any point has `Z = 0` (never produced by the complete
     /// Edwards formulas).
     pub fn batch_to_affine(&self, points: &[ExtendedPoint<Fp2>]) -> Vec<AffinePoint> {
-        batch_normalize(points)
+        batch_normalize_threaded(points, self.threads)
     }
 
     // ------------------------------------------------------------------
@@ -152,7 +202,7 @@ impl FourQEngine {
     /// Straus interleaving for small batches, bucketed Pippenger from
     /// [`crate::PIPPENGER_THRESHOLD`] points up.
     pub fn msm(&self, pairs: &[(Scalar, AffinePoint)]) -> AffinePoint {
-        multi_scalar_mul(pairs)
+        multi_scalar_mul_threaded(pairs, self.threads)
     }
 }
 

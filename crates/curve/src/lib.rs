@@ -67,6 +67,7 @@ pub use engine::{normalize, scalar_mul_engine, MulOutput};
 pub use extended::{CachedPoint, ExtendedPoint};
 pub use fixed_base::{generator_table, FixedBaseTable};
 pub use multi::{
-    batch_normalize, double_scalar_mul, msm_pippenger, msm_straus, multi_scalar_mul,
+    batch_normalize, batch_normalize_threaded, double_scalar_mul, msm_pippenger,
+    msm_pippenger_threaded, msm_straus, multi_scalar_mul, multi_scalar_mul_threaded,
     window_scalar_mul, PIPPENGER_THRESHOLD,
 };

@@ -7,7 +7,7 @@
 
 use crate::affine::AffinePoint;
 use crate::engine::identity;
-use crate::extended::ExtendedPoint;
+use crate::extended::{CachedPoint, ExtendedPoint};
 use crate::params::TWO_D;
 use fourq_fp::{Fp2, Scalar, U256};
 
@@ -59,9 +59,17 @@ pub fn double_scalar_mul(a: &Scalar, p: &AffinePoint, b: &Scalar, q: &AffinePoin
 /// Used by batch signature verification; all inputs are public protocol
 /// values, so both code paths are variable-time by design.
 pub fn multi_scalar_mul(pairs: &[(Scalar, AffinePoint)]) -> AffinePoint {
+    multi_scalar_mul_threaded(pairs, 1)
+}
+
+/// [`multi_scalar_mul`] with an explicit thread budget: the Pippenger
+/// path distributes its window partials across up to `threads` workers
+/// (see [`msm_pippenger_threaded`]); the Straus path (small batches) is
+/// always sequential. Results are bit-identical at every thread count.
+pub fn multi_scalar_mul_threaded(pairs: &[(Scalar, AffinePoint)], threads: usize) -> AffinePoint {
     // ct: allow(R1) reason="dispatch on the public batch size, not on scalar values"
     if pairs.len() >= PIPPENGER_THRESHOLD {
-        msm_pippenger(pairs)
+        msm_pippenger_threaded(pairs, threads)
     } else {
         msm_straus(pairs)
     }
@@ -123,12 +131,72 @@ fn pippenger_window(n: usize) -> usize {
 /// regardless of batch size, versus `~123` expected additions per point
 /// for 1-bit Straus — the crossover is near 8 points.
 pub fn msm_pippenger(pairs: &[(Scalar, AffinePoint)]) -> AffinePoint {
+    msm_pippenger_threaded(pairs, 1)
+}
+
+/// Smallest Pippenger batch worth going parallel: below this, a window
+/// partial is so few bucket additions that thread spawn cost dominates
+/// (measured crossover; see `DESIGN.md` §10).
+const MSM_PAR_MIN_POINTS: usize = 48;
+
+/// Windows per parallel work item. Fixed (thread-count-independent) so
+/// the chunk tree — and therefore the reduction order — never changes.
+const MSM_WINDOW_CHUNK: usize = 4;
+
+/// The bucket accumulation + running-sum sweep for one `c`-bit window:
+/// returns `Σ d·B_d` over this window's digits, in extended coordinates.
+fn pippenger_window_sum(
+    scalars: &[U256],
+    lifted: &[ExtendedPoint<Fp2>],
+    cached: &[CachedPoint<Fp2>],
+    w: usize,
+    c: usize,
+) -> ExtendedPoint<Fp2> {
+    let n_buckets = (1usize << c) - 1;
+    let mut buckets: Vec<Option<ExtendedPoint<Fp2>>> = vec![None; n_buckets];
+    for (i, s) in scalars.iter().enumerate() {
+        let d = s.extract_bits(w * c, c) as usize;
+        if d != 0 {
+            buckets[d - 1] = Some(match buckets[d - 1].take() {
+                Some(b) => b.add_cached(&cached[i]),
+                None => lifted[i].clone(),
+            });
+        }
+    }
+    // Running-sum sweep: running = Σ_{e ≥ d} B_e after step d, and
+    // Σ_d running_d = Σ d·B_d. Both accumulators stay in extended
+    // coordinates; empty buckets only skip the `running` update.
+    let mut running = identity(&Fp2::ONE);
+    let mut window_sum = identity(&Fp2::ONE);
+    let mut any = false;
+    for b in buckets.iter().rev() {
+        if let Some(b) = b {
+            running = running.add_cached(&b.to_cached(&TWO_D));
+            any = true;
+        }
+        if any {
+            window_sum = window_sum.add_cached(&running.to_cached(&TWO_D));
+        }
+    }
+    window_sum
+}
+
+/// [`msm_pippenger`] with an explicit thread budget.
+///
+/// Every window's bucket accumulation is independent of every other
+/// window's, so the windows are the parallel axis: workers compute
+/// window partials over fixed [`MSM_WINDOW_CHUNK`]-window index ranges,
+/// and the calling thread folds the partials high-to-low through the
+/// shared doubling chain (`acc ← [2^c]acc + partial_w`) — a reduction
+/// whose order is fixed by the window index, not by thread scheduling.
+/// Affine outputs are canonical, so results are bit-identical to the
+/// sequential path at every thread count.
+pub fn msm_pippenger_threaded(pairs: &[(Scalar, AffinePoint)], threads: usize) -> AffinePoint {
     // Batch verification input: scalars and points are public signature
     // components, so the digit-driven skips below are deliberate.
     let scalars: Vec<U256> = pairs.iter().map(|(k, _)| k.to_u256()).collect(); // ct: public — verification inputs
     let c = pippenger_window(pairs.len()); // ct: public — window width derives from the public batch size
     let windows = 246usize.div_ceil(c);
-    let n_buckets = (1usize << c) - 1;
 
     // Lift every point once; bucket insertion uses the cached form.
     let lifted: Vec<ExtendedPoint<Fp2>> = pairs
@@ -137,42 +205,25 @@ pub fn msm_pippenger(pairs: &[(Scalar, AffinePoint)]) -> AffinePoint {
         .collect(); // ct: public — verification points are public by protocol
     let cached: Vec<_> = lifted.iter().map(|e| e.to_cached(&TWO_D)).collect();
 
+    let window_ids: Vec<usize> = (0..windows).collect();
+    let workers = if pairs.len() >= MSM_PAR_MIN_POINTS {
+        threads
+    } else {
+        1
+    };
+    let partials = fourq_pool::map_items(&window_ids, MSM_WINDOW_CHUNK, workers, |_, &w| {
+        pippenger_window_sum(&scalars, &lifted, &cached, w, c)
+    });
+
+    // Fold the partials through the shared doubling chain, high window
+    // first — the same `acc ← [2^c]acc + Σ d·B_d` recurrence the fused
+    // sequential loop performs.
     let mut acc = identity(&Fp2::ONE);
-    let mut buckets: Vec<Option<ExtendedPoint<Fp2>>> = vec![None; n_buckets];
-    for w in (0..windows).rev() {
+    for partial in partials.iter().rev() {
         for _ in 0..c {
             acc = acc.double();
         }
-        for b in buckets.iter_mut() {
-            *b = None;
-        }
-        for (i, s) in scalars.iter().enumerate() {
-            let d = s.extract_bits(w * c, c) as usize;
-            if d != 0 {
-                buckets[d - 1] = Some(match buckets[d - 1].take() {
-                    Some(b) => b.add_cached(&cached[i]),
-                    None => lifted[i].clone(),
-                });
-            }
-        }
-        // Running-sum sweep: running = Σ_{e ≥ d} B_e after step d, and
-        // Σ_d running_d = Σ d·B_d. Both accumulators stay in extended
-        // coordinates; empty buckets only skip the `running` update.
-        let mut running = identity(&Fp2::ONE);
-        let mut window_sum = identity(&Fp2::ONE);
-        let mut any = false;
-        for b in buckets.iter().rev() {
-            if let Some(b) = b {
-                running = running.add_cached(&b.to_cached(&TWO_D));
-                any = true;
-            }
-            if any {
-                window_sum = window_sum.add_cached(&running.to_cached(&TWO_D));
-            }
-        }
-        if any {
-            acc = acc.add_cached(&window_sum.to_cached(&TWO_D));
-        }
+        acc = acc.add_cached(&partial.to_cached(&TWO_D));
     }
     let (x, y) = crate::engine::normalize(&acc);
     AffinePoint { x, y }
@@ -189,6 +240,23 @@ pub fn msm_pippenger(pairs: &[(Scalar, AffinePoint)]) -> AffinePoint {
 /// Panics if any point has `Z = 0` (the complete Edwards formulas never
 /// produce one).
 pub fn batch_normalize(points: &[ExtendedPoint<Fp2>]) -> Vec<AffinePoint> {
+    batch_normalize_threaded(points, 1)
+}
+
+/// Fixed chunk size of the parallel batch inversion. Per-item work in
+/// the forward/backward passes is a handful of `fp2_mul` (~20 ns each),
+/// so chunks must be large for a chunk to amortise thread spawn cost;
+/// batches at or below one chunk stay on the sequential single-inversion
+/// path (measured crossover; see `DESIGN.md` §10).
+const INVERT_CHUNK: usize = 1024;
+
+/// [`batch_normalize`] with an explicit thread budget: the Montgomery
+/// inversion runs as per-chunk prefix/backward passes
+/// ([`Fp2::prefix_products`] / [`Fp2::backward_invert_chunk`]) in
+/// parallel, merged at the join by a sequential chunk-product tree in
+/// chunk-index order. One real field inversion total, at any thread
+/// count, with bit-identical outputs.
+pub fn batch_normalize_threaded(points: &[ExtendedPoint<Fp2>], threads: usize) -> Vec<AffinePoint> {
     if points.is_empty() {
         return Vec::new();
     }
@@ -200,15 +268,51 @@ pub fn batch_normalize(points: &[ExtendedPoint<Fp2>]) -> Vec<AffinePoint> {
             p.z
         })
         .collect();
-    let zinvs = Fp2::batch_invert(&zs);
-    points
-        .iter()
-        .zip(&zinvs)
-        .map(|(p, zi)| AffinePoint {
-            x: p.x * *zi,
-            y: p.y * *zi,
-        })
-        .collect()
+    let zinvs = batch_invert_threaded(&zs, threads);
+    let pairs_out = fourq_pool::map_chunks(points, INVERT_CHUNK, threads, |j, chunk| {
+        let base = j * INVERT_CHUNK;
+        chunk
+            .iter()
+            .enumerate()
+            .map(|(i, p)| AffinePoint {
+                x: p.x * zinvs[base + i],
+                y: p.y * zinvs[base + i],
+            })
+            .collect::<Vec<AffinePoint>>()
+    });
+    pairs_out.concat()
+}
+
+/// Chunked-parallel [`Fp2::batch_invert`]: forward passes per fixed
+/// [`INVERT_CHUNK`]-index range in parallel, sequential merge of the
+/// chunk products (leads and tail inverses, one real inversion),
+/// backward passes in parallel.
+fn batch_invert_threaded(zs: &[Fp2], threads: usize) -> Vec<Fp2> {
+    if threads <= 1 || zs.len() <= INVERT_CHUNK {
+        return Fp2::batch_invert(zs);
+    }
+    let parts = fourq_pool::map_chunks(zs, INVERT_CHUNK, threads, |_, chunk| {
+        Fp2::prefix_products(chunk)
+    });
+    // Join: chunk-prefix products ("leads") forward, then one inversion
+    // of the total, then chunk-tail inverses backward — both in fixed
+    // chunk order.
+    let mut leads = Vec::with_capacity(parts.len());
+    let mut acc = Fp2::ONE;
+    for (_, product) in &parts {
+        leads.push(acc);
+        acc *= *product;
+    }
+    let mut tails = vec![Fp2::ZERO; parts.len()];
+    let mut inv = acc.inv();
+    for (j, (_, product)) in parts.iter().enumerate().rev() {
+        tails[j] = inv;
+        inv *= *product;
+    }
+    let outs = fourq_pool::map_chunks(zs, INVERT_CHUNK, threads, |j, chunk| {
+        Fp2::backward_invert_chunk(chunk, &parts[j].0, &leads[j], &tails[j])
+    });
+    outs.concat()
 }
 
 /// Computes `[k]P` for an arbitrary (not reduced) 256-bit `k` with a

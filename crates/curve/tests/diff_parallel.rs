@@ -1,0 +1,84 @@
+//! Differential tests: every parallel batch path must be bit-identical
+//! to its sequential execution at every thread count.
+//!
+//! These tests are the enforcement side of the determinism contract in
+//! `DESIGN.md` §10: chunk geometry depends only on the input length,
+//! chunk results merge in index order, and all outputs are canonical
+//! encodings — so `threads = 8` must reproduce `threads = 1` exactly,
+//! not just up to curve equality.
+
+use fourq_curve::{AffinePoint, ExtendedPoint, FourQEngine, PIPPENGER_THRESHOLD};
+use fourq_fp::{Fp2, Scalar};
+use fourq_testkit::{diff_check, Arbitrary, TestRng};
+
+fn random_pairs(rng: &mut TestRng, n: usize) -> Vec<(Scalar, AffinePoint)> {
+    (0..n)
+        .map(|_| (Scalar::arbitrary(rng), AffinePoint::arbitrary(rng)))
+        .collect()
+}
+
+#[test]
+fn batch_scalar_mul_is_thread_count_invariant() {
+    let mut rng = TestRng::from_seed(0x51ca_1a01);
+    let pairs = random_pairs(&mut rng, 10);
+    diff_check!(|threads| {
+        FourQEngine::shared()
+            .with_threads(threads)
+            .batch_scalar_mul(&pairs)
+    });
+}
+
+#[test]
+fn batch_fixed_base_mul_is_thread_count_invariant() {
+    let mut rng = TestRng::from_seed(0xf1bb_a5e0);
+    let mut ks: Vec<Scalar> = (0..12).map(|_| Scalar::arbitrary(&mut rng)).collect();
+    // Edge scalars ride along: 0 and 1 hit the identity/no-op rows.
+    ks[0] = Scalar::ZERO;
+    ks[1] = Scalar::ONE;
+    diff_check!(|threads| {
+        FourQEngine::shared()
+            .with_threads(threads)
+            .batch_fixed_base_mul(&ks)
+    });
+}
+
+#[test]
+fn batch_to_affine_is_thread_count_invariant_above_chunk_size() {
+    // A doubling chain makes thousands of distinct projective points
+    // cheap to generate; 2200 points exceeds the 1024-point inversion
+    // chunk, so the chunked prefix-product merge actually splits.
+    let mut p: ExtendedPoint<Fp2> =
+        AffinePoint::generator().mul_extended(&Scalar::from_u64(0xdead_beef));
+    let mut points: Vec<ExtendedPoint<Fp2>> = Vec::with_capacity(2200);
+    for _ in 0..2200 {
+        p = p.double();
+        points.push(p.clone());
+    }
+    diff_check!(|threads| {
+        FourQEngine::shared()
+            .with_threads(threads)
+            .batch_to_affine(&points)
+    });
+}
+
+#[test]
+fn msm_is_thread_count_invariant() {
+    // 70 points: above both the Pippenger threshold and the MSM parallel
+    // crossover, so the per-window fan-out is exercised for real.
+    let mut rng = TestRng::from_seed(0x0515_0070);
+    let pairs = random_pairs(&mut rng, 70);
+    assert!(pairs.len() >= PIPPENGER_THRESHOLD);
+    diff_check!(|threads| FourQEngine::shared().with_threads(threads).msm(&pairs));
+}
+
+#[test]
+fn with_threads_clamps_and_reports() {
+    let eng = FourQEngine::shared();
+    assert!(eng.threads() >= 1);
+    assert_eq!(eng.with_threads(0).threads(), 1);
+    assert_eq!(eng.with_threads(3).threads(), 3);
+    assert_eq!(
+        eng.with_threads(usize::MAX).threads(),
+        fourq_pool::MAX_THREADS
+    );
+}

@@ -144,3 +144,32 @@ fn double_scalar_mul_correct() {
         );
     });
 }
+
+#[test]
+fn msm_at_pippenger_threshold_boundary() {
+    // The Straus→Pippenger dispatch flips exactly at PIPPENGER_THRESHOLD;
+    // run the batch sizes straddling it (T−1, T, T+1) and check all three
+    // algorithms agree with the naive sum at each.
+    use fourq_curve::PIPPENGER_THRESHOLD;
+    prop_check!(cases = 3, |rng| {
+        for n in [
+            PIPPENGER_THRESHOLD - 1,
+            PIPPENGER_THRESHOLD,
+            PIPPENGER_THRESHOLD + 1,
+        ] {
+            let g = AffinePoint::generator();
+            let pairs: Vec<(Scalar, AffinePoint)> = (0..n)
+                .map(|_| {
+                    let p = g.mul(&Scalar::from_u64(rng.range_u64(1, 1 << 20)));
+                    (Scalar::from_u64(rng.range_u64(1, 1 << 20)), p)
+                })
+                .collect();
+            let expect = pairs
+                .iter()
+                .fold(AffinePoint::identity(), |acc, (k, p)| acc.add(&p.mul(k)));
+            assert_eq!(fourq_curve::multi_scalar_mul(&pairs), expect, "n = {n}");
+            assert_eq!(fourq_curve::msm_straus(&pairs), expect, "n = {n}");
+            assert_eq!(fourq_curve::msm_pippenger(&pairs), expect, "n = {n}");
+        }
+    });
+}

@@ -203,3 +203,82 @@ fn scalar_bytes_roundtrip() {
         assert_eq!(Scalar::from_le_bytes(&a.to_le_bytes()), a);
     });
 }
+
+#[test]
+fn fp2_sqrt_agrees_with_euler_criterion() {
+    // x ∈ F_p² is a square iff its norm a² + b² is a square in F_p
+    // (the norm map is surjective onto F_p* with kernel of square index),
+    // and squareness in F_p is Euler's criterion: n^((p−1)/2) = 1.
+    // (p − 1)/2 = 2^126 − 1 for the Mersenne prime p = 2^127 − 1.
+    const HALF_ORDER: u128 = (1u128 << 126) - 1;
+    prop_check!(cases = 48, |x: Fp2| {
+        if x.is_zero() {
+            return;
+        }
+        let is_residue = x.norm().pow(HALF_ORDER) == Fp::ONE;
+        match x.sqrt() {
+            Some(r) => {
+                assert!(is_residue, "sqrt found for a non-residue {x:?}");
+                assert_eq!(r * r, x, "sqrt root does not square back");
+            }
+            None => assert!(!is_residue, "no sqrt found for a residue {x:?}"),
+        }
+    });
+}
+
+#[test]
+fn fp2_sqrt_of_forced_squares_and_zero() {
+    // sqrt(0) is total, and every constructed square y² has a root that
+    // squares back to it (the root may be ±y; only the square is pinned).
+    assert_eq!(Fp2::sqrt(&Fp2::ZERO), Some(Fp2::ZERO));
+    prop_check!(cases = 48, |y: Fp2| {
+        let x = y * y;
+        let r = x.sqrt().expect("constructed square has a root");
+        assert_eq!(r * r, x);
+    });
+}
+
+#[test]
+fn fp2_sqrt_of_forced_nonresidues_is_none() {
+    // Scaling a nonzero square by a fixed non-residue always yields a
+    // non-residue. Find one non-residue deterministically, then reuse it.
+    const HALF_ORDER: u128 = (1u128 << 126) - 1;
+    let mut probe = Fp2::new(Fp::from_u64(2), Fp::from_u64(1));
+    while probe.norm().pow(HALF_ORDER) == Fp::ONE {
+        probe += Fp2::ONE;
+    }
+    let nonresidue = probe;
+    assert!(nonresidue.sqrt().is_none());
+    prop_check!(cases = 32, |y: Fp2| {
+        if y.is_zero() {
+            return;
+        }
+        assert!((y * y * nonresidue).sqrt().is_none());
+    });
+}
+
+#[test]
+fn scalar_batch_invert_with_duplicates_and_zero_runs() {
+    // The zero-masking walk must survive duplicates (shared prefix
+    // products) and adjacent zeros (back-to-back masked slots), in every
+    // position including the ends of the batch.
+    prop_check!(cases = 32, |a: Scalar, b: Scalar| {
+        let xs = [
+            Scalar::ZERO,
+            a,
+            a,
+            Scalar::ZERO,
+            Scalar::ZERO,
+            b,
+            a,
+            b * a,
+            Scalar::ZERO,
+        ];
+        let out = Scalar::batch_invert(&xs);
+        assert_eq!(out.len(), xs.len());
+        for (x, got) in xs.iter().zip(&out) {
+            let want = if x.is_zero() { Scalar::ZERO } else { x.inv() };
+            assert_eq!(*got, want);
+        }
+    });
+}

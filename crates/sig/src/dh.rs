@@ -63,20 +63,26 @@ impl EphemeralSecret {
     /// workload. All `[d_i]G` share the comb table and one batch
     /// normalisation inversion; results match per-seed
     /// [`EphemeralSecret::from_seed`] exactly.
-    // ct: secret — derived scalars are secret key material
     pub fn batch_from_seeds(seeds: &[[u8; 32]]) -> Vec<EphemeralSecret> {
-        let secrets: Vec<Scalar> = seeds
-            .iter()
-            .map(|seed| {
-                let h = Sha512::digest(seed);
-                let mut wide = [0u8; 64];
-                wide.copy_from_slice(&h);
-                let secret = Scalar::from_wide_bytes(&wide);
-                // zero is astronomically unlikely; select, don't branch
-                Scalar::ct_select(&secret, &Scalar::ONE, secret.ct_is_zero())
-            })
-            .collect();
-        let publics = FourQEngine::shared().batch_fixed_base_mul(&secrets);
+        Self::batch_from_seeds_with(FourQEngine::shared(), seeds)
+    }
+
+    /// [`EphemeralSecret::batch_from_seeds`] on an explicit engine, so
+    /// callers (and the differential tests) can pin the thread budget via
+    /// [`fourq_curve::FourQEngine::with_threads`]. Each secret depends
+    /// only on its seed, so outputs are bit-identical at every thread
+    /// count.
+    // ct: secret — derived scalars are secret key material
+    pub fn batch_from_seeds_with(eng: &FourQEngine, seeds: &[[u8; 32]]) -> Vec<EphemeralSecret> {
+        let secrets = fourq_pool::map_items(seeds, 32, eng.threads(), |_, seed| {
+            let h = Sha512::digest(seed);
+            let mut wide = [0u8; 64];
+            wide.copy_from_slice(&h);
+            let secret = Scalar::from_wide_bytes(&wide);
+            // zero is astronomically unlikely; select, don't branch
+            Scalar::ct_select(&secret, &Scalar::ONE, secret.ct_is_zero())
+        });
+        let publics = eng.batch_fixed_base_mul(&secrets);
         secrets
             .into_iter()
             .zip(&publics)

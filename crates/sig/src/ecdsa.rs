@@ -132,8 +132,25 @@ impl KeyPair {
     ///
     /// [`SignError::BadNonce`] if any message exhausts its 100 nonce
     /// retries (probability ≈ 2⁻²⁴⁶ per retry — unreachable).
-    // ct: secret(self) — nonces and the secret scalar; messages are public
     pub fn sign_batch(&self, msgs: &[&[u8]]) -> Result<Vec<Signature>, SignError> {
+        self.sign_batch_with(FourQEngine::shared(), msgs)
+    }
+
+    /// [`KeyPair::sign_batch`] on an explicit engine, so callers (and the
+    /// differential tests) can pin the thread budget via
+    /// [`FourQEngine::with_threads`]. Each message keeps its own retry
+    /// counter sequence and nonces depend only on `(msg, counter)`, so
+    /// signatures are bit-identical at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`SignError::BadNonce`] as for [`KeyPair::sign_batch`].
+    // ct: secret(self) — nonces and the secret scalar; messages are public
+    pub fn sign_batch_with(
+        &self,
+        eng: &FourQEngine,
+        msgs: &[&[u8]],
+    ) -> Result<Vec<Signature>, SignError> {
         let zs: Vec<Scalar> = msgs.iter().map(|m| message_scalar(m)).collect();
         let mut out: Vec<Option<Signature>> = vec![None; msgs.len()];
         let mut pending: Vec<usize> = (0..msgs.len()).collect();
@@ -145,16 +162,18 @@ impl KeyPair {
             if pending.is_empty() {
                 break;
             }
-            // Step 2: deterministic nonces for every pending message.
-            let ks: Vec<Scalar> = pending
-                .iter()
-                .map(|&i| self.nonce(msgs[i], counter))
-                .collect();
+            // Step 2: deterministic nonces for every pending message,
+            // derived over the pool in fixed index chunks (HMAC-SHA-256
+            // per item; the nonce for (msg, counter) is independent of
+            // thread count).
+            let ks = fourq_pool::map_items(&pending, 32, eng.threads(), |_, &i| {
+                self.nonce(msgs[i], counter)
+            });
             // Step 3: (x₁, y₁) = [k]G, one shared normalisation inversion.
             // A zero nonce maps to the identity point, whose r = 0 routes
             // the item into the retry set below, matching the one-shot
             // path's `k.is_zero()` check.
-            let points = FourQEngine::shared().batch_fixed_base_mul(&ks);
+            let points = eng.batch_fixed_base_mul(&ks);
             // Step 5 prep: k⁻¹ for the whole round in one real inversion
             // (zero-safe: a zero nonce yields a zero inverse and retries).
             let kinvs = Scalar::batch_invert(&ks);

@@ -8,6 +8,12 @@ use fourq_curve::{AffinePoint, FourQEngine};
 use fourq_fp::{CtSelect, Scalar};
 use fourq_hash::{Digest, Sha512};
 
+/// Chunk size for the per-item hashing stages (nonce derivation,
+/// challenge computation, batch-verification prep). Each item is a few
+/// SHA-512 compressions (~1 µs), so chunks of 32 keep the pool's cursor
+/// traffic well below the hash work.
+const PREP_CHUNK: usize = 32;
+
 /// A signature `(R, s)`: the commitment point (compressed) and the response
 /// scalar.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,33 +95,36 @@ impl KeyPair {
     ///
     /// Produces bit-identical signatures to per-message [`KeyPair::sign`]
     /// (the nonce derivation is unchanged).
-    // ct: secret(self) — nonces and the secret scalar; messages are public
     pub fn sign_batch(&self, msgs: &[&[u8]]) -> Vec<Signature> {
-        let nonces: Vec<Scalar> = msgs
-            .iter()
-            .map(|msg| {
-                let mut h = <Sha512 as Digest>::new();
-                h.update(&self.nonce_key);
-                h.update(msg);
-                let mut wide = [0u8; 64];
-                wide.copy_from_slice(&h.finalize());
-                let r = Scalar::from_wide_bytes(&wide);
-                // r = 0 is astronomically unlikely; fall back to r = 1 so
-                // signing is total. Masked selection: the nonce is secret.
-                Scalar::ct_select(&r, &Scalar::ONE, r.ct_is_zero())
-            })
-            .collect();
-        let commitments = FourQEngine::shared().batch_fixed_base_mul(&nonces);
-        msgs.iter()
-            .zip(&nonces)
-            .zip(&commitments)
-            .map(|((msg, r), commitment)| {
-                let renc = commitment.encode();
-                let h = challenge(&renc, &self.public.encoded, msg);
-                let s = *r + h * self.secret;
-                Signature { r: renc, s }
-            })
-            .collect()
+        self.sign_batch_with(FourQEngine::shared(), msgs)
+    }
+
+    /// [`KeyPair::sign_batch`] on an explicit engine, so callers (and the
+    /// differential tests) can pin the thread budget via
+    /// [`FourQEngine::with_threads`]. Nonce derivation, the fixed-base
+    /// multiplications and the challenge hashing all run per-index over
+    /// the pool; signatures are bit-identical at every thread count.
+    // ct: secret(self) — nonces and the secret scalar; messages are public
+    pub fn sign_batch_with(&self, eng: &FourQEngine, msgs: &[&[u8]]) -> Vec<Signature> {
+        let nonces = fourq_pool::map_items(msgs, PREP_CHUNK, eng.threads(), |_, msg| {
+            let mut h = <Sha512 as Digest>::new();
+            h.update(&self.nonce_key);
+            h.update(msg);
+            let mut wide = [0u8; 64];
+            wide.copy_from_slice(&h.finalize());
+            let r = Scalar::from_wide_bytes(&wide);
+            // r = 0 is astronomically unlikely; fall back to r = 1 so
+            // signing is total. Masked selection: the nonce is secret.
+            Scalar::ct_select(&r, &Scalar::ONE, r.ct_is_zero())
+        });
+        let commitments = eng.batch_fixed_base_mul(&nonces);
+        let work: Vec<(usize, &AffinePoint)> = commitments.iter().enumerate().collect();
+        fourq_pool::map_items(&work, PREP_CHUNK, eng.threads(), |_, &(i, commitment)| {
+            let renc = commitment.encode();
+            let h = challenge(&renc, &self.public.encoded, msgs[i]);
+            let s = nonces[i] + h * self.secret;
+            Signature { r: renc, s }
+        })
     }
 }
 
@@ -163,6 +172,19 @@ pub fn verify(public: &PublicKey, msg: &[u8], sig: &Signature) -> bool {
 /// fall back to per-item [`verify`] to locate offenders) or if any `R`
 /// fails to decode.
 pub fn verify_batch(items: &[(&PublicKey, &[u8], &Signature)]) -> bool {
+    verify_batch_with(FourQEngine::shared(), items)
+}
+
+/// [`verify_batch`] on an explicit engine, so callers (and the
+/// differential tests) can pin the thread budget via
+/// [`FourQEngine::with_threads`].
+///
+/// The per-item preparation (decoding `Rᵢ`, the challenge hash, the RLC
+/// coefficient `cᵢ = SHA-512(seed ‖ i)`) is spread over the pool in fixed
+/// index chunks; each coefficient depends only on the batch seed and the
+/// item's index, never on thread count, so the accept/reject verdict and
+/// every intermediate scalar are identical to the sequential run.
+pub fn verify_batch_with(eng: &FourQEngine, items: &[(&PublicKey, &[u8], &Signature)]) -> bool {
     if items.is_empty() {
         return true;
     }
@@ -177,31 +199,46 @@ pub fn verify_batch(items: &[(&PublicKey, &[u8], &Signature)]) -> bool {
     }
     let seed = seed_hash.finalize();
 
-    let mut gen_scalar = Scalar::ZERO;
-    let mut terms: Vec<(Scalar, fourq_curve::AffinePoint)> =
-        Vec::with_capacity(2 * items.len() + 1);
-    for (i, (pk, msg, sig)) in items.iter().enumerate() {
-        let commitment = match fourq_curve::AffinePoint::decode(&sig.r) {
-            Ok(p) => p,
-            Err(_) => return false,
-        };
-        // c_i = SHA-512(seed ‖ i) truncated to 64 bits, forced nonzero.
-        // ct: public — RLC coefficients derive from public batch data
-        let mut ch = <Sha512 as Digest>::new();
-        ch.update(&seed);
-        ch.update(&(i as u64).to_le_bytes());
-        let cb = ch.finalize();
-        let mut c8 = [0u8; 8];
-        c8.copy_from_slice(&cb[..8]);
-        let c = Scalar::from_u64(u64::from_le_bytes(c8) | 1);
+    let work: Vec<_> = items.iter().enumerate().collect();
+    // Per item: (c_i·s_i contribution, the two MSM terms) — or None for a
+    // malformed commitment encoding, which fails the whole batch.
+    type Prep = Option<(Scalar, (Scalar, AffinePoint), (Scalar, AffinePoint))>;
+    let prepped: Vec<Prep> = fourq_pool::map_items(
+        &work,
+        PREP_CHUNK,
+        eng.threads(),
+        |_, &(i, (pk, msg, sig))| {
+            let commitment = match AffinePoint::decode(&sig.r) {
+                Ok(p) => p,
+                Err(_) => return None,
+            };
+            // c_i = SHA-512(seed ‖ i) truncated to 64 bits, forced nonzero.
+            // ct: public — RLC coefficients derive from public batch data
+            let mut ch = <Sha512 as Digest>::new();
+            ch.update(&seed);
+            ch.update(&(i as u64).to_le_bytes());
+            let cb = ch.finalize();
+            let mut c8 = [0u8; 8];
+            c8.copy_from_slice(&cb[..8]);
+            let c = Scalar::from_u64(u64::from_le_bytes(c8) | 1);
 
-        let h = challenge(&sig.r, &pk.encoded, msg);
-        gen_scalar = gen_scalar + c * sig.s;
-        terms.push((c, commitment));
-        terms.push((c * h, pk.point));
+            let h = challenge(&sig.r, &pk.encoded, msg);
+            Some((c * sig.s, (c, commitment), (c * h, pk.point)))
+        },
+    );
+
+    let mut gen_scalar = Scalar::ZERO;
+    let mut terms: Vec<(Scalar, AffinePoint)> = Vec::with_capacity(2 * items.len() + 1);
+    for prep in prepped {
+        let Some((cs, r_term, a_term)) = prep else {
+            return false;
+        };
+        gen_scalar = gen_scalar + cs;
+        terms.push(r_term);
+        terms.push(a_term);
     }
     terms.push((gen_scalar.neg(), AffinePoint::generator()));
-    FourQEngine::shared().msm(&terms).is_identity()
+    eng.msm(&terms).is_identity()
 }
 
 #[cfg(test)]
@@ -285,6 +322,23 @@ mod tests {
     #[test]
     fn batch_verification_empty_is_true() {
         assert!(verify_batch(&[]));
+    }
+
+    #[test]
+    fn batch_verification_of_single_item() {
+        // n = 1 exercises the smallest RLC batch: one commitment term,
+        // one key term, one generator term.
+        let kp = KeyPair::from_seed(&[0x51u8; 32]);
+        let msg: &[u8] = b"solo beacon";
+        let sig = kp.sign(msg);
+        assert!(verify_batch(&[(&kp.public, msg, &sig)]));
+
+        let mut forged = sig;
+        forged.s = forged.s + Scalar::ONE;
+        assert!(!verify_batch(&[(&kp.public, msg, &forged)]));
+        let mut bad_r = sig;
+        bad_r.r = [0xee; 32]; // does not decode
+        assert!(!verify_batch(&[(&kp.public, msg, &bad_r)]));
     }
 
     #[test]

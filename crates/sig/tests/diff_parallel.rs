@@ -1,0 +1,86 @@
+//! Differential tests for the signature layer: batch signing, batch
+//! verification and batch key derivation must be bit-identical at every
+//! thread count (see `DESIGN.md` §10).
+//!
+//! Each test pins the engine with `FourQEngine::with_threads` through the
+//! `*_with` entry points, so the ambient `FOURQ_THREADS` setting cannot
+//! influence the comparison.
+
+use fourq_curve::FourQEngine;
+use fourq_sig::{dh, ecdsa, schnorr};
+use fourq_testkit::diff_check;
+
+fn messages(n: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| format!("beacon {i}: intersection clear").into_bytes())
+        .collect()
+}
+
+#[test]
+fn schnorr_sign_batch_is_thread_count_invariant() {
+    let kp = schnorr::KeyPair::from_seed(&[0xa1; 32]);
+    let msgs = messages(11);
+    let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+    diff_check!(|threads| {
+        let eng = FourQEngine::shared().with_threads(threads);
+        kp.sign_batch_with(&eng, &refs)
+    });
+}
+
+#[test]
+fn schnorr_verify_batch_is_thread_count_invariant() {
+    let kps: Vec<schnorr::KeyPair> = (0u8..9)
+        .map(|i| schnorr::KeyPair::from_seed(&[i + 0x40; 32]))
+        .collect();
+    let msgs = messages(9);
+    let sigs: Vec<schnorr::Signature> = kps.iter().zip(&msgs).map(|(kp, m)| kp.sign(m)).collect();
+    let items: Vec<(&schnorr::PublicKey, &[u8], &schnorr::Signature)> = kps
+        .iter()
+        .zip(&msgs)
+        .zip(&sigs)
+        .map(|((kp, m), s)| (&kp.public, m.as_slice(), s))
+        .collect();
+
+    diff_check!(|threads| {
+        let eng = FourQEngine::shared().with_threads(threads);
+        schnorr::verify_batch_with(&eng, &items)
+    });
+
+    // The verdict (not just intermediate values) must also be invariant
+    // for a rejecting batch, including the malformed-encoding early-out.
+    let mut forged = sigs.clone();
+    forged[4].r[0] ^= 0xff;
+    let forged_items: Vec<(&schnorr::PublicKey, &[u8], &schnorr::Signature)> = kps
+        .iter()
+        .zip(&msgs)
+        .zip(&forged)
+        .map(|((kp, m), s)| (&kp.public, m.as_slice(), s))
+        .collect();
+    diff_check!(|threads| {
+        let eng = FourQEngine::shared().with_threads(threads);
+        schnorr::verify_batch_with(&eng, &forged_items)
+    });
+}
+
+#[test]
+fn ecdsa_sign_batch_is_thread_count_invariant() {
+    let kp = ecdsa::KeyPair::from_secret(fourq_fp::Scalar::from_u64(0x1ce_cafe)).unwrap();
+    let msgs = messages(10);
+    let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+    diff_check!(|threads| {
+        let eng = FourQEngine::shared().with_threads(threads);
+        kp.sign_batch_with(&eng, &refs).unwrap()
+    });
+}
+
+#[test]
+fn dh_batch_from_seeds_is_thread_count_invariant() {
+    let seeds: Vec<[u8; 32]> = (0u8..10).map(|i| [i ^ 0x5a; 32]).collect();
+    diff_check!(|threads| {
+        let eng = FourQEngine::shared().with_threads(threads);
+        dh::EphemeralSecret::batch_from_seeds_with(&eng, &seeds)
+            .iter()
+            .map(|p| p.public)
+            .collect::<Vec<[u8; 32]>>()
+    });
+}

@@ -1,0 +1,124 @@
+//! Regenerates the golden known-answer-test file
+//! `tests/vectors/fourq_kat.json` on stdout.
+//!
+//! ```text
+//! cargo run -p fourq-testkit --bin emit_kats > tests/vectors/fourq_kat.json
+//! ```
+//!
+//! Every vector is derived deterministically (fixed seeds, deterministic
+//! signatures), so regenerating the file must be a no-op unless the
+//! underlying cryptography changed — which is exactly what the checked-in
+//! copy plus `tests/kat.rs` is there to catch.
+
+use fourq_curve::{AffinePoint, FourQEngine};
+use fourq_fp::Scalar;
+use fourq_sig::{dh, ecdsa, schnorr};
+use fourq_testkit::{hexutil, Arbitrary, TestRng};
+
+/// Schema tag of the KAT file.
+const SCHEMA: &str = "fourq-kat/v1";
+
+fn main() {
+    let eng = FourQEngine::shared();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+
+    // ---- [k]G for 32 fixed scalars --------------------------------
+    // Four edge cases, then 28 pseudorandom scalars from a fixed seed.
+    let mut scalars = vec![
+        Scalar::ZERO,
+        Scalar::ONE,
+        Scalar::from_u64(2),
+        Scalar::ONE.neg(), // N − 1
+    ];
+    let mut rng = TestRng::from_seed(0x4b41_5430); // "KAT0"
+    while scalars.len() < 32 {
+        scalars.push(Scalar::arbitrary(&mut rng));
+    }
+    out.push_str("  \"scalar_mul\": [\n");
+    for (i, k) in scalars.iter().enumerate() {
+        let kg = eng.fixed_base_mul(k);
+        debug_assert_eq!(kg, AffinePoint::generator().mul(k));
+        out.push_str(&format!(
+            "    {{\"k\": \"{}\", \"kG\": \"{}\"}}{}\n",
+            hexutil::encode(&k.to_le_bytes()),
+            hexutil::encode(&kg.encode()),
+            comma(i, 32),
+        ));
+    }
+    out.push_str("  ],\n");
+
+    // ---- Schnorr sign/verify vectors ------------------------------
+    out.push_str("  \"schnorr\": [\n");
+    for i in 0..8u8 {
+        let seed = [0x53 ^ (i * 29); 32]; // distinct per index
+        let kp = schnorr::KeyPair::from_seed(&seed);
+        let msg = format!("fourq schnorr kat {i}");
+        let sig = kp.sign(msg.as_bytes());
+        assert!(schnorr::verify(&kp.public, msg.as_bytes(), &sig));
+        out.push_str(&format!(
+            "    {{\"seed\": \"{}\", \"msg\": \"{}\", \"public\": \"{}\", \
+             \"r\": \"{}\", \"s\": \"{}\"}}{}\n",
+            hexutil::encode(&seed),
+            msg,
+            hexutil::encode(&kp.public.encoded),
+            hexutil::encode(&sig.r),
+            hexutil::encode(&sig.s.to_le_bytes()),
+            comma(i as usize, 8),
+        ));
+    }
+    out.push_str("  ],\n");
+
+    // ---- ECDSA sign/verify vectors --------------------------------
+    out.push_str("  \"ecdsa\": [\n");
+    for i in 0..8u64 {
+        let secret = Scalar::from_u64(0x0ec0_d5a0 + i * 7919 + 1);
+        let kp = ecdsa::KeyPair::from_secret(secret).expect("nonzero secret");
+        let msg = format!("fourq ecdsa kat {i}");
+        let sig = kp.sign(msg.as_bytes()).expect("signing is total here");
+        assert!(ecdsa::verify(&kp.public, msg.as_bytes(), &sig));
+        out.push_str(&format!(
+            "    {{\"secret\": \"{}\", \"msg\": \"{}\", \"public\": \"{}\", \
+             \"r\": \"{}\", \"s\": \"{}\"}}{}\n",
+            hexutil::encode(&secret.to_le_bytes()),
+            msg,
+            hexutil::encode(&kp.public.encode()),
+            hexutil::encode(&sig.r.to_le_bytes()),
+            hexutil::encode(&sig.s.to_le_bytes()),
+            comma(i as usize, 8),
+        ));
+    }
+    out.push_str("  ],\n");
+
+    // ---- ECDH shared secrets --------------------------------------
+    out.push_str("  \"ecdh\": [\n");
+    for i in 0..4u8 {
+        let seed_a = [0xa0 + i; 32];
+        let seed_b = [0xb0 + i; 32];
+        let a = dh::EphemeralSecret::from_seed(&seed_a);
+        let b = dh::EphemeralSecret::from_seed(&seed_b);
+        let shared = a.agree(&b.public).expect("honest keys agree");
+        assert_eq!(shared, b.agree(&a.public).expect("symmetric"));
+        out.push_str(&format!(
+            "    {{\"seed_a\": \"{}\", \"seed_b\": \"{}\", \"public_a\": \"{}\", \
+             \"public_b\": \"{}\", \"shared\": \"{}\"}}{}\n",
+            hexutil::encode(&seed_a),
+            hexutil::encode(&seed_b),
+            hexutil::encode(&a.public),
+            hexutil::encode(&b.public),
+            hexutil::encode(&shared),
+            comma(i as usize, 4),
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    print!("{out}");
+}
+
+fn comma(i: usize, n: usize) -> &'static str {
+    if i + 1 < n {
+        ","
+    } else {
+        ""
+    }
+}

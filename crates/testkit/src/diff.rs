@@ -1,0 +1,98 @@
+//! Differential testing across thread counts.
+//!
+//! The parallel batch engine (`fourq-pool` threaded through
+//! `FourQEngine` and `fourq-sig`) promises *bit-identical* results at
+//! every thread count: chunk geometry depends only on the input length,
+//! chunk results are merged in index order, and all public outputs are
+//! canonical encodings. This module is the enforcement side of that
+//! promise: [`check`] runs a closure once per thread count in
+//! [`THREAD_COUNTS`], takes the single-threaded output as the reference
+//! and asserts the others are equal — over `PartialEq`, which for the
+//! canonical output types (`AffinePoint`, `Scalar`, byte arrays) is
+//! byte-for-byte equality.
+//!
+//! Thread counts above the machine's core count still exercise the real
+//! multi-worker code path (chunk claiming, out-of-order completion,
+//! index-ordered merge); the OS simply time-slices the workers, which if
+//! anything *increases* reordering pressure on the merge logic.
+
+/// The thread counts every differential check runs at. 1 is the
+/// reference; 2–4 cover the common small budgets (and 3 makes the chunk
+/// count not divide evenly); 8 oversubscribes the typical CI machine to
+/// shake out order dependence.
+pub const THREAD_COUNTS: [usize; 5] = [1, 2, 3, 4, 8];
+
+/// Runs `f` at every thread count in [`THREAD_COUNTS`] and asserts the
+/// output equals the single-threaded reference.
+///
+/// `f` receives the thread count and must route it into the code under
+/// test (typically via `FourQEngine::with_threads`). `label` names the
+/// operation in the panic message.
+///
+/// # Panics
+///
+/// Panics with the offending thread count and both values' `Debug`
+/// renderings if any output differs from the `threads = 1` reference.
+pub fn check<R, F>(label: &str, f: F)
+where
+    R: PartialEq + core::fmt::Debug,
+    F: Fn(usize) -> R,
+{
+    let reference = f(THREAD_COUNTS[0]);
+    for &threads in &THREAD_COUNTS[1..] {
+        let got = f(threads);
+        assert!(
+            got == reference,
+            "differential check `{label}`: output at {threads} threads diverges from \
+             the sequential reference\n  threads=1: {reference:?}\n  threads={threads}: {got:?}",
+        );
+    }
+}
+
+/// Asserts a closure produces identical output at every thread count in
+/// [`fourq_testkit::THREAD_COUNTS`][THREAD_COUNTS].
+///
+/// ```
+/// use fourq_curve::FourQEngine;
+/// use fourq_fp::Scalar;
+/// fourq_testkit::diff_check!(|threads| {
+///     let eng = FourQEngine::shared().with_threads(threads);
+///     let ks: Vec<Scalar> = (1u64..6).map(Scalar::from_u64).collect();
+///     eng.batch_fixed_base_mul(&ks)
+/// });
+/// ```
+///
+/// The expansion labels the check with the source location; use
+/// [`diff::check`][check] directly to supply a custom label.
+#[macro_export]
+macro_rules! diff_check {
+    (|$threads:ident| $body:expr) => {
+        $crate::diff::check(concat!(file!(), ":", line!()), |$threads: usize| $body)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn identical_outputs_pass() {
+        super::check("sum", |threads| {
+            // Thread-count independent by construction.
+            let _ = threads;
+            (0u64..100).sum::<u64>()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "differential check")]
+    fn divergent_outputs_panic() {
+        super::check("leaky", |threads| threads * 2);
+    }
+
+    #[test]
+    fn macro_expands_and_passes() {
+        crate::diff_check!(|threads| {
+            let _ = threads;
+            vec![1u8, 2, 3]
+        });
+    }
+}

@@ -1,0 +1,82 @@
+//! Minimal hex encoding/decoding for test vectors.
+//!
+//! The golden KAT file (`tests/vectors/fourq_kat.json`) stores byte
+//! strings as lowercase hex; these two helpers are shared by the
+//! `emit-kats` generator and the KAT loader so both sides agree on the
+//! format without an external hex crate.
+
+/// Encodes bytes as lowercase hex, two digits per byte.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Decodes a hex string (case-insensitive, even length) into bytes.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed digit or an odd-length
+/// input.
+pub fn decode(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err(format!("odd-length hex string ({} digits)", s.len()));
+    }
+    let digits = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = hex_digit(pair[0])?;
+        let lo = hex_digit(pair[1])?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+/// Decodes exactly `N` bytes of hex, erroring on any other length.
+///
+/// # Errors
+///
+/// As [`decode`], plus a length mismatch error.
+pub fn decode_array<const N: usize>(s: &str) -> Result<[u8; N], String> {
+    let bytes = decode(s)?;
+    let got = bytes.len();
+    bytes
+        .try_into()
+        .map_err(|_| format!("expected {N} bytes of hex, got {got}"))
+}
+
+fn hex_digit(d: u8) -> Result<u8, String> {
+    match d {
+        b'0'..=b'9' => Ok(d - b'0'),
+        b'a'..=b'f' => Ok(d - b'a' + 10),
+        b'A'..=b'F' => Ok(d - b'A' + 10),
+        _ => Err(format!("invalid hex digit '{}'", d as char)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let bytes: Vec<u8> = (0u8..=255).collect();
+        assert_eq!(decode(&encode(&bytes)).unwrap(), bytes);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(decode("abc").is_err());
+        assert!(decode("zz").is_err());
+        assert!(decode_array::<4>("001122").is_err());
+        assert_eq!(decode_array::<2>("BEef").unwrap(), [0xbe, 0xef]);
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+}

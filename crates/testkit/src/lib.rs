@@ -14,7 +14,11 @@
 //! * [`prop_check!`] / [`prop::check`] — a property-test runner that
 //!   derives every case from a printed seed and reports the failing
 //!   case's seed on panic, so any failure is replayable with
-//!   `FOURQ_PROP_SEED=<seed> FOURQ_PROP_CASES=1`.
+//!   `FOURQ_PROP_SEED=<seed> FOURQ_PROP_CASES=1`;
+//! * [`diff_check!`] / [`diff::check`] — a differential runner that
+//!   executes a closure at thread counts 1, 2, 3, 4 and 8 and asserts the
+//!   outputs are identical, enforcing the parallel batch engine's
+//!   bit-identical-at-every-thread-count contract.
 //!
 //! The micro-benchmark harness that replaces Criterion lives next to the
 //! bench binaries in `fourq-bench` (`fourq_bench::harness`), since it is
@@ -28,10 +32,13 @@
 #![warn(missing_docs)]
 
 mod arbitrary;
+pub mod diff;
+pub mod hexutil;
 pub mod prop;
 mod rng;
 pub mod timing;
 
 pub use arbitrary::Arbitrary;
+pub use diff::THREAD_COUNTS;
 pub use prop::fn_basename;
 pub use rng::{splitmix64, TestRng};

@@ -26,8 +26,15 @@ cargo build --release
 step "cargo test -q (tier-1)"
 cargo test -q
 
-step "cargo test --workspace -q"
-cargo test --workspace -q
+# The full suite runs twice: pinned sequential and pinned 4-thread. The
+# parallel batch engine promises bit-identical results at every thread
+# count, so both runs must pass identically (the differential tests
+# additionally pin thread counts internally via with_threads).
+step "cargo test --workspace -q (FOURQ_THREADS=1)"
+FOURQ_THREADS=1 cargo test --workspace -q
+
+step "cargo test --workspace -q (FOURQ_THREADS=4)"
+FOURQ_THREADS=4 cargo test --workspace -q
 
 step "fourq-ctlint (constant-time taint lint)"
 cargo run --release -q -p fourq-ctlint -- --workspace --json ctlint_report.json
@@ -39,6 +46,15 @@ step "bench smoke: batch groups + amortisation gate (FOURQ_BENCH_FAST=1)"
 out="$(mktemp)"
 FOURQ_BENCH_FAST=1 cargo run --release -q -p fourq-bench --bin microbench -- \
     --filter batch --gate-batch --out "$out"
+rm -f "$out"
+
+step "bench smoke: parallel speedup tripwire (FOURQ_BENCH_FAST=1)"
+# 4-thread batch_scalar_mul at n=256 must reach 2x the 1-thread
+# throughput (alert-only below 2.5x, and alert-only on machines with
+# fewer than 4 hardware threads, where the speedup cannot exist).
+out="$(mktemp)"
+FOURQ_BENCH_FAST=1 cargo run --release -q -p fourq-bench --bin microbench -- \
+    --filter parallel --gate-parallel --out "$out"
 rm -f "$out"
 
 if [[ "${1:-}" == "--with-bench" ]]; then
