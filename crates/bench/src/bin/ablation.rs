@@ -8,10 +8,10 @@
 //! 3. **Multiplier pipeline depth** and **register-file ports**: cycle
 //!    impact of the microarchitectural parameters of Fig. 1(a).
 
-use fourq_cpu::trace_to_problem;
 use fourq_fp::Scalar;
 use fourq_sched::{
-    critical_path_priorities, list_schedule, lower_bound, schedule, serial_schedule, MachineConfig,
+    critical_path_priorities, list_schedule, lower_bound, schedule, serial_schedule,
+    trace_to_problem, MachineConfig,
 };
 use fourq_trace::trace_scalar_mul;
 

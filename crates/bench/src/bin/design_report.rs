@@ -2,72 +2,112 @@
 //! the counterpart of the paper's §IV-A chip figures (1400 kGE in
 //! 1.76 mm × 3.56 mm) and of the Fig. 1 block structure.
 //!
-//! Prints: microinstruction counts, register-file requirements from
-//! register allocation, program-ROM geometry from control-signal
-//! generation, per-block kGE estimates, and the schedule-quality summary.
+//! Built on the compile-once/execute-many pipeline: one [`CompiledKernel`]
+//! is compiled (trace → schedule → register allocation → control ROM) and
+//! every figure below is read off its fingerprint. Prints per-stage
+//! observability — microinstruction counts by kind, schedule gap against
+//! the issue-bandwidth lower bound, register pressure vs allocated
+//! registers, ROM geometry — plus the compile-vs-execute wall-time split
+//! that justifies caching the kernel.
+//!
+//! [`CompiledKernel`]: fourq_cpu::CompiledKernel
 
-use fourq_cpu::{allocate, simulate_allocated, trace_to_problem, ControlRom};
+use fourq_curve::AffinePoint;
 use fourq_fp::{Scalar, U256};
-use fourq_sched::{lower_bound, schedule, MachineConfig};
+use fourq_sched::MachineConfig;
 use fourq_tech::AreaModel;
-use fourq_trace::trace_scalar_mul;
+use std::time::Instant;
 
 fn main() {
     println!("== Design report: simulated FourQ cryptoprocessor ==\n");
+    let machine = MachineConfig::paper();
+    let effort = 64;
+
+    // Cold compile: the full trace -> schedule -> allocate -> assemble
+    // pipeline plus the self-audit against software scalar multiplication.
+    let t0 = Instant::now();
+    let kernel = fourq_cpu::compile(&machine, effort).expect("scalar-mul pipeline compiles");
+    let compile_time = t0.elapsed();
+
+    // Warm execute: replay the fixed microcode for one fresh scalar.
     let k = Scalar::from_u256(
         U256::from_hex("1d3f297b1a2c4d5e6f708192a3b4c5d6e7f8091a2b3c4d5e6f70819202122231")
             .expect("valid"),
     );
-    let recorded = trace_scalar_mul(&k);
-    let problem = trace_to_problem(&recorded.trace);
-    let machine = MachineConfig::paper();
-    let sched = schedule(&problem, &machine, 64);
-    sched.validate(&problem, &machine).expect("valid schedule");
-
-    let stats = recorded.trace.stats();
-    println!("program:");
-    println!("  microinstructions : {}", problem.len());
-    println!("  op mix            : {stats}");
-    println!(
-        "  schedule          : {} cycles (lower bound {}, gap {:.1}%)",
-        sched.makespan,
-        lower_bound(&problem, &machine),
-        100.0 * (sched.makespan - lower_bound(&problem, &machine)) as f64
-            / lower_bound(&problem, &machine) as f64
-    );
-
-    // Register allocation + control ROM (paper §III-C step 4).
-    let alloc = allocate(&recorded.trace, &sched, &machine);
-    let outs = simulate_allocated(&recorded.trace, &sched, &alloc, &machine)
-        .expect("allocated program executes");
+    let g = AffinePoint::generator();
+    let t1 = Instant::now();
+    let result = kernel.execute(&g, &k).expect("compiled kernel executes");
+    let execute_time = t1.elapsed();
+    let expected = g.mul(&k);
     assert_eq!(
-        outs[0].1, recorded.expected.x,
-        "allocation is value-correct"
+        (result.x, result.y),
+        (expected.x, expected.y),
+        "kernel replay is value-correct"
     );
-    assert_eq!(outs[1].1, recorded.expected.y);
-    let rom = ControlRom::assemble(&recorded.trace, &sched, &alloc).expect("single-issue units");
+
+    let fp = &kernel.fingerprint;
+    println!("program (one uniform microprogram for every scalar):");
+    println!("  microinstructions : {}", kernel.trace.nodes.len());
+    println!("  op mix            : {}", fp.op_counts);
+    println!(
+        "  digit muxes       : {} (always-compute-and-select)",
+        fp.mux_count
+    );
+    let gap = 100.0 * (fp.cycles - fp.lower_bound) as f64 / fp.lower_bound as f64;
+    println!(
+        "  schedule          : {} cycles (lower bound {}, gap {gap:.1}%)",
+        fp.cycles, fp.lower_bound
+    );
+    println!(
+        "  serial execution  : {} cycles ({:.2}x speedup from overlap)",
+        fp.serial_cycles,
+        fp.serial_cycles as f64 / fp.cycles as f64
+    );
+
     println!("\nregister file:");
     println!(
         "  physical registers: {} x 256-bit F_p^2 words",
-        alloc.num_registers
+        fp.registers
     );
+    println!("  peak live values  : {}", fp.register_pressure);
     println!("  ports             : 4R / 2W + forwarding (paper configuration)");
+
+    let rom = kernel.rom.as_ref().expect("paper machine is single-issue");
     println!("\nprogram ROM / controller:");
     println!(
         "  words             : {} (one control word per cycle)",
-        rom.words.len()
+        fp.rom_words
     );
     println!(
-        "  word width        : {} bits (5 + 6 x {}-bit register addresses)",
-        5 + 6 * rom.addr_bits as usize,
-        rom.addr_bits
+        "  word width        : {} bits ({}-bit register addresses, {}-bit mux routes)",
+        rom.word_bits(),
+        rom.addr_bits,
+        rom.route_bits
+    );
+    println!(
+        "  route table       : {} digit-mux entries",
+        rom.routes.len()
     );
     println!(
         "  total             : {:.1} kbit",
-        rom.size_bits() as f64 / 1000.0
+        fp.rom_bits as f64 / 1000.0
     );
 
-    let area = AreaModel::paper_like(alloc.num_registers, rom.words.len());
+    println!("\ncompile/execute split (why the kernel cache exists):");
+    println!(
+        "  compile (cold)    : {:>10.2} ms",
+        compile_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "  execute (warm)    : {:>10.2} ms",
+        execute_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "  amortisation      : {:>10.1}x per reused execution",
+        (compile_time.as_secs_f64() + execute_time.as_secs_f64()) / execute_time.as_secs_f64()
+    );
+
+    let area = AreaModel::paper_like(fp.registers, fp.rom_words);
     println!("\narea estimate (65 nm, kGE):");
     println!("  F_p^2 multiplier  : {:>8.0}", area.multiplier_kge());
     println!("  adder/subtractor  : {:>8.0}", area.addsub_kge());
@@ -84,7 +124,7 @@ fn main() {
     );
 
     println!("\nfirst microinstructions of the program:");
-    for line in recorded.trace.disassemble().lines().take(12) {
+    for line in kernel.trace.disassemble().lines().take(12) {
         println!("  {line}");
     }
     println!("  ...");

@@ -19,6 +19,10 @@
 //! and alert-only entirely on machines with fewer than 4 hardware
 //! threads, where the speedup cannot exist).
 //!
+//! `--gate-kernel-cache` fails the run when a warm-cache kernel
+//! `execute` is not at least 10× faster than the cold compile+execute
+//! path — the tripwire for the compile-once/execute-many pipeline.
+//!
 //! By default the JSON lands at the repository root (resolved relative to
 //! this crate's manifest), so successive PRs overwrite the same
 //! `BENCH_fourq.json` and the git history of that file *is* the perf
@@ -120,11 +124,46 @@ fn gate_parallel(report: &BenchReport) -> Result<(), String> {
     Ok(())
 }
 
+/// The kernel-cache gate (`--gate-kernel-cache`): a warm-cache `execute`
+/// must be at least this many times faster than compiling the kernel and
+/// executing once. If the ratio collapses, either compilation got
+/// suspiciously cheap (the pipeline stopped doing its job) or the cached
+/// replay regressed — both are worth failing CI over.
+const GATE_KERNEL_CACHE_MIN: f64 = 10.0;
+
+fn gate_kernel_cache(report: &BenchReport) -> Result<(), String> {
+    let lookup = |name: &str| -> Result<f64, String> {
+        report
+            .results
+            .iter()
+            .find(|r| r.group == "asic_pipeline" && r.name == name)
+            .map(|r| r.ns_per_op)
+            .ok_or(format!("gate: asic_pipeline/{name} missing from this run"))
+    };
+    let cold = lookup("compile_cold")?;
+    let warm = lookup("execute_warm")?;
+    let ratio = (cold + warm) / warm;
+    eprintln!(
+        "gate: kernel compile {:.0} us vs warm execute {:.0} us \
+         (amortisation {ratio:.1}x, floor {GATE_KERNEL_CACHE_MIN}x)",
+        cold / 1e3,
+        warm / 1e3
+    );
+    if ratio < GATE_KERNEL_CACHE_MIN {
+        return Err(format!(
+            "gate: warm-cache execute is only {ratio:.1}x faster than cold \
+             compile+execute (floor {GATE_KERNEL_CACHE_MIN}x)"
+        ));
+    }
+    Ok(())
+}
+
 fn main() {
     let mut out = default_out();
     let mut filter = String::new();
     let mut gate = false;
     let mut gate_par = false;
+    let mut gate_kernel = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -137,10 +176,11 @@ fn main() {
             "--filter" => filter = args.next().unwrap_or_default(),
             "--gate-batch" => gate = true,
             "--gate-parallel" => gate_par = true,
+            "--gate-kernel-cache" => gate_kernel = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: microbench [--out PATH] [--filter GROUP_SUBSTRING] \
-                     [--gate-batch] [--gate-parallel]"
+                     [--gate-batch] [--gate-parallel] [--gate-kernel-cache]"
                 );
                 return;
             }
@@ -181,6 +221,12 @@ fn main() {
     }
     if gate_par {
         if let Err(e) = gate_parallel(&report) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+    if gate_kernel {
+        if let Err(e) = gate_kernel_cache(&report) {
             eprintln!("{e}");
             std::process::exit(1);
         }

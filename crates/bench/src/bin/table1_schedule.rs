@@ -3,26 +3,32 @@
 //! additions/subtractions on one pipelined multiplier and one
 //! adder/subtractor).
 
-use fourq_cpu::trace_to_problem;
 use fourq_sched::{
-    exact_schedule, lower_bound, schedule, serial_schedule, MachineConfig, UnitKind,
+    exact_schedule, lower_bound, schedule, serial_schedule, trace_to_problem, MachineConfig,
+    UnitKind,
 };
-use fourq_trace::trace_double_add_iteration;
+use fourq_trace::{trace_double_add_iteration, Operand};
 
 fn main() {
     println!("== Table I: scheduled double-and-add loop (Q <- [2]Q; Q <- Q + s*T[v]) ==\n");
+    // FOURQ_BENCH_FAST shrinks the ILS/exact-search budgets for CI smoke
+    // runs; the schedule itself is already optimal at the small budget,
+    // only the optimality proof gets weaker.
+    let fast = std::env::var("FOURQ_BENCH_FAST").is_ok();
+    let ils_iterations = if fast { 32 } else { 512 };
+    let exact_nodes = if fast { 100_000 } else { 50_000_000 };
     let trace = trace_double_add_iteration();
     let problem = trace_to_problem(&trace);
     let machine = MachineConfig::paper();
-    let sched = schedule(&problem, &machine, 512);
+    let sched = schedule(&problem, &machine, ils_iterations);
     sched.validate(&problem, &machine).expect("valid schedule");
 
     let base = trace.first_op_id();
-    let name = |id: usize| -> String {
-        if id < base {
-            trace.inputs[id].0.clone()
-        } else {
-            format!("t{}", id - base)
+    let name = |op: Operand| -> String {
+        match op {
+            Operand::Val(id) if id < base => trace.inputs[id].0.clone(),
+            Operand::Val(id) => format!("t{}", id - base),
+            Operand::Mux(m) => format!("mux{m}"),
         }
     };
 
@@ -68,7 +74,7 @@ fn main() {
     let serial = serial_schedule(&problem, &machine).makespan;
     // The block is small enough for an exact search — the open-source
     // counterpart of the paper's CP Optimizer run.
-    let exact = exact_schedule(&problem, &machine, 50_000_000);
+    let exact = exact_schedule(&problem, &machine, exact_nodes);
     println!("\noperations       : {muls} multiplier + {adds} add/sub (paper: 15 + 13)");
     println!("makespan         : {} cycles", sched.makespan);
     println!(

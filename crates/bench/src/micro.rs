@@ -137,8 +137,7 @@ pub fn curve_compare(report: &mut BenchReport, opts: &BenchOptions) {
 
 /// The scheduling flow itself (trace → problem → schedule).
 pub fn scheduling(report: &mut BenchReport, opts: &BenchOptions) {
-    use fourq_cpu::trace_to_problem;
-    use fourq_sched::{schedule, MachineConfig};
+    use fourq_sched::{schedule, trace_to_problem, MachineConfig};
     use fourq_trace::{trace_double_add_iteration, trace_scalar_mul};
 
     let machine = MachineConfig::paper();
@@ -326,12 +325,50 @@ pub fn parallel_ops(report: &mut BenchReport, opts: &BenchOptions) {
     }
 }
 
+/// The compile-once/execute-many ASIC kernel pipeline: cold compile cost
+/// (the full trace→schedule→allocate→assemble flow plus the audit), the
+/// warm per-scalar replay through the cached kernel, and the batched
+/// replay at 1 and 4 threads. `compile_cold / execute_warm` is the
+/// cache-amortisation ratio `--gate-kernel-cache` checks.
+pub fn asic_pipeline(report: &mut BenchReport, opts: &BenchOptions) {
+    use fourq_sched::MachineConfig;
+
+    const KERNEL_EFFORT: u32 = 2;
+    const KERNEL_BATCH: usize = 16;
+    let mut rng = TestRng::from_seed(BENCH_SEED ^ 6);
+    let machine = MachineConfig::paper();
+    let g = AffinePoint::generator();
+    let k = bench_scalar(&mut rng);
+    let ks: Vec<Scalar> = (0..KERNEL_BATCH).map(|_| bench_scalar(&mut rng)).collect();
+
+    report.push(run("asic_pipeline", "compile_cold", opts, || {
+        fourq_cpu::compile(&machine, KERNEL_EFFORT).expect("kernel compiles")
+    }));
+    let kernel = fourq_cpu::shared_kernel(&machine, KERNEL_EFFORT).expect("kernel compiles");
+    report.push(run("asic_pipeline", "execute_warm", opts, || {
+        kernel.execute(&g, black_box(&k)).expect("kernel executes")
+    }));
+    for threads in [1usize, 4] {
+        let name = format!("execute_batch_n{KERNEL_BATCH}_t{threads}_per_sm");
+        let mut rec = per_item(
+            run("asic_pipeline", &name, opts, || {
+                kernel
+                    .execute_batch_with(&g, black_box(&ks), threads)
+                    .expect("kernel executes")
+            }),
+            KERNEL_BATCH,
+        );
+        rec.threads = threads as u32;
+        report.push(rec);
+    }
+}
+
 /// A benchmark group: fills a report under the given options.
 type GroupFn = fn(&mut BenchReport, &BenchOptions);
 
 /// Runs every group whose name passes `filter` (empty filter = all).
 pub fn run_suite(opts: &BenchOptions, filter: &str) -> BenchReport {
-    let groups: [(&str, GroupFn); 9] = [
+    let groups: [(&str, GroupFn); 10] = [
         ("fp2_mul", fp2_mul),
         ("scalar_mul", scalar_mul),
         ("scalar_ops", scalar_ops),
@@ -341,6 +378,7 @@ pub fn run_suite(opts: &BenchOptions, filter: &str) -> BenchReport {
         ("parallel_ops", parallel_ops),
         ("curve_compare", curve_compare),
         ("scheduling", scheduling),
+        ("asic_pipeline", asic_pipeline),
     ];
     let mut report = BenchReport::default();
     for (name, group) in groups {

@@ -1,0 +1,575 @@
+//! Compile-once / execute-many: the [`CompiledKernel`] pipeline.
+//!
+//! The uniform trace makes the whole §III-C flow — trace, schedule,
+//! register-allocate, assemble the control ROM — a *per-machine* cost
+//! instead of a per-scalar one: the recorded program is identical for
+//! every (base, scalar) pair, only the two base-point inputs and the
+//! recoded digit stream change between executions. [`compile`] runs the
+//! flow once and captures the result; [`CompiledKernel::execute`] replays
+//! the fixed microcode through the physical register file with fresh
+//! inputs; [`shared_kernel`] memoises kernels process-wide by
+//! `(MachineConfig, effort)`.
+//!
+//! Every stage failure is a typed [`PipelineError`] — the compile path
+//! has no panicking branches — and [`compile`] ends with an end-to-end
+//! audit executing two scalars against the software library.
+
+use crate::regalloc::{allocate, Allocation, ControlRom};
+use crate::{simulate, SimError, SimStats};
+use fourq_curve::AffinePoint;
+use fourq_fp::{Fp2, Scalar};
+use fourq_sched::{
+    lower_bound, schedule, serial_schedule, trace_to_problem, MachineConfig, Problem, Schedule,
+    ScheduleError,
+};
+use fourq_trace::{DigitStream, OpKind, OpStats, Operand, Trace, TraceError, Unit};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Default register-file capacity a kernel must fit.
+///
+/// The uniform always-compute-and-select program keeps the whole 8-entry
+/// precomputed table (32 `F_p²` words) live across all 63 digit reads —
+/// the price of one fixed ROM serving every scalar — so its register file
+/// is larger than a per-scalar schedule would need (~93 words on the
+/// paper machine vs. ~64 for the specialised flow).
+pub const DEFAULT_REGISTER_BUDGET: usize = 128;
+
+/// The representative scalar the kernel is compiled (and value-audited)
+/// under. Any non-zero scalar works — the recorded program is the same
+/// for all of them; this one exercises every limb.
+const REP_SCALAR: [u8; 32] = [
+    0x31, 0x22, 0x12, 0x02, 0x19, 0x08, 0x70, 0x6f, 0x5e, 0x4d, 0x3c, 0x2b, 0x1a, 0x09, 0xf8, 0xe7,
+    0xd6, 0xc5, 0xb4, 0xa3, 0x92, 0x81, 0x70, 0x6f, 0x5e, 0x4d, 0x2c, 0x1a, 0x7b, 0x29, 0x3f, 0x1d,
+];
+
+/// A typed failure anywhere in the compile pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PipelineError {
+    /// The recorded trace failed structural validation.
+    Trace(TraceError),
+    /// The scheduler produced (or was handed) an invalid schedule.
+    Schedule(ScheduleError),
+    /// The cycle-accurate simulation rejected the program.
+    Sim(SimError),
+    /// Control-ROM assembly failed.
+    Assemble(crate::AssembleError),
+    /// Register allocation needs more registers than the budget allows.
+    RegisterBudget {
+        /// Registers the allocation requires.
+        needed: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// The compiled kernel's output disagrees with the software library
+    /// (or left the curve) — a pipeline bug, caught by the compile audit.
+    Diverged,
+}
+
+impl core::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PipelineError::Trace(e) => write!(f, "trace validation failed: {e}"),
+            PipelineError::Schedule(e) => write!(f, "schedule validation failed: {e}"),
+            PipelineError::Sim(e) => write!(f, "simulation failed: {e}"),
+            PipelineError::Assemble(e) => write!(f, "control-ROM assembly failed: {e}"),
+            PipelineError::RegisterBudget { needed, budget } => {
+                write!(f, "allocation needs {needed} registers, budget is {budget}")
+            }
+            PipelineError::Diverged => {
+                write!(f, "kernel output diverged from the software library")
+            }
+        }
+    }
+}
+impl std::error::Error for PipelineError {}
+
+impl From<TraceError> for PipelineError {
+    fn from(e: TraceError) -> Self {
+        PipelineError::Trace(e)
+    }
+}
+impl From<ScheduleError> for PipelineError {
+    fn from(e: ScheduleError) -> Self {
+        PipelineError::Schedule(e)
+    }
+}
+impl From<SimError> for PipelineError {
+    fn from(e: SimError) -> Self {
+        PipelineError::Sim(e)
+    }
+}
+impl From<crate::AssembleError> for PipelineError {
+    fn from(e: crate::AssembleError) -> Self {
+        PipelineError::Assemble(e)
+    }
+}
+
+/// Scalar-independent identity of a compiled kernel: every number here is
+/// a constant of the (machine, effort) pair, not of any particular
+/// execution — mux reads never forward, so even the register-file traffic
+/// is digit-independent.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelFingerprint {
+    /// Cycles per scalar multiplication (the schedule makespan).
+    pub cycles: u64,
+    /// Makespan lower bound on this machine.
+    pub lower_bound: u64,
+    /// Cycles of the fully serial schedule.
+    pub serial_cycles: u64,
+    /// Microinstruction count (program-ROM words).
+    pub rom_words: usize,
+    /// Assembled ROM size in bits (0 when no single-sequencer ROM is
+    /// encodable, i.e. multi-unit machines).
+    pub rom_bits: usize,
+    /// Operation counts by kind.
+    pub op_counts: OpStats,
+    /// Physical registers the allocation uses.
+    pub registers: usize,
+    /// Peak simultaneously-live values under the schedule.
+    pub register_pressure: usize,
+    /// Operand multiplexers in the uniform program.
+    pub mux_count: usize,
+}
+
+/// One step of the precompiled replay program (issue order).
+#[derive(Clone, Copy, Debug)]
+struct Step {
+    kind: OpKind,
+    a: Operand,
+    b: Option<Operand>,
+    dst: u16,
+    start: u64,
+    finish: u64,
+}
+
+/// The compile-once artifact: uniform trace, validated schedule, register
+/// allocation, control ROM and fingerprint for one machine shape.
+///
+/// Built by [`compile`]; executed any number of times by
+/// [`CompiledKernel::execute`] / [`CompiledKernel::execute_batch`].
+#[derive(Clone, Debug)]
+pub struct CompiledKernel {
+    /// The machine this kernel is scheduled for.
+    pub machine: MachineConfig,
+    /// Scheduling effort (ILS iterations) the schedule was built with.
+    pub effort: u32,
+    /// The uniform microinstruction program.
+    pub trace: Trace,
+    /// The validated static schedule.
+    pub schedule: Schedule,
+    /// Virtual→physical register mapping.
+    pub allocation: Allocation,
+    /// The assembled program ROM (single-sequencer machines only).
+    pub rom: Option<ControlRom>,
+    /// Scalar-independent identity of this kernel.
+    pub fingerprint: KernelFingerprint,
+    /// Machine statistics from the compile-time cycle-accurate run
+    /// (digit-independent — see [`KernelFingerprint`]).
+    pub stats: SimStats,
+    prog: Vec<Step>,
+}
+
+/// Compiles the scalar-multiplication kernel for a machine at the given
+/// scheduling effort, with the [`DEFAULT_REGISTER_BUDGET`].
+///
+/// # Errors
+///
+/// Any stage failure as a [`PipelineError`]; [`PipelineError::Diverged`]
+/// if the final audit against the software library fails.
+pub fn compile(machine: &MachineConfig, effort: u32) -> Result<CompiledKernel, PipelineError> {
+    compile_with_budget(machine, effort, DEFAULT_REGISTER_BUDGET)
+}
+
+/// As [`compile`] with an explicit register-file budget.
+///
+/// # Errors
+///
+/// See [`compile`]; additionally [`PipelineError::RegisterBudget`] when
+/// the allocation does not fit `budget` registers.
+pub fn compile_with_budget(
+    machine: &MachineConfig,
+    effort: u32,
+    budget: usize,
+) -> Result<CompiledKernel, PipelineError> {
+    let rep = Scalar::from_le_bytes(&REP_SCALAR);
+    let recorded = fourq_trace::trace_scalar_mul(&rep);
+    let kernel = compile_trace(recorded.trace, machine, effort, budget)?;
+    // End-to-end audit: the kernel must reproduce the software library on
+    // the representative scalar and on an unrelated one.
+    let g = AffinePoint::generator();
+    for k in [rep, Scalar::from_u64(0x9e37_79b9_7f4a_7c15)] {
+        let got = kernel.execute(&g, &k)?;
+        let want = g.mul(&k);
+        if (got.x, got.y) != (want.x, want.y) {
+            return Err(PipelineError::Diverged);
+        }
+    }
+    Ok(kernel)
+}
+
+/// Runs the flow on an already-recorded trace: validate → bridge →
+/// schedule → the shared back half.
+fn compile_trace(
+    trace: Trace,
+    machine: &MachineConfig,
+    effort: u32,
+    budget: usize,
+) -> Result<CompiledKernel, PipelineError> {
+    trace.validate()?;
+    let problem = trace_to_problem(&trace);
+    let sched = schedule(&problem, machine, effort);
+    finish_compile(trace, problem, sched, machine, effort, budget)
+}
+
+/// Back half of the flow, taking the schedule as input so corrupted
+/// schedules surface as [`PipelineError::Schedule`] instead of panics.
+fn finish_compile(
+    trace: Trace,
+    problem: Problem,
+    sched: Schedule,
+    machine: &MachineConfig,
+    effort: u32,
+    budget: usize,
+) -> Result<CompiledKernel, PipelineError> {
+    sched.validate(&problem, machine)?;
+    let sim = simulate(&trace, &sched, machine)?;
+    let allocation = allocate(&trace, &sched, machine);
+    if allocation.num_registers > budget {
+        return Err(PipelineError::RegisterBudget {
+            needed: allocation.num_registers,
+            budget,
+        });
+    }
+    // A single-sequencer ROM exists only for single-instance units; wider
+    // machines keep the decoded schedule without a packed encoding.
+    let rom = if machine.mul_units == 1 && machine.addsub_units == 1 {
+        Some(ControlRom::assemble(&trace, &sched, &allocation)?)
+    } else {
+        None
+    };
+    let fingerprint = KernelFingerprint {
+        cycles: sched.makespan,
+        lower_bound: lower_bound(&problem, machine),
+        serial_cycles: serial_schedule(&problem, machine).makespan,
+        rom_words: problem.len(),
+        rom_bits: rom.as_ref().map(|r| r.size_bits()).unwrap_or(0),
+        op_counts: trace.stats(),
+        registers: allocation.num_registers,
+        register_pressure: sim.stats.register_pressure,
+        mux_count: trace.muxes.len(),
+    };
+    let base = trace.first_op_id();
+    let mut order: Vec<usize> = (0..trace.nodes.len()).collect();
+    order.sort_by_key(|&i| (sched.start[i], i));
+    let prog = order
+        .iter()
+        .map(|&i| {
+            let node = &trace.nodes[i];
+            let latency = match node.kind.unit() {
+                Unit::Multiplier => machine.mul_latency as u64,
+                Unit::AddSub => machine.addsub_latency as u64,
+            };
+            Step {
+                kind: node.kind,
+                a: node.a,
+                b: node.b,
+                dst: allocation.assignment[base + i],
+                start: sched.start[i],
+                finish: sched.start[i] + latency,
+            }
+        })
+        .collect();
+    Ok(CompiledKernel {
+        machine: *machine,
+        effort,
+        trace,
+        schedule: sched,
+        allocation,
+        rom,
+        fingerprint,
+        stats: sim.stats,
+        prog,
+    })
+}
+
+impl CompiledKernel {
+    /// Executes the fixed microcode for `[k]base` and returns the affine
+    /// result.
+    ///
+    /// Only the two base-point registers and the mux select lines (the
+    /// recoded digits of `k`) change between calls — the program, the
+    /// schedule and the register allocation are the compile-time
+    /// constants. Mirrors `AffinePoint::mul`'s degenerate handling: an
+    /// identity base short-circuits; a zero scalar flows through the
+    /// datapath (its decomposition is parity-corrected to an odd scalar
+    /// whose final correction step cancels the result to the identity).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Diverged`] if the replayed outputs are not a
+    /// curve point (the per-execution sanity guard).
+    pub fn execute(&self, base: &AffinePoint, k: &Scalar) -> Result<AffinePoint, PipelineError> {
+        if base.is_identity() {
+            return Ok(AffinePoint::identity());
+        }
+        let digits = fourq_trace::digit_stream(k);
+        let (x, y) = self.replay(base.x, base.y, &digits);
+        AffinePoint::new(x, y).map_err(|_| PipelineError::Diverged)
+    }
+
+    /// Executes a batch of scalars against one base, fanning the replay
+    /// over the process-wide thread pool (`FOURQ_THREADS` respected).
+    ///
+    /// Results are bit-identical at every thread count: each replay is an
+    /// independent pure function of `(base, scalar)` and the order of the
+    /// returned vector matches `scalars`.
+    ///
+    /// # Errors
+    ///
+    /// The first [`PipelineError`] any replay produced.
+    pub fn execute_batch(
+        &self,
+        base: &AffinePoint,
+        scalars: &[Scalar],
+    ) -> Result<Vec<AffinePoint>, PipelineError> {
+        self.execute_batch_with(base, scalars, fourq_pool::resolved_threads())
+    }
+
+    /// As [`CompiledKernel::execute_batch`] with an explicit thread count.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledKernel::execute_batch`].
+    pub fn execute_batch_with(
+        &self,
+        base: &AffinePoint,
+        scalars: &[Scalar],
+        threads: usize,
+    ) -> Result<Vec<AffinePoint>, PipelineError> {
+        fourq_pool::map_items(scalars, 4, threads, |_, k| self.execute(base, k))
+            .into_iter()
+            .collect()
+    }
+
+    /// Replays the precompiled program through the physical register file
+    /// under a fresh digit stream, returning the `(x, y)` outputs.
+    fn replay(&self, px: Fp2, py: Fp2, digits: &DigitStream) -> (Fp2, Fp2) {
+        let assignment = &self.allocation.assignment;
+        let mut rf = vec![Fp2::ZERO; self.allocation.num_registers];
+        for (id, (name, rep)) in self.trace.inputs.iter().enumerate() {
+            let v = match name.as_str() {
+                "Px" => px,
+                "Py" => py,
+                _ => *rep, // constants keep their recorded value
+            };
+            rf[assignment[id] as usize] = v;
+        }
+        // Pending-writeback replay (same timing model as
+        // `simulate_allocated`): a result finishing at cycle c is readable
+        // from cycle c on; idle cycles are skipped.
+        let mut pending: Vec<(u64, u16, Fp2)> = Vec::new();
+        for step in &self.prog {
+            let cycle = step.start;
+            pending.retain(|&(f, reg, v)| {
+                if f <= cycle {
+                    rf[reg as usize] = v;
+                    false
+                } else {
+                    true
+                }
+            });
+            let fetch =
+                |op: Operand| -> Fp2 { rf[assignment[self.trace.resolve(op, digits)] as usize] };
+            let a = fetch(step.a);
+            let result = match (step.kind, step.b) {
+                (OpKind::Mul, Some(b)) => a.mul_karatsuba(&fetch(b)),
+                (OpKind::Add, Some(b)) => a + fetch(b),
+                (OpKind::Sub, Some(b)) => a - fetch(b),
+                (OpKind::Sqr, _) => a.square(),
+                (OpKind::Neg, _) => -a,
+                (OpKind::Conj, _) => a.conj(),
+                _ => unreachable!("validated trace: binary op carries operand b"),
+            };
+            pending.push((step.finish, step.dst, result));
+        }
+        for (_, reg, v) in pending {
+            rf[reg as usize] = v;
+        }
+        let out = |name: &str| -> Fp2 {
+            let id = self
+                .trace
+                .outputs
+                .iter()
+                .find(|(n, _)| n == name)
+                .expect("kernel trace has x/y outputs")
+                .1;
+            rf[assignment[id] as usize]
+        };
+        (out("x"), out("y"))
+    }
+}
+
+type KernelCache = Mutex<HashMap<(MachineConfig, u32), &'static CompiledKernel>>;
+
+/// Returns the process-wide compiled kernel for `(machine, effort)`,
+/// compiling it on first use.
+///
+/// Kernels are leaked into `'static` storage (a handful per process — one
+/// per distinct machine shape and effort), so callers share one immutable
+/// artifact across threads with no per-call locking beyond the map probe.
+///
+/// # Errors
+///
+/// The [`PipelineError`] of the first compile attempt. Failures are not
+/// cached: a later call retries.
+pub fn shared_kernel(
+    machine: &MachineConfig,
+    effort: u32,
+) -> Result<&'static CompiledKernel, PipelineError> {
+    static CACHE: OnceLock<KernelCache> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (*machine, effort);
+    {
+        let map = cache.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(k) = map.get(&key) {
+            return Ok(k);
+        }
+    }
+    // Compile outside the lock (it is the slow path); racing compiles are
+    // benign — the first insert wins and later ones are dropped.
+    let kernel = compile(machine, effort)?;
+    let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+    Ok(*map
+        .entry(key)
+        .or_insert_with(|| Box::leak(Box::new(kernel))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fourq_trace::Node;
+
+    #[test]
+    fn compiled_kernel_matches_software_for_fresh_inputs() {
+        let m = MachineConfig::paper();
+        let kernel = compile(&m, 0).expect("compiles");
+        let base = AffinePoint::generator().mul(&Scalar::from_u64(5));
+        for k in [
+            Scalar::from_u64(1),
+            Scalar::from_u64(2),
+            Scalar::from_le_bytes(&[0x6b; 32]),
+        ] {
+            let got = kernel.execute(&base, &k).expect("executes");
+            let want = base.mul(&k);
+            assert_eq!((got.x, got.y), (want.x, want.y));
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_mirror_affine_mul() {
+        let m = MachineConfig::paper();
+        let kernel = shared_kernel(&m, 0).expect("compiles");
+        // identity base short-circuits
+        let id = AffinePoint::identity();
+        let r = kernel.execute(&id, &Scalar::from_u64(42)).unwrap();
+        assert!(r.is_identity());
+        // zero scalar flows through the parity-corrected pipeline
+        let g = AffinePoint::generator();
+        let z = kernel.execute(&g, &Scalar::from_u64(0)).unwrap();
+        let want = g.mul(&Scalar::from_u64(0));
+        assert_eq!((z.x, z.y), (want.x, want.y));
+        assert!(z.is_identity());
+    }
+
+    #[test]
+    fn execute_batch_matches_execute() {
+        let m = MachineConfig::paper();
+        let kernel = shared_kernel(&m, 0).expect("compiles");
+        let g = AffinePoint::generator();
+        let scalars: Vec<Scalar> = (1..=6u64).map(|i| Scalar::from_u64(i * 977)).collect();
+        let serial: Vec<AffinePoint> = scalars
+            .iter()
+            .map(|k| kernel.execute(&g, k).unwrap())
+            .collect();
+        for threads in [1, 3] {
+            let batch = kernel.execute_batch_with(&g, &scalars, threads).unwrap();
+            assert_eq!(batch.len(), serial.len());
+            for (a, b) in batch.iter().zip(&serial) {
+                assert_eq!((a.x, a.y), (b.x, b.y));
+            }
+        }
+    }
+
+    #[test]
+    fn shared_kernel_is_cached() {
+        let m = MachineConfig::paper();
+        let a = shared_kernel(&m, 0).expect("compiles");
+        let b = shared_kernel(&m, 0).expect("cached");
+        assert!(std::ptr::eq(a, b), "same (machine, effort) → same kernel");
+    }
+
+    #[test]
+    fn fingerprint_is_scalar_independent_and_plausible() {
+        let m = MachineConfig::paper();
+        let kernel = shared_kernel(&m, 0).expect("compiles");
+        let fp = &kernel.fingerprint;
+        assert!(fp.cycles >= fp.lower_bound);
+        assert!(fp.cycles < fp.serial_cycles);
+        assert_eq!(fp.rom_words, kernel.trace.nodes.len());
+        assert!(fp.rom_bits > 0, "paper machine has a packed ROM");
+        assert!(fp.mux_count > 400, "uniform program routes every digit");
+        assert!(fp.registers <= DEFAULT_REGISTER_BUDGET);
+        assert!(fp.register_pressure <= fp.registers);
+    }
+
+    #[test]
+    fn over_budget_register_allocation_is_reported() {
+        let m = MachineConfig::paper();
+        match compile_with_budget(&m, 0, 8) {
+            Err(PipelineError::RegisterBudget { needed, budget }) => {
+                assert_eq!(budget, 8);
+                assert!(needed > 8);
+            }
+            other => panic!("expected RegisterBudget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_trace_is_reported() {
+        // Hand-rolled trace with a value-table mismatch: typed error, no
+        // panic.
+        let bad = Trace {
+            inputs: vec![("a".to_string(), Fp2::ONE)],
+            runtime_ids: vec![],
+            nodes: vec![Node {
+                kind: OpKind::Sqr,
+                a: Operand::Val(0),
+                b: None,
+            }],
+            muxes: vec![],
+            outputs: vec![("o".to_string(), 1)],
+            values: vec![Fp2::ONE], // should be 2 entries
+            digits: DigitStream::empty(),
+        };
+        let m = MachineConfig::paper();
+        assert_eq!(
+            compile_trace(bad, &m, 0, DEFAULT_REGISTER_BUDGET).err(),
+            Some(PipelineError::Trace(TraceError::ValueCountMismatch))
+        );
+    }
+
+    #[test]
+    fn corrupted_schedule_is_reported() {
+        let t = fourq_trace::trace_double_add_iteration();
+        let m = MachineConfig::paper();
+        let problem = trace_to_problem(&t);
+        let mut sched = schedule(&problem, &m, 0);
+        let last = sched.start.len() - 1;
+        sched.start[last] = 0; // operands cannot be ready at cycle 0
+        match finish_compile(t, problem, sched, &m, 0, DEFAULT_REGISTER_BUDGET) {
+            Err(PipelineError::Schedule(_)) => {}
+            other => panic!("expected Schedule error, got {other:?}"),
+        }
+    }
+}

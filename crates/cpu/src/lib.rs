@@ -1,4 +1,5 @@
-//! Cycle-accurate simulation of the FourQ ASIC cryptoprocessor.
+//! Cycle-accurate simulation of the FourQ ASIC cryptoprocessor and the
+//! compile-once/execute-many kernel pipeline built on top of it.
 //!
 //! The paper's processor (Fig. 1(a)) is a register file with four read and
 //! two write ports, a pipelined Karatsuba `F_p²` multiplier, an `F_p²`
@@ -14,6 +15,13 @@
 //!   energy via the technology model);
 //! * occupancy and register-file statistics, including the register
 //!   pressure the schedule implies (how large the register file must be).
+//!
+//! Because the recorded scalar multiplication is *uniform* — every
+//! secret-dependent choice is an operand mux driven by the recoded digit
+//! stream — the expensive trace/schedule/allocate/assemble work happens
+//! **once** per machine shape. [`CompiledKernel`] captures that artifact
+//! and [`CompiledKernel::execute`] replays the fixed microcode for any
+//! (base, scalar) pair; [`shared_kernel`] caches kernels process-wide.
 //!
 //! # Example
 //!
@@ -32,18 +40,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod kernel;
 mod regalloc;
 mod vcd;
 
+pub use kernel::{
+    compile, compile_with_budget, shared_kernel, CompiledKernel, KernelFingerprint, PipelineError,
+    DEFAULT_REGISTER_BUDGET,
+};
 pub use regalloc::{
-    allocate, simulate_allocated, Allocation, AssembleError, ControlRom, ControlWord,
+    allocate, simulate_allocated, Allocation, AssembleError, ControlRom, ControlWord, RomRoute, Src,
 };
 pub use vcd::export_vcd;
 
+/// Trace→problem translation now lives beside the scheduler in
+/// [`fourq_sched`]; re-exported here for one release so downstream code
+/// can migrate its imports.
+pub use fourq_sched::trace_to_problem;
+
 use fourq_curve::AffinePoint;
 use fourq_fp::Fp2;
-use fourq_sched::{lower_bound, schedule, Job, MachineConfig, Problem, Schedule, UnitKind};
-use fourq_trace::{OpKind, Trace};
+use fourq_sched::{MachineConfig, Schedule, UnitKind};
+use fourq_trace::{OpKind, Operand, Trace};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -85,7 +103,8 @@ pub struct SimResult {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SimError {
     /// A scheduled operation would read a value the pipeline has not
-    /// produced yet.
+    /// produced yet (for mux-routed operands: *any* candidate the select
+    /// lines could pick).
     OperandNotReady {
         /// Index of the consuming operation.
         op: usize,
@@ -100,6 +119,12 @@ pub enum SimError {
         unit: UnitKind,
         /// The conflicting cycle.
         cycle: u64,
+    },
+    /// A binary operation is missing its second operand —
+    /// [`fourq_trace::Trace::validate`] catches this statically.
+    MalformedTrace {
+        /// Index of the malformed operation.
+        op: usize,
     },
 }
 
@@ -116,52 +141,21 @@ impl fmt::Display for SimError {
             SimError::IssueConflict { unit, cycle } => {
                 write!(f, "unit {unit:?} double-issued at cycle {cycle}")
             }
+            SimError::MalformedTrace { op } => {
+                write!(f, "operation {op} is missing its second operand")
+            }
         }
     }
 }
 impl std::error::Error for SimError {}
 
-/// Converts a trace into a scheduling [`Problem`] (operation → job,
-/// dependency edges from the SSA operand structure).
-pub fn trace_to_problem(trace: &Trace) -> Problem {
-    let base = trace.first_op_id();
-    let deps = trace.op_deps();
-    let jobs = trace
-        .nodes
-        .iter()
-        .zip(deps)
-        .map(|(n, d)| {
-            let unit = match n.kind.unit() {
-                fourq_trace::Unit::Multiplier => UnitKind::Multiplier,
-                fourq_trace::Unit::AddSub => UnitKind::AddSub,
-            };
-            let operand_count = 1 + n.b.is_some() as usize;
-            let input_operands = operand_count - d.len().min(operand_count);
-            let input_operands = {
-                // count precisely: operands with id < base
-                let mut c = 0;
-                if n.a < base {
-                    c += 1;
-                }
-                if let Some(b) = n.b {
-                    if b < base {
-                        c += 1;
-                    }
-                }
-                let _ = input_operands;
-                c
-            };
-            Job {
-                unit,
-                deps: d,
-                input_operands,
-            }
-        })
-        .collect();
-    Problem::new(jobs)
-}
-
 /// Executes `trace` under `sched` on the machine model, cycle-accurately.
+///
+/// Mux-routed operands are resolved under the trace's recorded digit
+/// stream, but readiness is enforced for *every* candidate the select
+/// lines could pick — the schedule must be valid whatever the digits say
+/// — and the routed value always arrives through the register file
+/// (forwarding a mux operand would only be correct for one digit value).
 ///
 /// # Errors
 ///
@@ -178,6 +172,7 @@ pub fn simulate(
         return Err(SimError::LengthMismatch);
     }
     let base = trace.first_op_id();
+    let reach = trace.mux_reach();
 
     // Execution order: by issue cycle (ties: any order works because
     // dependencies always finish strictly before or at issue).
@@ -216,38 +211,43 @@ pub fn simulate(
             return Err(SimError::IssueConflict { unit, cycle });
         }
 
-        let fetch = |id: usize, stats: &mut SimStats| -> Result<Fp2, SimError> {
-            if id >= base {
-                // produced by an operation
-                let ready = avail[id];
-                if ready > cycle {
-                    return Err(SimError::OperandNotReady { op: i, cycle });
+        let fetch = |op: Operand, stats: &mut SimStats| -> Result<Fp2, SimError> {
+            match op {
+                Operand::Val(id) if id >= base => {
+                    // produced by an operation
+                    let ready = avail[id];
+                    if ready > cycle {
+                        return Err(SimError::OperandNotReady { op: i, cycle });
+                    }
+                    if machine.forwarding && ready == cycle {
+                        stats.forwarded += 1;
+                    } else {
+                        stats.rf_reads += 1;
+                    }
+                    Ok(values[id])
                 }
-                if machine.forwarding && ready == cycle {
-                    stats.forwarded += 1;
-                } else {
+                Operand::Val(id) => {
                     stats.rf_reads += 1;
+                    Ok(values[id])
                 }
-            } else {
-                stats.rf_reads += 1;
+                Operand::Mux(m) => {
+                    let ready = reach[m].iter().map(|&id| avail[id]).max().unwrap_or(0);
+                    if ready > cycle {
+                        return Err(SimError::OperandNotReady { op: i, cycle });
+                    }
+                    // the digit-selected winner always comes from the RF
+                    stats.rf_reads += 1;
+                    Ok(values[trace.resolve(op, &trace.digits)])
+                }
             }
-            Ok(values[id])
         };
 
         let a = fetch(node.a, &mut stats)?;
+        let b = || node.b.ok_or(SimError::MalformedTrace { op: i });
         let result = match node.kind {
-            OpKind::Mul => {
-                let b = fetch(node.b.expect("mul is binary"), &mut stats)?;
-                a.mul_karatsuba(&b)
-            }
-            OpKind::Add => {
-                let b = fetch(node.b.expect("add is binary"), &mut stats)?;
-                a + b
-            }
-            OpKind::Sub => {
-                let b = fetch(node.b.expect("sub is binary"), &mut stats)?;
-                a - b
-            }
+            OpKind::Mul => a.mul_karatsuba(&fetch(b()?, &mut stats)?),
+            OpKind::Add => a + fetch(b()?, &mut stats)?,
+            OpKind::Sub => a - fetch(b()?, &mut stats)?,
             OpKind::Sqr => a.square(),
             OpKind::Neg => -a,
             OpKind::Conj => a.conj(),
@@ -286,11 +286,13 @@ pub fn simulate(
 /// Peak number of simultaneously live `F_p²` values under a schedule: the
 /// size the register file must have. A value is live from the cycle it is
 /// produced until the last cycle it is read (program outputs stay live to
-/// the end; program inputs are live from cycle 0).
+/// the end; program inputs are live from cycle 0). Every candidate of a
+/// mux-routed operand counts as read at the consumer's issue cycle.
 pub fn register_pressure(trace: &Trace, sched: &Schedule, machine: &MachineConfig) -> usize {
     let base = trace.first_op_id();
     let n = trace.nodes.len();
     let total = base + n;
+    let reach = trace.mux_reach();
     let latency = |i: usize| -> u64 {
         match trace.nodes[i].kind.unit() {
             fourq_trace::Unit::Multiplier => machine.mul_latency as u64,
@@ -304,9 +306,15 @@ pub fn register_pressure(trace: &Trace, sched: &Schedule, machine: &MachineConfi
     }
     for (i, node) in trace.nodes.iter().enumerate() {
         let use_cycle = sched.start[i];
-        dies[node.a] = dies[node.a].max(use_cycle);
-        if let Some(b) = node.b {
-            dies[b] = dies[b].max(use_cycle);
+        for op in core::iter::once(node.a).chain(node.b) {
+            match op {
+                Operand::Val(id) => dies[id] = dies[id].max(use_cycle),
+                Operand::Mux(m) => {
+                    for &id in &reach[m] {
+                        dies[id] = dies[id].max(use_cycle);
+                    }
+                }
+            }
         }
     }
     for (_, id) in &trace.outputs {
@@ -350,11 +358,17 @@ pub struct ScalarMulSim {
 /// Traces, schedules, simulates and cross-checks a complete scalar
 /// multiplication `[k]G` on the given machine.
 ///
+/// Internally this now goes through the process-wide [`shared_kernel`]
+/// cache: the first call for a `(machine, ils_iterations)` pair compiles
+/// the uniform kernel, every later call only replays it (and re-audits
+/// the result against the software library).
+///
 /// # Panics
 ///
-/// Panics if the datapath result disagrees with the software library
-/// (which would indicate a simulator or scheduler bug — this is the
-/// end-to-end functional audit) or if `k` is zero.
+/// Panics if the pipeline fails to compile for this machine or the
+/// datapath result disagrees with the software library (which would
+/// indicate a simulator or scheduler bug — this is the end-to-end
+/// functional audit).
 pub fn simulate_scalar_mul(
     k: &fourq_fp::Scalar,
     machine: &MachineConfig,
@@ -374,28 +388,26 @@ pub fn simulate_scalar_mul_for(
     machine: &MachineConfig,
     ils_iterations: u32,
 ) -> ScalarMulSim {
-    let recorded = fourq_trace::trace_scalar_mul_for(point, k);
-    let problem = trace_to_problem(&recorded.trace);
-    let sched = schedule(&problem, machine, ils_iterations);
-    sched
-        .validate(&problem, machine)
-        .expect("scheduler produced an invalid schedule");
-    let sim = simulate(&recorded.trace, &sched, machine).expect("validated schedule must simulate");
-    let x = sim.outputs[0].1;
-    let y = sim.outputs[1].1;
+    let kernel = shared_kernel(machine, ils_iterations)
+        .expect("scalar-mul pipeline compiles on this machine");
+    let result = kernel.execute(point, k).expect("compiled kernel executes");
+    let expected = point.mul(k);
     assert_eq!(
-        (x, y),
-        (recorded.expected.x, recorded.expected.y),
+        (result.x, result.y),
+        (expected.x, expected.y),
         "datapath result diverged from software scalar multiplication"
     );
-    let result = AffinePoint::new(x, y).expect("datapath result must be on the curve");
-    let serial = fourq_sched::serial_schedule(&problem, machine);
+    let fp = &kernel.fingerprint;
     ScalarMulSim {
-        lower_bound: lower_bound(&problem, machine),
-        serial_cycles: serial.makespan,
-        rom_words: problem.len(),
-        sim,
+        sim: SimResult {
+            cycles: fp.cycles,
+            outputs: vec![("x".to_string(), result.x), ("y".to_string(), result.y)],
+            stats: kernel.stats,
+        },
         result,
+        lower_bound: fp.lower_bound,
+        serial_cycles: fp.serial_cycles,
+        rom_words: fp.rom_words,
     }
 }
 
@@ -403,6 +415,7 @@ pub fn simulate_scalar_mul_for(
 mod tests {
     use super::*;
     use fourq_fp::Scalar;
+    use fourq_sched::{lower_bound, schedule};
 
     #[test]
     fn loop_iteration_simulates_and_checks() {
@@ -438,14 +451,30 @@ mod tests {
     }
 
     #[test]
+    fn uniform_scalar_mul_simulates_for_any_digits() {
+        // The same uniform program simulates correctly under two
+        // different recorded scalars (the trace carries its own digits).
+        let m = MachineConfig::paper();
+        for k in [Scalar::from_u64(3), Scalar::from_le_bytes(&[0xa5; 32])] {
+            let rec = fourq_trace::trace_scalar_mul(&k);
+            let p = trace_to_problem(&rec.trace);
+            let s = schedule(&p, &m, 0);
+            let r = simulate(&rec.trace, &s, &m).unwrap();
+            assert_eq!(r.outputs[0].1, rec.expected.x);
+            assert_eq!(r.outputs[1].1, rec.expected.y);
+        }
+    }
+
+    #[test]
     fn full_scalar_mul_end_to_end() {
         let m = MachineConfig::paper();
         let sim = simulate_scalar_mul(&Scalar::from_u64(987654321), &m, 2);
         assert!(sim.sim.cycles >= sim.lower_bound);
         assert!(sim.sim.cycles < sim.serial_cycles);
         assert!(sim.result.is_on_curve());
-        // register pressure must fit a plausible register file
-        assert!(sim.sim.stats.register_pressure < 96);
+        // register pressure must fit a plausible register file (the
+        // uniform program keeps the whole table live, hence < 128)
+        assert!(sim.sim.stats.register_pressure < 128);
     }
 
     #[test]

@@ -10,11 +10,19 @@
 //! re-executes the program *through the physical register file*, which
 //! catches any allocation bug (a clobbered live value produces a wrong
 //! output and fails the cross-check).
+//!
+//! With the uniform trace model, an operand may be a [`Operand::Mux`]
+//! route: the register address is then not a constant in the ROM word but
+//! comes out of a small route table indexed by the recoded digits (the
+//! select network of the paper's architecture). The allocator must keep
+//! *every* candidate of such a route alive until the consuming read —
+//! whichever one the digits pick at runtime must still be in its
+//! register.
 
 use crate::SimError;
 use fourq_fp::Fp2;
 use fourq_sched::{MachineConfig, Schedule};
-use fourq_trace::{OpKind, Trace, Unit};
+use fourq_trace::{OpKind, Operand, Selector, Trace, Unit};
 
 /// A virtual-to-physical register mapping.
 #[derive(Clone, Debug)]
@@ -29,9 +37,11 @@ pub struct Allocation {
 ///
 /// A value occupies its register from the cycle it is written
 /// (`issue + latency`; inputs from cycle 0) until the last cycle it is
-/// read; program outputs are pinned until the end. A freed register is
-/// reusable from the *following* cycle (the register file writes at the
-/// end of a cycle, after that cycle's reads).
+/// read; program outputs are pinned until the end. Every candidate of a
+/// mux-routed operand counts as read at the consumer's issue cycle — the
+/// schedule is digit-independent, so all candidates must survive to the
+/// read. A freed register is reusable from the *following* cycle (the
+/// register file writes at the end of a cycle, after that cycle's reads).
 ///
 /// # Panics
 ///
@@ -41,6 +51,7 @@ pub fn allocate(trace: &Trace, sched: &Schedule, machine: &MachineConfig) -> All
     let n = trace.nodes.len();
     assert_eq!(sched.start.len(), n, "schedule/trace mismatch");
     let total = base + n;
+    let reach = trace.mux_reach();
 
     let latency = |i: usize| -> u64 {
         match trace.nodes[i].kind.unit() {
@@ -57,9 +68,15 @@ pub fn allocate(trace: &Trace, sched: &Schedule, machine: &MachineConfig) -> All
     }
     for (i, node) in trace.nodes.iter().enumerate() {
         let use_cycle = sched.start[i];
-        dies[node.a] = dies[node.a].max(use_cycle);
-        if let Some(b) = node.b {
-            dies[b] = dies[b].max(use_cycle);
+        for op in core::iter::once(node.a).chain(node.b) {
+            match op {
+                Operand::Val(id) => dies[id] = dies[id].max(use_cycle),
+                Operand::Mux(m) => {
+                    for &id in &reach[m] {
+                        dies[id] = dies[id].max(use_cycle);
+                    }
+                }
+            }
         }
     }
     for (_, id) in &trace.outputs {
@@ -108,6 +125,33 @@ pub fn allocate(trace: &Trace, sched: &Schedule, machine: &MachineConfig) -> All
     }
 }
 
+/// A source-operand address in a control word: either a fixed register or
+/// an entry of the route table (the digit-driven select network picks the
+/// actual register at runtime).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Src {
+    /// A fixed physical register address.
+    Reg(u16),
+    /// Index into [`ControlRom::routes`].
+    Route(u16),
+}
+
+impl Default for Src {
+    fn default() -> Src {
+        Src::Reg(0)
+    }
+}
+
+/// One entry of the ROM's route table: a selector plus the candidate
+/// sources it chooses among (candidates may chain to earlier routes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RomRoute {
+    /// What drives the select lines.
+    pub sel: Selector,
+    /// Candidate sources, `sel.arity()` of them.
+    pub cands: Vec<Src>,
+}
+
 /// One decoded control word (one clock cycle of the sequencer).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ControlWord {
@@ -115,31 +159,36 @@ pub struct ControlWord {
     pub mul_valid: bool,
     /// Multiplier is squaring (reads only `mul_a`).
     pub mul_sqr: bool,
-    /// Multiplier source registers.
-    pub mul_a: u16,
+    /// Multiplier source operand.
+    pub mul_a: Src,
     /// Second multiplier source.
-    pub mul_b: u16,
+    pub mul_b: Src,
     /// Multiplier destination register (written `mul_latency` later).
     pub mul_dst: u16,
     /// Adder/subtractor issue enable.
     pub add_valid: bool,
     /// Adder opcode: 0 add, 1 sub, 2 neg, 3 conj.
     pub add_op: u8,
-    /// Adder source registers.
-    pub add_a: u16,
+    /// Adder source operand.
+    pub add_a: Src,
     /// Second adder source.
-    pub add_b: u16,
+    pub add_b: Src,
     /// Adder destination register.
     pub add_dst: u16,
 }
 
-/// The assembled program ROM: one 64-bit control word per cycle.
+/// The assembled program ROM: one control word per cycle plus the route
+/// table that resolves digit-selected sources.
 #[derive(Clone, Debug)]
 pub struct ControlRom {
     /// Decoded control words, indexed by cycle.
     pub words: Vec<ControlWord>,
+    /// The route table shared by all words (one entry per trace mux).
+    pub routes: Vec<RomRoute>,
     /// Register-address width in bits.
     pub addr_bits: u32,
+    /// Route-index width in bits.
+    pub route_bits: u32,
 }
 
 /// Errors while assembling the control ROM.
@@ -169,7 +218,7 @@ impl std::error::Error for AssembleError {}
 impl ControlRom {
     /// Packs the scheduled, register-allocated program into per-cycle
     /// control words (the artifact the paper's flow stores in the program
-    /// ROM).
+    /// ROM) plus the route table driven by the recoded digits.
     ///
     /// # Errors
     ///
@@ -182,13 +231,27 @@ impl ControlRom {
         alloc: &Allocation,
     ) -> Result<ControlRom, AssembleError> {
         let base = trace.first_op_id();
+        let src = |op: Operand| -> Src {
+            match op {
+                Operand::Val(id) => Src::Reg(alloc.assignment[id]),
+                Operand::Mux(m) => Src::Route(m as u16),
+            }
+        };
+        let routes: Vec<RomRoute> = trace
+            .muxes
+            .iter()
+            .map(|mx| RomRoute {
+                sel: mx.sel,
+                cands: mx.cands.iter().map(|&c| src(c)).collect(),
+            })
+            .collect();
         let mut words = vec![ControlWord::default(); sched.makespan as usize + 1];
         for (i, node) in trace.nodes.iter().enumerate() {
             let cycle = sched.start[i] as usize;
             let w = &mut words[cycle];
             let dst = alloc.assignment[base + i];
-            let a = alloc.assignment[node.a];
-            let b = node.b.map(|b| alloc.assignment[b]).unwrap_or(0);
+            let a = src(node.a);
+            let b = node.b.map(src).unwrap_or_default();
             match node.kind.unit() {
                 Unit::Multiplier => {
                     if w.mul_valid {
@@ -224,48 +287,87 @@ impl ControlRom {
                 }
             }
         }
-        let addr_bits = (usize::BITS - (alloc.num_registers.max(2) - 1).leading_zeros()).max(1);
-        Ok(ControlRom { words, addr_bits })
+        let width = |n: usize| (usize::BITS - (n.max(2) - 1).leading_zeros()).max(1);
+        let addr_bits = width(alloc.num_registers);
+        let route_bits = width(routes.len());
+        Ok(ControlRom {
+            words,
+            routes,
+            addr_bits,
+            route_bits,
+        })
+    }
+
+    /// Bits per encoded source: one tag bit (register vs route) plus the
+    /// wider of the two address spaces.
+    pub fn src_bits(&self) -> u32 {
+        1 + self.addr_bits.max(self.route_bits)
+    }
+
+    /// Bits per control word: 5 flag/opcode bits, two destination
+    /// register addresses and four tagged sources.
+    pub fn word_bits(&self) -> u32 {
+        5 + 2 * self.addr_bits + 4 * self.src_bits()
     }
 
     /// Bit-packs a control word into a 64-bit ROM word
     /// (demonstrates the physical encoding; width must fit).
     pub fn encode_word(&self, w: &ControlWord) -> u64 {
         let ab = self.addr_bits;
+        let sb = self.src_bits();
         let mut v: u64 = 0;
         let push = |val: u64, bits: u32, v: &mut u64| {
             *v = (*v << bits) | (val & ((1 << bits) - 1));
         };
+        let push_src = |s: Src, v: &mut u64| {
+            let (tag, val) = match s {
+                Src::Reg(r) => (0u64, r as u64),
+                Src::Route(r) => (1u64, r as u64),
+            };
+            push(tag, 1, v);
+            push(val, sb - 1, v);
+        };
         push(w.mul_valid as u64, 1, &mut v);
         push(w.mul_sqr as u64, 1, &mut v);
-        push(w.mul_a as u64, ab, &mut v);
-        push(w.mul_b as u64, ab, &mut v);
+        push_src(w.mul_a, &mut v);
+        push_src(w.mul_b, &mut v);
         push(w.mul_dst as u64, ab, &mut v);
         push(w.add_valid as u64, 1, &mut v);
         push(w.add_op as u64, 2, &mut v);
-        push(w.add_a as u64, ab, &mut v);
-        push(w.add_b as u64, ab, &mut v);
+        push_src(w.add_a, &mut v);
+        push_src(w.add_b, &mut v);
         push(w.add_dst as u64, ab, &mut v);
         v
     }
 
-    /// Total ROM size in bits.
+    /// Total ROM size in bits: the per-cycle words plus the route table
+    /// (each entry: an 8-bit selector descriptor and its tagged candidate
+    /// sources).
     pub fn size_bits(&self) -> usize {
-        self.words.len() * (5 + 6 * self.addr_bits as usize)
+        let words = self.words.len() * self.word_bits() as usize;
+        let routes: usize = self
+            .routes
+            .iter()
+            .map(|r| 8 + r.cands.len() * (1 + self.src_bits() as usize))
+            .sum();
+        words + routes
     }
 }
 
 /// Executes the register-allocated program through a *physical* register
 /// file, cycle by cycle, and returns the named outputs.
 ///
-/// Unlike [`crate::simulate`], values here live in shared physical
-/// registers: if the allocator clobbered a live value, the outputs come
-/// out wrong — making this the independent verifier of [`allocate`].
+/// Mux-routed operands are resolved under the trace's own recorded digit
+/// stream (the representative execution). Unlike [`crate::simulate`],
+/// values here live in shared physical registers: if the allocator
+/// clobbered a live value, the outputs come out wrong — making this the
+/// independent verifier of [`allocate`].
 ///
 /// # Errors
 ///
-/// Propagates the schedule errors of [`crate::simulate`]-style checking
-/// (operand-not-ready detection via the in-flight pipeline model).
+/// [`SimError::LengthMismatch`] if the schedule does not belong to the
+/// trace; [`SimError::MalformedTrace`] if a binary operation is missing
+/// its second operand.
 pub fn simulate_allocated(
     trace: &Trace,
     sched: &Schedule,
@@ -313,20 +415,15 @@ pub fn simulate_allocated(
             let i = order[oi];
             oi += 1;
             let node = &trace.nodes[i];
-            let a = rf[alloc.assignment[node.a] as usize];
+            let fetch = |op: Operand| -> Fp2 {
+                rf[alloc.assignment[trace.resolve(op, &trace.digits)] as usize]
+            };
+            let a = fetch(node.a);
+            let b = || node.b.ok_or(SimError::MalformedTrace { op: i });
             let result = match node.kind {
-                OpKind::Mul => {
-                    let b = rf[alloc.assignment[node.b.expect("binary")] as usize];
-                    a.mul_karatsuba(&b)
-                }
-                OpKind::Add => {
-                    let b = rf[alloc.assignment[node.b.expect("binary")] as usize];
-                    a + b
-                }
-                OpKind::Sub => {
-                    let b = rf[alloc.assignment[node.b.expect("binary")] as usize];
-                    a - b
-                }
+                OpKind::Mul => a.mul_karatsuba(&fetch(b()?)),
+                OpKind::Add => a + fetch(b()?),
+                OpKind::Sub => a - fetch(b()?),
                 OpKind::Sqr => a.square(),
                 OpKind::Neg => -a,
                 OpKind::Conj => a.conj(),
@@ -382,9 +479,10 @@ mod tests {
         assert_eq!(outs[0].1, rec.expected.x);
         assert_eq!(outs[1].1, rec.expected.y);
         // A realistic register file (paper's has 4R/2W ports; capacity is
-        // set by allocation).
+        // set by allocation). The uniform program pins the full 8-entry
+        // table, so the budget is wider than a per-scalar schedule's.
         assert!(
-            a.num_registers <= 64,
+            a.num_registers <= 128,
             "register file of {} words is implausible",
             a.num_registers
         );
@@ -405,9 +503,29 @@ mod tests {
             .sum();
         assert_eq!(issues, t.nodes.len());
         // encoding fits 64 bits
-        assert!(5 + 6 * rom.addr_bits as usize <= 64);
+        assert!(rom.word_bits() <= 64);
         let _ = rom.encode_word(&rom.words[0]);
         assert!(rom.size_bits() > 0);
+    }
+
+    #[test]
+    fn uniform_scalar_mul_rom_carries_routes() {
+        let rec = fourq_trace::trace_scalar_mul(&fourq_fp::Scalar::from_u64(13));
+        let m = MachineConfig::paper();
+        let (s, a) = pipeline(&rec.trace, &m);
+        let rom = ControlRom::assemble(&rec.trace, &s, &a).expect("assembles");
+        // one route per trace mux; digit-selected sources appear in words
+        assert_eq!(rom.routes.len(), rec.trace.muxes.len());
+        assert!(rom.routes.len() > 400, "uniform trace routes every digit");
+        let routed = rom
+            .words
+            .iter()
+            .flat_map(|w| [w.mul_a, w.mul_b, w.add_a, w.add_b])
+            .filter(|s| matches!(s, Src::Route(_)))
+            .count();
+        assert!(routed > 0);
+        assert!(rom.word_bits() <= 64);
+        let _ = rom.encode_word(&rom.words[0]);
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod params;
 pub use affine::{AffinePoint, DecodePointError};
 pub use context::FourQEngine;
 pub use decompose::{decompose, recode, Decomposition, Recoded, DIGITS, LIMB_BITS};
-pub use engine::{normalize, scalar_mul_engine, MulOutput};
+pub use engine::{identity, normalize, scalar_mul_engine, MulOutput};
 pub use extended::{CachedPoint, ExtendedPoint};
 pub use fixed_base::{generator_table, FixedBaseTable};
 pub use multi::{

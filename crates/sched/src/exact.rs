@@ -246,7 +246,7 @@ pub fn exact_schedule(problem: &Problem, machine: &MachineConfig, node_limit: u6
     }
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (i, j) in problem.jobs.iter().enumerate() {
-        for &d in &j.deps {
+        for d in j.all_deps() {
             succs[d].push(i);
         }
     }
@@ -264,7 +264,11 @@ pub fn exact_schedule(problem: &Problem, machine: &MachineConfig, node_limit: u6
     };
     let mut start = vec![u64::MAX; n];
     let mut earliest = vec![0u64; n];
-    let mut preds_left: Vec<usize> = problem.jobs.iter().map(|j| j.deps.len()).collect();
+    let mut preds_left: Vec<usize> = problem
+        .jobs
+        .iter()
+        .map(|j| j.deps.len() + j.order_deps.len())
+        .collect();
     searcher.dfs(&mut start, &mut earliest, &mut preds_left, 0, 0, 0);
 
     let schedule = Schedule {
@@ -288,6 +292,7 @@ mod tests {
         Job {
             unit: UnitKind::Multiplier,
             deps,
+            order_deps: vec![],
             input_operands: inputs,
         }
     }
@@ -295,6 +300,7 @@ mod tests {
         Job {
             unit: UnitKind::AddSub,
             deps,
+            order_deps: vec![],
             input_operands: inputs,
         }
     }

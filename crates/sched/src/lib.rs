@@ -22,8 +22,8 @@
 //!
 //! // c = a*b; d = c + c
 //! let problem = Problem::new(vec![
-//!     Job { unit: UnitKind::Multiplier, deps: vec![], input_operands: 2 },
-//!     Job { unit: UnitKind::AddSub, deps: vec![0], input_operands: 0 },
+//!     Job { unit: UnitKind::Multiplier, deps: vec![], order_deps: vec![], input_operands: 2 },
+//!     Job { unit: UnitKind::AddSub, deps: vec![0], order_deps: vec![], input_operands: 0 },
 //! ]);
 //! let machine = MachineConfig::paper();
 //! let s = schedule(&problem, &machine, 8);
@@ -53,11 +53,27 @@ pub enum UnitKind {
 pub struct Job {
     /// Unit the operation issues on.
     pub unit: UnitKind,
-    /// Indices of producer jobs whose results this job consumes.
+    /// Indices of producer jobs whose results this job consumes
+    /// *directly* (forwardable data edges).
     pub deps: Vec<usize>,
-    /// Number of operands read from the register file that are *program
-    /// inputs* (no producer job). These always consume a read port.
+    /// Indices of producer jobs this job must wait for without consuming
+    /// their result directly — e.g. every candidate behind an operand
+    /// multiplexer: which one is read is decided at runtime, so the fixed
+    /// schedule must order *all* of them before this job, and the value
+    /// always arrives through the register file (never a forwarding
+    /// path). Their read-port cost is carried by `input_operands`.
+    pub order_deps: Vec<usize>,
+    /// Number of operands that unconditionally consume a register-file
+    /// read port: program inputs (no producer job) and mux-routed
+    /// operands (one read each, regardless of candidate count).
     pub input_operands: usize,
+}
+
+impl Job {
+    /// All producer indices this job must wait for (data + ordering).
+    pub fn all_deps(&self) -> impl Iterator<Item = usize> + '_ {
+        self.deps.iter().chain(self.order_deps.iter()).copied()
+    }
 }
 
 /// A scheduling problem: a DAG of jobs.
@@ -76,7 +92,7 @@ impl Problem {
     /// Panics if a dependency references an equal or later index.
     pub fn new(jobs: Vec<Job>) -> Problem {
         for (i, j) in jobs.iter().enumerate() {
-            for &d in &j.deps {
+            for d in j.all_deps() {
                 assert!(d < i, "job {i} depends on non-earlier job {d}");
             }
         }
@@ -95,7 +111,10 @@ impl Problem {
 }
 
 /// Datapath resource parameters.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// `Hash`/`Eq` make the config usable as a compiled-kernel cache key
+/// (see `fourq_cpu::shared_kernel`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct MachineConfig {
     /// Multiplier pipeline latency in cycles (initiation interval is 1:
     /// the paper's "single `F_p²` multiplication per clock cycle").
@@ -241,7 +260,7 @@ impl Schedule {
             let s = self.start[i];
             let lat = machine.latency(job.unit) as u64;
             makespan = makespan.max(s + lat);
-            for &d in &job.deps {
+            for d in job.all_deps() {
                 let dep_finish = self.start[d] + machine.latency(problem.jobs[d].unit) as u64;
                 if s < dep_finish {
                     return Err(ScheduleError::DependencyViolation { job: i, dep: d });
@@ -287,7 +306,7 @@ pub fn critical_path_priorities(problem: &Problem, machine: &MachineConfig) -> V
     let n = problem.len();
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (i, j) in problem.jobs.iter().enumerate() {
-        for &d in &j.deps {
+        for d in j.all_deps() {
             succs[d].push(i);
         }
     }
@@ -316,7 +335,7 @@ pub fn backward_priorities(problem: &Problem, machine: &MachineConfig) -> Vec<u6
     let mut rev_jobs: Vec<Job> = Vec::with_capacity(n);
     let mut rev_deps: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (i, j) in problem.jobs.iter().enumerate() {
-        for &d in &j.deps {
+        for d in j.all_deps() {
             // original edge d -> i becomes (n-1-i) -> (n-1-d)
             rev_deps[n - 1 - d].push(n - 1 - i);
         }
@@ -329,6 +348,7 @@ pub fn backward_priorities(problem: &Problem, machine: &MachineConfig) -> Vec<u6
         rev_jobs.push(Job {
             unit: problem.jobs[orig].unit,
             deps,
+            order_deps: vec![],
             input_operands: 0,
         });
     }
@@ -401,8 +421,8 @@ pub fn list_schedule(problem: &Problem, machine: &MachineConfig, priority: &[u64
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut preds_left = vec![0usize; n];
     for (i, j) in problem.jobs.iter().enumerate() {
-        preds_left[i] = j.deps.len();
-        for &d in &j.deps {
+        preds_left[i] = j.deps.len() + j.order_deps.len();
+        for d in j.all_deps() {
             succs[d].push(i);
         }
     }
@@ -579,6 +599,7 @@ mod tests {
         Job {
             unit: UnitKind::Multiplier,
             deps,
+            order_deps: vec![],
             input_operands: inputs,
         }
     }
@@ -586,6 +607,7 @@ mod tests {
         Job {
             unit: UnitKind::AddSub,
             deps,
+            order_deps: vec![],
             input_operands: inputs,
         }
     }
@@ -720,6 +742,7 @@ mod tests {
             jobs.push(Job {
                 unit,
                 deps,
+                order_deps: vec![],
                 input_operands,
             });
         }
@@ -745,7 +768,52 @@ mod tests {
         assert_eq!(s.makespan, 0);
         s.validate(&p, &m).unwrap();
     }
+
+    #[test]
+    fn order_deps_enforce_timing_without_forwarding() {
+        // Consumer reads through a mux over jobs 0 and 1: it carries both
+        // as order deps plus one always-RF read (input_operands = 1).
+        let p = Problem::new(vec![
+            mul(vec![], 2),
+            mul(vec![], 2),
+            Job {
+                unit: UnitKind::AddSub,
+                deps: vec![],
+                order_deps: vec![0, 1],
+                input_operands: 1,
+            },
+        ]);
+        let m = MachineConfig::paper();
+        let s = schedule(&p, &m, 4);
+        s.validate(&p, &m).unwrap();
+        // Both producers (latency 2, pipelined at 0 and 1) finish by 3.
+        let fin = s.start[0].max(s.start[1]) + m.mul_latency as u64;
+        assert!(s.start[2] >= fin, "mux consumer issued before candidates");
+
+        // A schedule violating an order edge is rejected like a data edge.
+        let bad = Schedule {
+            start: vec![0, 1, 1],
+            makespan: 3,
+        };
+        assert!(matches!(
+            bad.validate(&p, &m),
+            Err(ScheduleError::DependencyViolation { job: 2, .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-earlier")]
+    fn problem_rejects_forward_order_deps() {
+        let _ = Problem::new(vec![Job {
+            unit: UnitKind::Multiplier,
+            deps: vec![],
+            order_deps: vec![0],
+            input_operands: 1,
+        }]);
+    }
 }
 
+mod bridge;
 mod exact;
+pub use bridge::trace_to_problem;
 pub use exact::{exact_schedule, ExactResult};

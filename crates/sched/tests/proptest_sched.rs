@@ -40,10 +40,23 @@ fn arb_problem(rng: &mut TestRng) -> Problem {
                 deps.dedup();
                 deps.truncate(2); // ops are at most binary
             }
+            // Occasionally one operand slot reads through a mux: ordering
+            // edges to up to 3 earlier jobs, still one register read (the
+            // read is counted in input_operands like a program input).
+            let mut order_deps = Vec::new();
+            if i > 0 && deps.len() < 2 && next() % 4 == 0 {
+                for _ in 0..(1 + next() % 3) {
+                    order_deps.push((next() % i as u64) as usize);
+                }
+                order_deps.sort_unstable();
+                order_deps.dedup();
+                order_deps.retain(|d| !deps.contains(d));
+            }
             let input_operands = 2usize.saturating_sub(deps.len());
             Job {
                 unit,
                 deps,
+                order_deps,
                 input_operands,
             }
         })

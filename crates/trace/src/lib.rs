@@ -33,6 +33,10 @@ mod programs;
 mod tracer;
 
 pub use programs::{
-    trace_double_add_iteration, trace_scalar_mul, trace_scalar_mul_for, ScalarMulTrace,
+    digit_stream, trace_double_add_iteration, trace_scalar_mul, trace_scalar_mul_for,
+    ScalarMulTrace,
 };
-pub use tracer::{Node, NodeId, OpKind, OpStats, Trace, TracedFp2, Tracer, Unit};
+pub use tracer::{
+    DigitStream, Mux, Node, NodeId, OpKind, OpStats, Operand, Selector, Trace, TraceError,
+    TracedFp2, Tracer, Unit,
+};

@@ -2,7 +2,7 @@
 
 use core::cell::RefCell;
 use core::fmt;
-use fourq_fp::{Choice, CtSelect, Fp2, Fp2Like};
+use fourq_fp::{Fp2, Fp2Like};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -60,15 +60,109 @@ impl OpKind {
     }
 }
 
+/// An operand of a microinstruction: either a concrete trace value or the
+/// output of an operand multiplexer (the datapath's select network).
+///
+/// Muxes are how the trace stays *uniform* across scalars: instead of
+/// baking the winner of a secret-indexed table lookup into the SSA, the
+/// instruction reads through a [`Mux`] whose select lines are driven by
+/// the runtime digit stream. One program therefore serves every
+/// (base, scalar) pair.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    /// A value by id (input or operation result).
+    Val(NodeId),
+    /// The output of `trace.muxes[i]`.
+    Mux(usize),
+}
+
+/// What drives a multiplexer's select lines at execution time.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Selector {
+    /// 8-way select by the table index of recoded digit `d`
+    /// (candidate `indices[d]`).
+    TableIndex(usize),
+    /// 2-way select by the sign of recoded digit `d`: candidate 0 when
+    /// the digit is positive, candidate 1 when negative.
+    SignNeg(usize),
+    /// 2-way select by the decomposition's parity-correction flag:
+    /// candidate 0 when no correction is needed, candidate 1 when the
+    /// scalar was parity-corrected.
+    Corrected,
+}
+
+impl Selector {
+    /// The number of candidates this selector chooses among.
+    pub fn arity(&self) -> usize {
+        match self {
+            Selector::TableIndex(_) => 8,
+            Selector::SignNeg(_) | Selector::Corrected => 2,
+        }
+    }
+
+    /// The candidate index this selector picks for a given digit stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the selector's digit position is out of range for
+    /// `digits` (a malformed trace; see [`Trace::validate`]).
+    pub fn select(&self, digits: &DigitStream) -> usize {
+        match *self {
+            Selector::TableIndex(d) => digits.indices[d] as usize,
+            Selector::SignNeg(d) => digits.neg[d] as usize,
+            Selector::Corrected => digits.corrected as usize,
+        }
+    }
+}
+
+/// One operand multiplexer: a selector plus its candidate operands.
+///
+/// Muxes live in a side table ([`Trace::muxes`]) and are referenced only
+/// from operand positions — they consume no [`NodeId`], no register and
+/// no datapath cycle, exactly like the operand-select lines of the
+/// paper's architecture.
+#[derive(Clone, Debug)]
+pub struct Mux {
+    /// What drives the select lines.
+    pub sel: Selector,
+    /// Candidate operands; `sel.arity()` of them. Candidates may route
+    /// through earlier muxes (e.g. a sign select over a table-index
+    /// select) but never through later ones.
+    pub cands: Vec<Operand>,
+}
+
+/// The per-execution digit inputs that drive every mux select line: the
+/// recoded table indices and sign bits plus the parity-correction flag.
+///
+/// This is the *runtime* half of a compiled kernel's input (the other
+/// half being the base-point coordinates); the trace itself stores the
+/// representative stream its values were recorded under.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DigitStream {
+    /// Table index per digit position, each `< 8`.
+    pub indices: Vec<u8>,
+    /// Sign per digit position: `true` when the digit is negative.
+    pub neg: Vec<bool>,
+    /// Parity-correction flag of the decomposition.
+    pub corrected: bool,
+}
+
+impl DigitStream {
+    /// An empty stream, for programs without data-dependent routing.
+    pub fn empty() -> DigitStream {
+        DigitStream::default()
+    }
+}
+
 /// One recorded microinstruction.
 #[derive(Clone, Debug)]
 pub struct Node {
     /// Operation kind.
     pub kind: OpKind,
     /// First operand.
-    pub a: NodeId,
+    pub a: Operand,
     /// Second operand (`None` for unary `Neg`/`Conj`/`Sqr`).
-    pub b: Option<NodeId>,
+    pub b: Option<Operand>,
 }
 
 /// Operation-count statistics of a trace (for the paper's "57 % of
@@ -122,18 +216,124 @@ impl fmt::Display for OpStats {
     }
 }
 
-/// A finished execution trace: named inputs, SSA operation list, named
-/// outputs, and the concrete value of every id (for functional checks).
+/// A structural defect found by [`Trace::validate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// `values.len()` disagrees with `inputs.len() + nodes.len()`.
+    ValueCountMismatch,
+    /// A node operand references a value at or after the node itself
+    /// (the SSA list is not a DAG).
+    OperandOutOfRange {
+        /// Offending operation index.
+        node: usize,
+    },
+    /// A node or mux references a mux index outside `muxes`.
+    MuxOutOfRange {
+        /// Offending operation index (or mux index for mux→mux edges).
+        node: usize,
+    },
+    /// A mux candidate routes through a mux recorded later.
+    ForwardMuxReference {
+        /// Offending mux index.
+        mux: usize,
+    },
+    /// A mux has the wrong number of candidates for its selector.
+    MuxArity {
+        /// Offending mux index.
+        mux: usize,
+        /// `sel.arity()`.
+        expected: usize,
+        /// Actual candidate count.
+        got: usize,
+    },
+    /// A selector's digit position is outside the representative digit
+    /// stream (the trace cannot even replay its own recording).
+    DigitOutOfRange {
+        /// Offending mux index.
+        mux: usize,
+    },
+    /// A binary operation is missing its second operand.
+    MissingOperand {
+        /// Offending operation index.
+        node: usize,
+    },
+    /// A unary operation carries a second operand.
+    UnexpectedOperand {
+        /// Offending operation index.
+        node: usize,
+    },
+    /// An output references a nonexistent value id.
+    OutputOutOfRange {
+        /// Offending output index.
+        output: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::ValueCountMismatch => {
+                write!(f, "stored value count disagrees with inputs + nodes")
+            }
+            TraceError::OperandOutOfRange { node } => {
+                write!(f, "operation {node} reads a value defined at or after it")
+            }
+            TraceError::MuxOutOfRange { node } => {
+                write!(f, "operation {node} references a nonexistent mux")
+            }
+            TraceError::ForwardMuxReference { mux } => {
+                write!(f, "mux {mux} routes through a later mux")
+            }
+            TraceError::MuxArity { mux, expected, got } => {
+                write!(
+                    f,
+                    "mux {mux} has {got} candidates, selector wants {expected}"
+                )
+            }
+            TraceError::DigitOutOfRange { mux } => {
+                write!(
+                    f,
+                    "mux {mux} selects on a digit position outside the stream"
+                )
+            }
+            TraceError::MissingOperand { node } => {
+                write!(f, "binary operation {node} is missing its second operand")
+            }
+            TraceError::UnexpectedOperand { node } => {
+                write!(f, "unary operation {node} carries a second operand")
+            }
+            TraceError::OutputOutOfRange { output } => {
+                write!(f, "output {output} references a nonexistent value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A finished execution trace: named inputs, SSA operation list, operand
+/// muxes, named outputs, and the concrete value of every id under the
+/// representative digit stream (for functional checks).
 #[derive(Clone, Debug)]
 pub struct Trace {
     /// Named inputs and lifted constants.
     pub inputs: Vec<(String, Fp2)>,
+    /// Ids of inputs that are bound fresh on every execution (the base
+    /// point's coordinates); the remaining inputs are lifted constants
+    /// baked into a compiled kernel's register file image.
+    pub runtime_ids: Vec<NodeId>,
     /// The recorded operations.
     pub nodes: Vec<Node>,
-    /// Named outputs (`(name, id)`).
+    /// The operand multiplexers, referenced from operand positions.
+    pub muxes: Vec<Mux>,
+    /// Named outputs (`(name, id)`). Outputs are always concrete values,
+    /// never muxes.
     pub outputs: Vec<(String, NodeId)>,
-    /// Value of every id (inputs followed by node results).
+    /// Value of every id (inputs followed by node results), as recorded
+    /// under [`Trace::digits`].
     pub values: Vec<Fp2>,
+    /// The representative digit stream the values were recorded under.
+    pub digits: DigitStream,
 }
 
 impl Trace {
@@ -158,17 +358,157 @@ impl Trace {
         s
     }
 
-    /// Re-evaluates the whole trace from the inputs and checks every stored
-    /// value; returns `false` on any mismatch. This is the independent
-    /// functional audit of the recording itself.
+    /// Resolves an operand to a concrete value id by walking the mux
+    /// network under a digit stream.
+    pub fn resolve(&self, op: Operand, digits: &DigitStream) -> NodeId {
+        let mut cur = op;
+        loop {
+            match cur {
+                Operand::Val(id) => return id,
+                Operand::Mux(m) => {
+                    let mx = &self.muxes[m];
+                    cur = mx.cands[mx.sel.select(digits)];
+                }
+            }
+        }
+    }
+
+    /// For every mux, the set of value ids reachable through its
+    /// candidate network (sorted, deduplicated).
+    ///
+    /// This is the conservative footprint a scheduler and register
+    /// allocator must honour: *any* of these values may be the one a
+    /// consuming instruction reads at runtime, so all of them must be
+    /// computed before the read and stay live until it.
+    pub fn mux_reach(&self) -> Vec<Vec<NodeId>> {
+        let mut reach: Vec<Vec<NodeId>> = Vec::with_capacity(self.muxes.len());
+        for mx in &self.muxes {
+            let mut ids = Vec::new();
+            for c in &mx.cands {
+                match *c {
+                    Operand::Val(id) => ids.push(id),
+                    Operand::Mux(j) => {
+                        assert!(j < reach.len(), "mux routes through a later mux");
+                        ids.extend_from_slice(&reach[j]);
+                    }
+                }
+            }
+            ids.sort_unstable();
+            ids.dedup();
+            reach.push(ids);
+        }
+        reach
+    }
+
+    /// Structural validation: operand ranges, DAG property (through the
+    /// mux network), mux arity and digit coverage, operand arity per op
+    /// kind, and output ids.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let base = self.first_op_id();
+        let total = base + self.nodes.len();
+        if self.values.len() != total {
+            return Err(TraceError::ValueCountMismatch);
+        }
+        // Muxes first: arity, digit coverage, and backward-only routing.
+        // `max_reach[m]` is the largest value id reachable through mux m.
+        let mut max_reach: Vec<NodeId> = Vec::with_capacity(self.muxes.len());
+        for (m, mx) in self.muxes.iter().enumerate() {
+            let expected = mx.sel.arity();
+            if mx.cands.len() != expected {
+                return Err(TraceError::MuxArity {
+                    mux: m,
+                    expected,
+                    got: mx.cands.len(),
+                });
+            }
+            let in_digits = match mx.sel {
+                Selector::TableIndex(d) => d < self.digits.indices.len(),
+                Selector::SignNeg(d) => d < self.digits.neg.len(),
+                Selector::Corrected => true,
+            };
+            if !in_digits {
+                return Err(TraceError::DigitOutOfRange { mux: m });
+            }
+            let mut hi = 0usize;
+            for c in &mx.cands {
+                match *c {
+                    Operand::Val(id) => {
+                        if id >= total {
+                            return Err(TraceError::OperandOutOfRange { node: m });
+                        }
+                        hi = hi.max(id);
+                    }
+                    Operand::Mux(j) => {
+                        if j >= self.muxes.len() {
+                            return Err(TraceError::MuxOutOfRange { node: m });
+                        }
+                        if j >= m {
+                            return Err(TraceError::ForwardMuxReference { mux: m });
+                        }
+                        hi = hi.max(max_reach[j]);
+                    }
+                }
+            }
+            max_reach.push(hi);
+        }
+        // Nodes: every operand (through muxes) defined strictly before.
+        for (i, n) in self.nodes.iter().enumerate() {
+            let id = base + i;
+            match (n.kind, n.b) {
+                (OpKind::Mul | OpKind::Add | OpKind::Sub, None) => {
+                    return Err(TraceError::MissingOperand { node: i });
+                }
+                (OpKind::Sqr | OpKind::Neg | OpKind::Conj, Some(_)) => {
+                    return Err(TraceError::UnexpectedOperand { node: i });
+                }
+                _ => {}
+            }
+            for op in core::iter::once(n.a).chain(n.b) {
+                let hi = match op {
+                    Operand::Val(v) => {
+                        if v >= total {
+                            return Err(TraceError::OperandOutOfRange { node: i });
+                        }
+                        v
+                    }
+                    Operand::Mux(m) => {
+                        if m >= self.muxes.len() {
+                            return Err(TraceError::MuxOutOfRange { node: i });
+                        }
+                        max_reach[m]
+                    }
+                };
+                if hi >= id {
+                    return Err(TraceError::OperandOutOfRange { node: i });
+                }
+            }
+        }
+        for (o, (_, id)) in self.outputs.iter().enumerate() {
+            if *id >= total {
+                return Err(TraceError::OutputOutOfRange { output: o });
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-evaluates the whole trace from the inputs under the
+    /// representative digit stream and checks every stored value; returns
+    /// `false` on any mismatch. This is the independent functional audit
+    /// of the recording itself.
     pub fn self_check(&self) -> bool {
         let mut vals: Vec<Fp2> = self.inputs.iter().map(|(_, v)| *v).collect();
         for n in &self.nodes {
-            let a = vals[n.a];
+            let a = vals[self.resolve(n.a, &self.digits)];
+            let fetch_b = |b: Option<Operand>, what: &str| {
+                vals[self.resolve(
+                    b.unwrap_or_else(|| panic!("{what} is binary")),
+                    &self.digits,
+                )]
+            };
             let v = match n.kind {
-                OpKind::Mul => a.mul_karatsuba(&vals[n.b.expect("mul is binary")]),
-                OpKind::Add => a + vals[n.b.expect("add is binary")],
-                OpKind::Sub => a - vals[n.b.expect("sub is binary")],
+                OpKind::Mul => a.mul_karatsuba(&fetch_b(n.b, "mul")),
+                OpKind::Add => a + fetch_b(n.b, "add"),
+                OpKind::Sub => a - fetch_b(n.b, "sub"),
                 OpKind::Sqr => a.square(),
                 OpKind::Neg => -a,
                 OpKind::Conj => a.conj(),
@@ -180,15 +520,16 @@ impl Trace {
 
     /// Renders the program as an assembler-style listing (one SSA
     /// microinstruction per line), e.g. for inspecting the recorded
-    /// program ROM contents.
+    /// program ROM contents. Mux-routed operands print as `mN`; the mux
+    /// table follows the instruction listing.
     pub fn disassemble(&self) -> String {
         use core::fmt::Write as _;
         let base = self.first_op_id();
-        let name = |id: usize| -> String {
-            if id < base {
-                self.inputs[id].0.clone()
-            } else {
-                format!("v{}", id - base)
+        let name = |op: Operand| -> String {
+            match op {
+                Operand::Val(id) if id < base => self.inputs[id].0.clone(),
+                Operand::Val(id) => format!("v{}", id - base),
+                Operand::Mux(m) => format!("m{m}"),
             }
         };
         let mut out = String::new();
@@ -216,26 +557,33 @@ impl Trace {
                 }
             }
         }
+        for (m, mx) in self.muxes.iter().enumerate() {
+            let cands: Vec<String> = mx.cands.iter().map(|&c| name(c)).collect();
+            let _ = writeln!(out, "; m{m:<4} = {:?} ? [{}]", mx.sel, cands.join(", "));
+        }
         for (n, id) in &self.outputs {
-            let _ = writeln!(out, "; output {n} = {}", name(*id));
+            let _ = writeln!(out, "; output {n} = {}", name(Operand::Val(*id)));
         }
         out
     }
 
-    /// The dependency list of each operation: operand ids that are
-    /// themselves operations (inputs impose no ordering constraint).
+    /// The direct-value dependency list of each operation: operand ids
+    /// that are themselves operations, reached *without* going through a
+    /// mux. Mux-routed operands are deliberately excluded — their
+    /// conservative footprint is [`Trace::mux_reach`], and schedulers
+    /// must treat those as ordering-only edges (see
+    /// `fourq_sched::trace_to_problem`).
     pub fn op_deps(&self) -> Vec<Vec<usize>> {
         let base = self.first_op_id();
         self.nodes
             .iter()
             .map(|n| {
                 let mut d = Vec::with_capacity(2);
-                if n.a >= base {
-                    d.push(n.a - base);
-                }
-                if let Some(b) = n.b {
-                    if b >= base {
-                        d.push(b - base);
+                for op in core::iter::once(n.a).chain(n.b) {
+                    if let Operand::Val(id) = op {
+                        if id >= base {
+                            d.push(id - base);
+                        }
                     }
                 }
                 d.sort_unstable();
@@ -249,13 +597,18 @@ impl Trace {
 #[derive(Default)]
 struct TraceBuilder {
     inputs: Vec<(String, Fp2)>,
+    runtime_ids: Vec<NodeId>,
     nodes: Vec<Node>,
+    muxes: Vec<Mux>,
     outputs: Vec<(String, NodeId)>,
     values: Vec<Fp2>,
+    digits: DigitStream,
     /// Structural CSE map: (kind, a, b) -> existing id. The paper's ROM
     /// stores each microinstruction once; re-recorded identical ops (e.g.
     /// lifted constants reused across formulas) should not duplicate.
-    memo: HashMap<(OpKind, NodeId, Option<NodeId>), NodeId>,
+    /// Mux operands carry the mux *index*, which is unique per recorded
+    /// mux, so instructions reading different muxes never merge.
+    memo: HashMap<(OpKind, Operand, Option<Operand>), NodeId>,
 }
 
 /// Records microinstructions executed through [`TracedFp2`] handles.
@@ -267,13 +620,39 @@ pub struct Tracer {
 }
 
 impl Tracer {
-    /// Creates an empty tracer.
+    /// Creates an empty tracer (no digit stream — for programs without
+    /// data-dependent operand routing).
     pub fn new() -> Tracer {
         Tracer::default()
     }
 
-    /// Registers a named input (or constant) and returns its handle.
+    /// Creates a tracer carrying the representative digit stream that
+    /// selects mux candidates while recording. The stream is stored in
+    /// the finished [`Trace`] so the recording can be audited.
+    pub fn with_digits(digits: DigitStream) -> Tracer {
+        let t = Tracer::default();
+        t.inner.borrow_mut().digits = digits;
+        t
+    }
+
+    /// Registers a named *runtime* input — rebound on every execution of
+    /// a compiled kernel (the base point's coordinates) — and returns its
+    /// handle.
     pub fn input(&self, name: &str, value: Fp2) -> TracedFp2 {
+        let v = self.register(name, value);
+        if let Operand::Val(id) = v.op {
+            self.inner.borrow_mut().runtime_ids.push(id);
+        }
+        v
+    }
+
+    /// Registers a named lifted *constant* — baked into the program and
+    /// identical for every execution — and returns its handle.
+    pub fn constant(&self, name: &str, value: Fp2) -> TracedFp2 {
+        self.register(name, value)
+    }
+
+    fn register(&self, name: &str, value: Fp2) -> TracedFp2 {
         let mut b = self.inner.borrow_mut();
         assert!(
             b.nodes.is_empty(),
@@ -283,22 +662,64 @@ impl Tracer {
         b.inputs.push((name.to_string(), value));
         b.values.push(value);
         TracedFp2 {
-            id,
+            op: Operand::Val(id),
             value,
             tracer: self.clone(),
         }
     }
 
+    /// Records an operand multiplexer over `cands` and returns its
+    /// handle. No microinstruction is recorded — the ASIC's select lines
+    /// steer which value feeds the next operation without consuming a
+    /// cycle on either arithmetic unit — so a trace's op *sequence* stays
+    /// fixed while the operand routing varies with the (secret) digits.
+    ///
+    /// The handle's concrete value is the candidate picked by the
+    /// tracer's representative digit stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cands.len() != sel.arity()`, if any candidate belongs
+    /// to a different tracer, or if the representative stream does not
+    /// cover the selector's digit position.
+    pub fn mux(&self, sel: Selector, cands: &[&TracedFp2]) -> TracedFp2 {
+        assert_eq!(cands.len(), sel.arity(), "mux arity mismatch");
+        for c in cands {
+            assert!(
+                Rc::ptr_eq(&self.inner, &c.tracer.inner),
+                "operands belong to different tracers"
+            );
+        }
+        let mut t = self.inner.borrow_mut();
+        let pick = sel.select(&t.digits);
+        assert!(pick < cands.len(), "representative digit out of range");
+        let m = t.muxes.len();
+        t.muxes.push(Mux {
+            sel,
+            cands: cands.iter().map(|c| c.op).collect(),
+        });
+        TracedFp2 {
+            op: Operand::Mux(m),
+            value: cands[pick].value,
+            tracer: self.clone(),
+        }
+    }
+
     /// Marks a value as a named output of the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is a raw mux output — route it through an operation
+    /// first (outputs must be concrete register values).
     pub fn mark_output(&self, name: &str, v: &TracedFp2) {
         assert!(
             Rc::ptr_eq(&self.inner, &v.tracer.inner),
             "output value belongs to a different tracer"
         );
-        self.inner
-            .borrow_mut()
-            .outputs
-            .push((name.to_string(), v.id));
+        let Operand::Val(id) = v.op else {
+            panic!("outputs must be concrete values, not mux routes");
+        };
+        self.inner.borrow_mut().outputs.push((name.to_string(), id));
     }
 
     /// Finishes recording and returns the trace.
@@ -306,9 +727,12 @@ impl Tracer {
         let b = self.inner.borrow();
         Trace {
             inputs: b.inputs.clone(),
+            runtime_ids: b.runtime_ids.clone(),
             nodes: b.nodes.clone(),
+            muxes: b.muxes.clone(),
             outputs: b.outputs.clone(),
             values: b.values.clone(),
+            digits: b.digits.clone(),
         }
     }
 
@@ -324,10 +748,10 @@ impl Tracer {
             );
         }
         let mut t = self.inner.borrow_mut();
-        let key = (kind, a.id, b.map(|x| x.id));
+        let key = (kind, a.op, b.map(|x| x.op));
         if let Some(&id) = t.memo.get(&key) {
             return TracedFp2 {
-                id,
+                op: Operand::Val(id),
                 value: t.values[id],
                 tracer: self.clone(),
             };
@@ -335,13 +759,13 @@ impl Tracer {
         let id = t.inputs.len() + t.nodes.len();
         t.nodes.push(Node {
             kind,
-            a: a.id,
-            b: b.map(|x| x.id),
+            a: a.op,
+            b: b.map(|x| x.op),
         });
         t.values.push(value);
         t.memo.insert(key, id);
         TracedFp2 {
-            id,
+            op: Operand::Val(id),
             value,
             tracer: self.clone(),
         }
@@ -354,21 +778,33 @@ impl Tracer {
 /// unchanged.
 #[derive(Clone)]
 pub struct TracedFp2 {
-    id: NodeId,
+    op: Operand,
     value: Fp2,
     tracer: Tracer,
 }
 
 impl TracedFp2 {
+    /// The operand this handle denotes (a value id or a mux route).
+    pub fn operand(&self) -> Operand {
+        self.op
+    }
+
     /// The trace id of this value.
+    ///
+    /// # Panics
+    ///
+    /// Panics for mux-routed handles, which have no single id.
     pub fn id(&self) -> NodeId {
-        self.id
+        match self.op {
+            Operand::Val(id) => id,
+            Operand::Mux(m) => panic!("mux route m{m} has no value id"),
+        }
     }
 }
 
 impl fmt::Debug for TracedFp2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "TracedFp2(#{} = {:?})", self.id, self.value)
+        write!(f, "TracedFp2({:?} = {:?})", self.op, self.value)
     }
 }
 
@@ -405,24 +841,6 @@ impl Fp2Like for TracedFp2 {
     }
 }
 
-/// Value-level selection: models the operand multiplexer of the paper's
-/// datapath. No microinstruction is recorded — the ASIC's select lines
-/// steer which node feeds the next operation without consuming a cycle on
-/// either arithmetic unit, so a trace's op *sequence* stays fixed while the
-/// operand routing varies with the (secret) digits.
-impl CtSelect for TracedFp2 {
-    fn ct_select(a: &Self, b: &Self, c: Choice) -> Self {
-        // Host-side trace generation is offline (the trace is the program
-        // being compiled, not a production execution), so declassifying the
-        // select line here leaks nothing at runtime.
-        if c.to_bool_vartime() {
-            b.clone()
-        } else {
-            a.clone()
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,10 +855,12 @@ mod tests {
         t.mark_output("d", &d);
         let tr = t.finish();
         assert_eq!(tr.inputs.len(), 2);
+        assert_eq!(tr.runtime_ids, vec![0, 1]);
         assert_eq!(tr.nodes.len(), 2);
         assert_eq!(tr.outputs, vec![("d".to_string(), 3)]);
         assert_eq!(tr.values[3], Fp2::from(8u64));
         assert!(tr.self_check());
+        assert!(tr.validate().is_ok());
     }
 
     #[test]
@@ -499,5 +919,145 @@ mod tests {
         assert_eq!(s.conj, 1);
         assert_eq!(s.total(), 4);
         assert_eq!(s.multiplier_ops(), 2);
+    }
+
+    #[test]
+    fn constants_are_not_runtime_inputs() {
+        let t = Tracer::new();
+        let a = t.input("a", Fp2::from(2u64));
+        let c = t.constant("c", Fp2::from(7u64));
+        let _ = a.mul(&c);
+        let tr = t.finish();
+        assert_eq!(tr.inputs.len(), 2);
+        assert_eq!(tr.runtime_ids, vec![0]);
+    }
+
+    #[test]
+    fn mux_routes_operand_without_recording_an_op() {
+        let digits = DigitStream {
+            indices: vec![3],
+            neg: vec![true],
+            corrected: false,
+        };
+        let t = Tracer::with_digits(digits.clone());
+        let a = t.input("a", Fp2::from(10u64));
+        let b = t.input("b", Fp2::from(20u64));
+        // 2-way sign select; representative digit 0 is negative → picks b.
+        let m = t.mux(Selector::SignNeg(0), &[&a, &b]);
+        assert_eq!(m.value(), Fp2::from(20u64));
+        let c = m.add(&a); // the only recorded op
+        t.mark_output("c", &c);
+        let tr = t.finish();
+        assert_eq!(tr.nodes.len(), 1);
+        assert_eq!(tr.muxes.len(), 1);
+        assert_eq!(tr.values[2], Fp2::from(30u64));
+        assert!(tr.self_check());
+        assert!(tr.validate().is_ok());
+        // Resolution under the opposite digit picks a instead.
+        let flipped = DigitStream {
+            indices: vec![3],
+            neg: vec![false],
+            corrected: false,
+        };
+        assert_eq!(tr.resolve(Operand::Mux(0), &flipped), 0);
+        assert_eq!(tr.resolve(Operand::Mux(0), &digits), 1);
+        assert_eq!(tr.mux_reach(), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn ops_reading_distinct_muxes_never_merge() {
+        let digits = DigitStream {
+            indices: vec![0, 0],
+            neg: vec![false, false],
+            corrected: false,
+        };
+        let t = Tracer::with_digits(digits);
+        let a = t.input("a", Fp2::from(1u64));
+        let b = t.input("b", Fp2::from(2u64));
+        let m0 = t.mux(Selector::SignNeg(0), &[&a, &b]);
+        let m1 = t.mux(Selector::SignNeg(1), &[&a, &b]);
+        let _ = m0.neg();
+        let _ = m1.neg();
+        // Same (kind, picked value) but different mux routes: both stay.
+        assert_eq!(t.finish().nodes.len(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_traces() {
+        let t = Tracer::new();
+        let a = t.input("a", Fp2::from(2u64));
+        let _ = a.sqr();
+        let good = t.finish();
+        assert!(good.validate().is_ok());
+
+        let mut bad = good.clone();
+        bad.nodes[0].a = Operand::Val(99);
+        assert_eq!(
+            bad.validate(),
+            Err(TraceError::OperandOutOfRange { node: 0 })
+        );
+
+        let mut bad = good.clone();
+        bad.nodes[0].b = Some(Operand::Val(0));
+        assert_eq!(
+            bad.validate(),
+            Err(TraceError::UnexpectedOperand { node: 0 })
+        );
+
+        let mut bad = good.clone();
+        bad.nodes[0] = Node {
+            kind: OpKind::Mul,
+            a: Operand::Val(0),
+            b: None,
+        };
+        assert_eq!(bad.validate(), Err(TraceError::MissingOperand { node: 0 }));
+
+        let mut bad = good.clone();
+        bad.values.pop();
+        assert_eq!(bad.validate(), Err(TraceError::ValueCountMismatch));
+
+        let mut bad = good.clone();
+        bad.outputs.push(("x".to_string(), 77));
+        assert_eq!(
+            bad.validate(),
+            Err(TraceError::OutputOutOfRange { output: 0 })
+        );
+
+        let mut bad = good.clone();
+        bad.muxes.push(Mux {
+            sel: Selector::TableIndex(0),
+            cands: vec![Operand::Val(0); 3],
+        });
+        assert_eq!(
+            bad.validate(),
+            Err(TraceError::MuxArity {
+                mux: 0,
+                expected: 8,
+                got: 3
+            })
+        );
+
+        // A selector whose digit position the representative stream does
+        // not cover.
+        let mut bad = good.clone();
+        bad.muxes.push(Mux {
+            sel: Selector::SignNeg(5),
+            cands: vec![Operand::Val(0); 2],
+        });
+        assert_eq!(bad.validate(), Err(TraceError::DigitOutOfRange { mux: 0 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "concrete values")]
+    fn mux_output_cannot_be_program_output() {
+        let t = Tracer::with_digits(DigitStream {
+            indices: vec![],
+            neg: vec![false],
+            corrected: false,
+        });
+        let a = t.input("a", Fp2::from(1u64));
+        let b = t.input("b", Fp2::from(2u64));
+        let m = t.mux(Selector::SignNeg(0), &[&a, &b]);
+        t.mark_output("m", &m);
     }
 }

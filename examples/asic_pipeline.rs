@@ -1,64 +1,90 @@
-//! The paper's §III-C design flow, end to end and step by step:
+//! The paper's §III-C design flow as a compile-once/execute-many
+//! pipeline:
 //!
-//!   1. run the algorithm on the tracing field → microinstruction stream
-//!   2. extract the dependency DAG → job-shop scheduling problem
-//!   3. solve it (list scheduling + iterated local search)
-//!   4. generate the "control signals" (the schedule) and execute them on
-//!      the cycle-accurate datapath, cross-checking against software.
+//!   1. compile — trace Algorithm 1 into one *uniform* microprogram
+//!      (recoded digits are runtime mux selectors, not baked constants),
+//!      extract the dependency DAG, schedule it, allocate registers,
+//!      assemble the control ROM, and audit the result against software.
+//!   2. execute — replay the fixed microcode for any (base, scalar) pair;
+//!      the chip never reschedules, it just feeds new digits to the muxes.
+//!   3. reuse — the kernel is cached process-wide per (machine, effort),
+//!      so every later caller pays only the replay cost.
 //!
 //! Run with: `cargo run --release --example asic_pipeline`
 
-use fourq::cpu::{simulate, trace_to_problem};
+use fourq::cpu::{shared_kernel, CompiledKernel};
+use fourq::curve::AffinePoint;
 use fourq::fp::Scalar;
-use fourq::sched::{lower_bound, schedule, serial_schedule, MachineConfig};
-use fourq::trace::trace_scalar_mul;
+use fourq::sched::MachineConfig;
+use std::time::Instant;
 
 fn main() {
-    // Step 1: record the execution trace of Algorithm 1.
-    let k = Scalar::from_u64(0x600d_cafe_f00d_5eed);
-    let recorded = trace_scalar_mul(&k);
-    let stats = recorded.trace.stats();
-    println!(
-        "step 1 — trace recorded: {} microinstructions",
-        recorded.trace.nodes.len()
-    );
-    println!("         op mix: {stats}");
-    assert!(recorded.trace.self_check());
-
-    // Step 2: dependency extraction.
-    let problem = trace_to_problem(&recorded.trace);
-    println!(
-        "step 2 — job-shop problem: {} jobs on 2 machines",
-        problem.len()
-    );
-
-    // Step 3: scheduling.
+    // Step 1: compile the kernel once. This is the whole §III-C flow —
+    // trace, schedule, register allocation, control ROM — plus a
+    // self-audit that executes two scalars against AffinePoint::mul.
     let machine = MachineConfig::paper();
-    let lb = lower_bound(&problem, &machine);
-    let serial = serial_schedule(&problem, &machine).makespan;
-    let sched = schedule(&problem, &machine, 32);
-    sched
-        .validate(&problem, &machine)
-        .expect("schedule is valid");
+    let t0 = Instant::now();
+    let kernel: &'static CompiledKernel = shared_kernel(&machine, 32).expect("pipeline compiles");
+    let compile_time = t0.elapsed();
+    let fp = &kernel.fingerprint;
     println!(
-        "step 3 — schedule: {} cycles (lower bound {lb}, serial {serial}, gap {:.1}%)",
-        sched.makespan,
-        100.0 * (sched.makespan - lb) as f64 / lb as f64
+        "step 1 — compiled: {} microinstructions, {} digit muxes, {} registers",
+        kernel.trace.nodes.len(),
+        fp.mux_count,
+        fp.registers
+    );
+    println!(
+        "         schedule {} cycles (lower bound {}, serial {}, gap {:.1}%)",
+        fp.cycles,
+        fp.lower_bound,
+        fp.serial_cycles,
+        100.0 * (fp.cycles - fp.lower_bound) as f64 / fp.lower_bound as f64
+    );
+    println!(
+        "         control ROM {} words / {:.1} kbit; compile took {:.1} ms",
+        fp.rom_words,
+        fp.rom_bits as f64 / 1000.0,
+        compile_time.as_secs_f64() * 1e3
     );
 
-    // Step 4: cycle-accurate execution with functional cross-check.
-    let sim = simulate(&recorded.trace, &sched, &machine).expect("simulation runs");
+    // Step 2: execute the same microcode for several scalars. Only the
+    // digit stream changes between runs — the schedule does not.
+    let g = AffinePoint::generator();
+    let scalars = [
+        Scalar::from_u64(0x600d_cafe_f00d_5eed),
+        Scalar::from_u64(1),
+        Scalar::from_u64(0x9e37_79b9_7f4a_7c15),
+    ];
+    let t1 = Instant::now();
+    for k in &scalars {
+        let out = kernel.execute(&g, k).expect("kernel executes");
+        let expected = g.mul(k);
+        assert_eq!((out.x, out.y), (expected.x, expected.y));
+    }
+    let execute_time = t1.elapsed() / scalars.len() as u32;
     println!(
-        "step 4 — datapath run: {} cycles, multiplier busy {:.0}%, \
-         {} RF reads / {} writes, {} forwarded operands, {} registers",
-        sim.cycles,
-        100.0 * sim.stats.mul_utilization,
-        sim.stats.rf_reads,
-        sim.stats.rf_writes,
-        sim.stats.forwarded,
-        sim.stats.register_pressure,
+        "step 2 — executed {} scalars on the fixed microcode, {:.2} ms each; \
+         datapath output == software [k]G  ✓",
+        scalars.len(),
+        execute_time.as_secs_f64() * 1e3
     );
-    assert_eq!(sim.outputs[0].1, recorded.expected.x);
-    assert_eq!(sim.outputs[1].1, recorded.expected.y);
-    println!("         datapath output == software [k]G  ✓");
+
+    // Step 3: a second lookup hits the process-wide cache — same kernel,
+    // zero compilation.
+    let again = shared_kernel(&machine, 32).expect("pipeline compiles");
+    assert!(std::ptr::eq(kernel, again));
+    println!(
+        "step 3 — cache hit: same kernel instance, amortisation {:.0}x per reuse",
+        (compile_time.as_secs_f64() + execute_time.as_secs_f64()) / execute_time.as_secs_f64()
+    );
+
+    // Batch execution fans the replay over the worker pool with
+    // bit-identical results per lane.
+    let batch: Vec<Scalar> = (1..=8).map(Scalar::from_u64).collect();
+    let outs = kernel.execute_batch(&g, &batch).expect("batch executes");
+    assert_eq!(outs.len(), batch.len());
+    println!(
+        "bonus  — execute_batch over {} scalars on the pool  ✓",
+        outs.len()
+    );
 }

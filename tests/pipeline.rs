@@ -1,11 +1,11 @@
 //! Cross-crate integration tests: the full trace → schedule → simulate
 //! pipeline against the software library, across machine configurations
-//! and scalars.
+//! and scalars, plus the compile-once/execute-many kernel contract.
 
-use fourq::cpu::{simulate, simulate_scalar_mul, trace_to_problem};
+use fourq::cpu::{shared_kernel, simulate, simulate_scalar_mul};
 use fourq::curve::AffinePoint;
 use fourq::fp::{Scalar, U256};
-use fourq::sched::{lower_bound, schedule, MachineConfig};
+use fourq::sched::{lower_bound, schedule, trace_to_problem, MachineConfig};
 use fourq::trace::{trace_scalar_mul, trace_scalar_mul_for};
 
 fn full_scalar() -> Scalar {
@@ -97,17 +97,81 @@ fn schedule_quality_gap_is_bounded() {
 
 #[test]
 fn traced_program_is_scalar_independent_in_size() {
-    // Op counts may differ only by the sign-flip negations (at most the
-    // digit count) and the parity-correction addition.
+    // The uniform always-compute-and-select program is *identical* in
+    // size for every scalar: digit signs and table indices are runtime
+    // mux selectors, never baked into the SSA stream.
     let a = trace_scalar_mul(&Scalar::from_u64(3)).trace.stats();
     let b = trace_scalar_mul(&full_scalar()).trace.stats();
-    let diff = (a.total() as i64 - b.total() as i64).abs();
-    assert!(
-        diff < 80,
+    assert_eq!(
+        a.total(),
+        b.total(),
         "trace sizes diverge: {} vs {}",
         a.total(),
         b.total()
     );
+    assert_eq!(a, b, "op mix diverges between scalars");
+}
+
+#[test]
+fn compiled_kernel_execute_equals_software() {
+    let machine = MachineConfig::paper();
+    let kernel = shared_kernel(&machine, 2).expect("pipeline compiles");
+    let g = AffinePoint::generator();
+    for k in [
+        Scalar::from_u64(1),
+        Scalar::from_u64(2),
+        Scalar::from_u64(0xffff_ffff_ffff_fffe),
+        full_scalar(),
+    ] {
+        let got = kernel.execute(&g, &k).expect("kernel executes");
+        assert_eq!(got, g.mul(&k));
+    }
+    // Random scalars and bases through the same fixed microcode.
+    fourq_testkit::prop_check!(cases = 8, |k: Scalar| {
+        let got = kernel.execute(&g, &k).expect("kernel executes");
+        assert_eq!(got, g.mul(&k));
+    });
+    fourq_testkit::prop_check!(cases = 4, |b: AffinePoint, k: Scalar| {
+        let got = kernel.execute(&b, &k).expect("kernel executes");
+        assert_eq!(got, b.mul(&k));
+    });
+}
+
+#[test]
+fn compiled_kernel_batch_is_thread_count_invariant() {
+    let machine = MachineConfig::paper();
+    let kernel = shared_kernel(&machine, 2).expect("pipeline compiles");
+    let g = AffinePoint::generator();
+    let ks: Vec<Scalar> = (1u64..=9)
+        .map(|i| Scalar::from_u64(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+        .collect();
+    fourq_testkit::diff_check!(|threads| {
+        kernel
+            .execute_batch_with(&g, &ks, threads)
+            .expect("kernel executes")
+            .into_iter()
+            .map(|p| (p.x, p.y))
+            .collect::<Vec<_>>()
+    });
+}
+
+#[test]
+fn shared_kernel_is_compiled_once_per_config() {
+    let machine = MachineConfig::paper();
+    let a = shared_kernel(&machine, 2).expect("pipeline compiles");
+    let b = shared_kernel(&machine, 2).expect("pipeline compiles");
+    assert!(
+        std::ptr::eq(a, b),
+        "same (machine, effort) must hit the cache"
+    );
+    let narrow = MachineConfig {
+        read_ports: 2,
+        write_ports: 1,
+        ..MachineConfig::paper()
+    };
+    let c = shared_kernel(&narrow, 2).expect("pipeline compiles");
+    assert!(!std::ptr::eq(a, c), "distinct configs get distinct kernels");
+    assert_eq!(a.fingerprint, b.fingerprint);
 }
 
 #[test]

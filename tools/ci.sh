@@ -57,6 +57,23 @@ FOURQ_BENCH_FAST=1 cargo run --release -q -p fourq-bench --bin microbench -- \
     --filter parallel --gate-parallel --out "$out"
 rm -f "$out"
 
+step "asic-smoke: paper-artifact binaries (FOURQ_BENCH_FAST=1)"
+# End-to-end smoke of the compile-once/execute-many ASIC pipeline: the
+# profiling claim, the Table I schedule (reduced search budgets under
+# FOURQ_BENCH_FAST), and the Fig. 4 voltage sweep, all through the
+# shared kernel cache.
+FOURQ_BENCH_FAST=1 cargo run --release -q -p fourq-bench --bin profile_ops > /dev/null
+FOURQ_BENCH_FAST=1 cargo run --release -q -p fourq-bench --bin table1_schedule > /dev/null
+FOURQ_BENCH_FAST=1 cargo run --release -q -p fourq-bench --bin fig4_voltage_sweep > /dev/null
+
+step "asic-smoke: kernel-cache amortisation tripwire (FOURQ_BENCH_FAST=1)"
+# Warm-cache kernel execute must be >=10x faster than the cold
+# compile+execute path, or the compile-once pipeline lost its point.
+out="$(mktemp)"
+FOURQ_BENCH_FAST=1 cargo run --release -q -p fourq-bench --bin microbench -- \
+    --filter asic --gate-kernel-cache --out "$out"
+rm -f "$out"
+
 if [[ "${1:-}" == "--with-bench" ]]; then
     step "microbench smoke, all groups (FOURQ_BENCH_FAST=1)"
     out="$(mktemp)"
