@@ -23,6 +23,15 @@
 //! `execute` is not at least 10× faster than the cold compile+execute
 //! path — the tripwire for the compile-once/execute-many pipeline.
 //!
+//! `--compare BASELINE.json` re-parses a previous report and fails when
+//! the median slowdown within any of `scalar_ops`, `parallel_ops` or
+//! `asic_pipeline` exceeds 25%. Alert-only when the baseline was
+//! recorded on hardware with a different `hw_threads` count.
+//!
+//! `--filter` accepts a comma-separated list of group-name substrings,
+//! so the CI regression stage can run exactly
+//! `--filter scalar_ops,parallel_ops,asic_pipeline`.
+//!
 //! By default the JSON lands at the repository root (resolved relative to
 //! this crate's manifest), so successive PRs overwrite the same
 //! `BENCH_fourq.json` and the git history of that file *is* the perf
@@ -81,31 +90,32 @@ const GATE_PARALLEL_MIN: f64 = 2.0;
 const GATE_PARALLEL_WARN: f64 = 2.5;
 
 fn gate_parallel(report: &BenchReport) -> Result<(), String> {
-    let lookup = |threads: u32| -> Result<f64, String> {
+    let lookup = |threads: u32| -> Result<&fourq_bench::harness::BenchRecord, String> {
         report
             .results
             .iter()
             .find(|r| r.group == "parallel_ops" && r.threads == threads)
-            .map(|r| r.ns_per_op)
             .ok_or(format!(
                 "gate: parallel_ops entry with threads={threads} missing from this run"
             ))
     };
-    let t1 = lookup(1)?;
-    let t4 = lookup(4)?;
+    let t1 = lookup(1)?.ns_per_op;
+    let rec4 = lookup(4)?;
+    let t4 = rec4.ns_per_op;
     let speedup = t1 / t4;
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    // Judge reachability by the hw_threads *recorded in the measurement
+    // itself*, so gating a loaded-from-disk report stays honest about
+    // the machine that produced it.
+    let cores = rec4.hw_threads;
     eprintln!(
         "gate: batch_scalar_mul n=256 speedup {speedup:.2}x at 4 threads \
          ({t1:.0} -> {t4:.0} ns/point; fail <{GATE_PARALLEL_MIN}x, warn <{GATE_PARALLEL_WARN}x, \
-         {cores} hardware threads)"
+         {cores} hardware threads recorded)"
     );
     if cores < 4 {
         eprintln!(
-            "gate: only {cores} hardware thread(s) available — a 4-thread speedup is \
-             unreachable here, reporting alert-only"
+            "gate: only {cores} hardware thread(s) recorded — a 4-thread speedup is \
+             unreachable there, reporting alert-only"
         );
         return Ok(());
     }
@@ -158,12 +168,99 @@ fn gate_kernel_cache(report: &BenchReport) -> Result<(), String> {
     Ok(())
 }
 
+/// The regression tripwire (`--compare BASELINE.json`): for each group in
+/// [`COMPARE_GROUPS`], matching benches (same group/name/threads) are
+/// compared against the baseline file; the run fails when a group's
+/// *median* slowdown exceeds [`COMPARE_MAX_REGRESSION`]. The median makes
+/// the gate robust to one noisy bench without letting a real across-the-
+/// board regression hide. When the baseline was recorded on different
+/// hardware (`hw_threads` mismatch) the comparison is alert-only —
+/// cross-machine ns/op deltas are not regressions.
+const COMPARE_GROUPS: [&str; 3] = ["scalar_ops", "parallel_ops", "asic_pipeline"];
+const COMPARE_MAX_REGRESSION: f64 = 0.25;
+
+fn compare_baseline(report: &BenchReport, path: &std::path::Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("compare: cannot read {}: {e}", path.display()))?;
+    let base = BenchReport::from_json(&text)
+        .map_err(|e| format!("compare: cannot parse {}: {e}", path.display()))?;
+
+    let cur_hw = fourq_bench::harness::hw_threads();
+    let base_hw = base
+        .results
+        .iter()
+        .map(|r| r.hw_threads)
+        .find(|&h| h != 0)
+        .unwrap_or(0);
+    let alert_only = base_hw != 0 && base_hw != cur_hw;
+    if alert_only {
+        eprintln!(
+            "compare: baseline recorded on {base_hw} hardware thread(s), this machine has \
+             {cur_hw} — reporting alert-only"
+        );
+    } else if base_hw == 0 {
+        eprintln!("compare: baseline predates hw_threads recording; comparing anyway");
+    }
+
+    let mut failures = Vec::new();
+    for group in COMPARE_GROUPS {
+        let mut ratios: Vec<(f64, String)> = Vec::new();
+        for cur in report.results.iter().filter(|r| r.group == group) {
+            let matched = base
+                .results
+                .iter()
+                .find(|b| b.group == cur.group && b.name == cur.name && b.threads == cur.threads);
+            if let Some(b) = matched {
+                if b.ns_per_op > 0.0 {
+                    ratios.push((cur.ns_per_op / b.ns_per_op, cur.name.clone()));
+                }
+            }
+        }
+        if ratios.is_empty() {
+            eprintln!("compare: {group}: no overlapping benches with the baseline, skipping");
+            continue;
+        }
+        let mut sorted: Vec<f64> = ratios.iter().map(|(r, _)| *r).collect();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let worst = ratios
+            .iter()
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("non-empty ratios");
+        eprintln!(
+            "compare: {group}: median {:+.1}% over {} benches (worst {:+.1}% in {})",
+            (median - 1.0) * 100.0,
+            ratios.len(),
+            (worst.0 - 1.0) * 100.0,
+            worst.1
+        );
+        if median - 1.0 > COMPARE_MAX_REGRESSION {
+            failures.push(format!(
+                "compare: {group} median regression {:+.1}% exceeds the {:.0}% limit",
+                (median - 1.0) * 100.0,
+                COMPARE_MAX_REGRESSION * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        return Ok(());
+    }
+    if alert_only {
+        for f in &failures {
+            eprintln!("{f} (alert-only: hardware mismatch)");
+        }
+        return Ok(());
+    }
+    Err(failures.join("\n"))
+}
+
 fn main() {
     let mut out = default_out();
     let mut filter = String::new();
     let mut gate = false;
     let mut gate_par = false;
     let mut gate_kernel = false;
+    let mut compare: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -177,10 +274,17 @@ fn main() {
             "--gate-batch" => gate = true,
             "--gate-parallel" => gate_par = true,
             "--gate-kernel-cache" => gate_kernel = true,
+            "--compare" => {
+                compare = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--compare requires a baseline path");
+                    std::process::exit(2);
+                })))
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: microbench [--out PATH] [--filter GROUP_SUBSTRING] \
-                     [--gate-batch] [--gate-parallel] [--gate-kernel-cache]"
+                    "usage: microbench [--out PATH] [--filter GROUPS] [--compare BASELINE] \
+                     [--gate-batch] [--gate-parallel] [--gate-kernel-cache]\n\
+                     \x20      GROUPS is a comma-separated list of group-name substrings"
                 );
                 return;
             }
@@ -207,6 +311,10 @@ fn main() {
     let reparsed = BenchReport::from_json(&json).expect("emitted JSON parses");
     assert_eq!(reparsed, report, "JSON round-trip drifted");
 
+    // Compare against the baseline *before* the write below can
+    // overwrite it (the default --out path is the usual baseline).
+    let compare_result = compare.as_deref().map(|p| compare_baseline(&report, p));
+
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("cannot write {}: {e}", out.display());
         std::process::exit(1);
@@ -230,5 +338,9 @@ fn main() {
             eprintln!("{e}");
             std::process::exit(1);
         }
+    }
+    if let Some(Err(e)) = compare_result {
+        eprintln!("{e}");
+        std::process::exit(1);
     }
 }

@@ -82,6 +82,17 @@ pub struct BenchRecord {
     /// sequential). [`run`] records 1; callers timing a multi-threaded
     /// engine overwrite this before pushing the record.
     pub threads: u32,
+    /// Hardware threads available on the machine that produced the
+    /// record (`std::thread::available_parallelism`). Lets downstream
+    /// gates and cross-run comparisons judge whether a parallel figure
+    /// was even reachable; `0` in records parsed from files that predate
+    /// the field.
+    pub hw_threads: u32,
+}
+
+/// Hardware threads on this machine (0 if undeterminable).
+pub fn hw_threads() -> u32 {
+    std::thread::available_parallelism().map_or(0, |n| n.get() as u32)
 }
 
 /// Times `f` under `opts` and returns the record for `group`/`name`.
@@ -127,6 +138,7 @@ pub fn run<R, F: FnMut() -> R>(
         samples: opts.samples.max(1),
         iters_per_sample: iters,
         threads: 1,
+        hw_threads: hw_threads(),
     }
 }
 
@@ -160,7 +172,7 @@ impl BenchReport {
             out.push_str(&format!(
                 "    {{\"group\": {}, \"name\": {}, \"ns_per_op\": {:?}, \
                  \"ops_per_sec\": {:?}, \"samples\": {}, \"iters_per_sample\": {}, \
-                 \"threads\": {}}}{}\n",
+                 \"threads\": {}, \"hw_threads\": {}}}{}\n",
                 quote(&r.group),
                 quote(&r.name),
                 r.ns_per_op,
@@ -168,6 +180,7 @@ impl BenchReport {
                 r.samples,
                 r.iters_per_sample,
                 r.threads,
+                r.hw_threads,
                 if i + 1 < self.results.len() { "," } else { "" },
             ));
         }
@@ -216,6 +229,9 @@ impl BenchReport {
                 samples: num_field("samples")? as u32,
                 iters_per_sample: num_field("iters_per_sample")? as u64,
                 threads: num_field("threads")? as u32,
+                // Tolerant: files written before the field default to 0
+                // ("unknown hardware").
+                hw_threads: num_field("hw_threads").unwrap_or(0.0) as u32,
             });
         }
         Ok(report)
@@ -488,6 +504,7 @@ mod tests {
             samples: 9,
             iters_per_sample: 40000,
             threads: 1,
+            hw_threads: 8,
         });
         report.results.push(BenchRecord {
             group: "signatures".into(),
@@ -497,12 +514,25 @@ mod tests {
             samples: 3,
             iters_per_sample: 1,
             threads: 4,
+            hw_threads: 8,
         });
         let text = report.to_json();
         let back = BenchReport::from_json(&text).expect("parses");
         assert_eq!(back, report);
         // and a second round trip is byte-identical
         assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn from_json_tolerates_missing_hw_threads() {
+        // Records written before the field existed parse with 0
+        // ("unknown hardware") instead of erroring.
+        let text = "{\"schema\": \"fourq-bench/v2\", \"results\": [\
+                    {\"group\": \"g\", \"name\": \"n\", \"ns_per_op\": 10.0, \
+                    \"ops_per_sec\": 1e8, \"samples\": 3, \"iters_per_sample\": 7, \
+                    \"threads\": 1}]}";
+        let report = BenchReport::from_json(text).expect("parses");
+        assert_eq!(report.results[0].hw_threads, 0);
     }
 
     #[test]

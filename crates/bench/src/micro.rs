@@ -367,6 +367,10 @@ pub fn asic_pipeline(report: &mut BenchReport, opts: &BenchOptions) {
 type GroupFn = fn(&mut BenchReport, &BenchOptions);
 
 /// Runs every group whose name passes `filter` (empty filter = all).
+///
+/// The filter is a comma-separated list of substrings, OR'd together:
+/// `"scalar_ops,parallel_ops,asic_pipeline"` runs exactly the three
+/// groups the CI regression tripwire compares.
 pub fn run_suite(opts: &BenchOptions, filter: &str) -> BenchReport {
     let groups: [(&str, GroupFn); 10] = [
         ("fp2_mul", fp2_mul),
@@ -380,9 +384,14 @@ pub fn run_suite(opts: &BenchOptions, filter: &str) -> BenchReport {
         ("scheduling", scheduling),
         ("asic_pipeline", asic_pipeline),
     ];
+    let wanted: Vec<&str> = filter
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
     let mut report = BenchReport::default();
     for (name, group) in groups {
-        if filter.is_empty() || name.contains(filter) {
+        if wanted.is_empty() || wanted.iter().any(|w| name.contains(w)) {
             eprintln!("group {name}:");
             group(&mut report, opts);
         }

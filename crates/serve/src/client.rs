@@ -1,0 +1,153 @@
+//! A small blocking client for the serve protocol.
+//!
+//! One [`Client`] owns one TCP connection. It supports both simple
+//! request/response ([`Client::call`]) and pipelined use
+//! ([`Client::send`] many frames, then [`Client::recv`] the responses as
+//! they arrive — order may differ from send order, so match on
+//! [`Response::id`](crate::proto::Response)). The loadgen binary and the
+//! differential tests are both built on this type.
+
+use crate::proto::{
+    decode_response, encode_request, FrameReader, Request, Response, Status, WireStats,
+};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A blocking connection to a fourq-serve server.
+pub struct Client {
+    stream: TcpStream,
+    reader: FrameReader,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket connect errors.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            reader: FrameReader::new(),
+            next_id: 1,
+        })
+    }
+
+    /// Wraps an already-connected stream (e.g. one half of a
+    /// [`Client::stream_clone`] split for pipelined send/receive
+    /// threads).
+    pub fn from_stream(stream: TcpStream) -> Client {
+        Client {
+            stream,
+            reader: FrameReader::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Clones the underlying socket handle so a second thread can read
+    /// responses while this one keeps sending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `TcpStream::try_clone` errors.
+    pub fn stream_clone(&self) -> std::io::Result<TcpStream> {
+        self.stream.try_clone()
+    }
+
+    /// Sends one request frame with a fresh id; returns the id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn send(&mut self, req: &Request) -> std::io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send_with_id(id, req)?;
+        Ok(id)
+    }
+
+    /// Sends one request frame under an explicit id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn send_with_id(&mut self, id: u64, req: &Request) -> std::io::Result<()> {
+        self.stream.write_all(&encode_request(id, req))
+    }
+
+    /// Writes raw bytes to the connection (for malformed-input tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Blocks until the next response frame arrives.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` if the server closes the connection;
+    /// `InvalidData` if a frame fails to decode.
+    pub fn recv(&mut self) -> std::io::Result<Response> {
+        let mut buf = [0u8; 4096];
+        loop {
+            match self.reader.next_frame() {
+                Ok(Some(frame)) => {
+                    return decode_response(&frame)
+                        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e));
+                }
+                Ok(None) => {}
+                Err(e) => return Err(std::io::Error::new(ErrorKind::InvalidData, e)),
+            }
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "server closed connection",
+                ));
+            }
+            self.reader.push(&buf[..n]);
+        }
+    }
+
+    /// One blocking round trip: send `req`, wait for its response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::send`]/[`Client::recv`] errors, plus
+    /// `InvalidData` if the response id does not match (the connection
+    /// must not have other requests in flight).
+    pub fn call(&mut self, req: &Request) -> std::io::Result<Response> {
+        let id = self.send(req)?;
+        let resp = self.recv()?;
+        if resp.id != id {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("response id {} for request {id}", resp.id),
+            ));
+        }
+        Ok(resp)
+    }
+
+    /// Fetches the server's live coalescing counters over the wire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors; `InvalidData` if the server answers
+    /// anything but `Ok` with a stats payload.
+    pub fn stats(&mut self) -> std::io::Result<WireStats> {
+        let resp = self.call(&Request::Stats)?;
+        if resp.status != Status::Ok {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("stats returned {:?}", resp.status),
+            ));
+        }
+        WireStats::decode(&resp.payload).map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e))
+    }
+}

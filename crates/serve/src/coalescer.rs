@@ -1,0 +1,316 @@
+//! The adaptive batch coalescer — the latency/throughput knob.
+//!
+//! Arriving requests are held in a bounded queue until either the window
+//! deadline expires (`window_us`, measured from the *first* request of
+//! the open window) or the size cap (`max_batch`) is reached, then the
+//! whole window is handed to an executor as one flush. Trading a bounded
+//! wait for batch shape is what lets the `FourQEngine` batch paths
+//! (shared comb table, one normalisation inversion per batch, RLC batch
+//! verification) amortise their fixed costs — the software counterpart
+//! of the paper's pipelined datapath staying saturated.
+//!
+//! Semantics of the knobs:
+//!
+//! * `window_us == 0` — **no coalescing**: every request is flushed
+//!   alone, in arrival order. This is the latency-first configuration
+//!   and the baseline the `--gate-serve` CI tripwire compares against.
+//! * `window_us > 0` — the first request opens a window; the flush
+//!   happens at `first_arrival + window_us`, or immediately once
+//!   `max_batch` requests are waiting.
+//! * `queue_cap` — requests beyond this bound are rejected at enqueue
+//!   with an explicit `Busy` signal (the caller answers the client
+//!   without blocking); the queue never grows past it.
+//!
+//! An empty window is never flushed: [`Coalescer::next_flush`] returns
+//! only non-empty batches (or `None` at shutdown), so downstream batch
+//! ops are never invoked with `n = 0` — see the size-0 regression tests.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Aggregate coalescing counters, readable while the server runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoalesceStats {
+    /// Non-empty flushes handed to executors.
+    pub flushes: u64,
+    /// Total requests across all flushes.
+    pub items: u64,
+    /// Largest flush so far.
+    pub max_flush: u64,
+    /// Requests rejected because the queue was at capacity.
+    pub busy_rejects: u64,
+}
+
+impl CoalesceStats {
+    /// Mean flush size (0 before the first flush).
+    pub fn mean_flush(&self) -> f64 {
+        if self.flushes == 0 {
+            0.0
+        } else {
+            self.items as f64 / self.flushes as f64
+        }
+    }
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    /// Arrival instant of the oldest queued request (the open window's
+    /// start), `None` when the queue is empty.
+    window_open: Option<Instant>,
+    stats: CoalesceStats,
+    closed: bool,
+}
+
+/// A bounded, deadline-flushed request queue shared between the reactor
+/// (producer) and the executor threads (consumers).
+pub struct Coalescer<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+    window: Duration,
+    max_batch: usize,
+    queue_cap: usize,
+}
+
+/// Outcome of an enqueue attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Enqueue {
+    /// Accepted into the current window.
+    Accepted,
+    /// Rejected: the queue is at capacity (`Busy` backpressure).
+    Busy,
+    /// Rejected: the coalescer is shut down.
+    Closed,
+}
+
+impl<T> Coalescer<T> {
+    /// Creates a coalescer.
+    ///
+    /// `max_batch` and `queue_cap` are clamped to at least 1; a zero
+    /// `window_us` disables coalescing (flush-of-one semantics).
+    pub fn new(window_us: u64, max_batch: usize, queue_cap: usize) -> Coalescer<T> {
+        Coalescer {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                window_open: None,
+                stats: CoalesceStats::default(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            window: Duration::from_micros(window_us),
+            max_batch: max_batch.max(1),
+            queue_cap: queue_cap.max(1),
+        }
+    }
+
+    /// Attempts to enqueue a request; wakes a waiting executor.
+    pub fn enqueue(&self, item: T) -> Enqueue {
+        let mut st = self.state.lock().expect("coalescer lock");
+        if st.closed {
+            return Enqueue::Closed;
+        }
+        if st.queue.len() >= self.queue_cap {
+            st.stats.busy_rejects += 1;
+            return Enqueue::Busy;
+        }
+        if st.queue.is_empty() {
+            st.window_open = Some(Instant::now());
+        }
+        st.queue.push_back(item);
+        drop(st);
+        self.cv.notify_one();
+        Enqueue::Accepted
+    }
+
+    /// Blocks until a window is ready, then drains and returns it.
+    ///
+    /// Returns `None` only after [`Coalescer::close`], once the queue has
+    /// fully drained — a returned batch is **never empty**. With
+    /// `window_us == 0` each call yields exactly one request; otherwise
+    /// up to `max_batch` requests that arrived within one window.
+    pub fn next_flush(&self) -> Option<Vec<T>> {
+        let mut st = self.state.lock().expect("coalescer lock");
+        loop {
+            if st.queue.is_empty() {
+                if st.closed {
+                    return None;
+                }
+                st = self.cv.wait(st).expect("coalescer wait");
+                continue;
+            }
+            // A window is open. Flush-of-one when coalescing is off.
+            if self.window.is_zero() {
+                return Some(self.drain(&mut st, 1));
+            }
+            if st.queue.len() >= self.max_batch || st.closed {
+                return Some(self.drain(&mut st, self.max_batch));
+            }
+            let opened = st.window_open.expect("non-empty queue has a window");
+            let elapsed = opened.elapsed();
+            if elapsed >= self.window {
+                return Some(self.drain(&mut st, self.max_batch));
+            }
+            let (g, _) = self
+                .cv
+                .wait_timeout(st, self.window - elapsed)
+                .expect("coalescer wait");
+            st = g;
+        }
+    }
+
+    fn drain(&self, st: &mut State<T>, cap: usize) -> Vec<T> {
+        let n = st.queue.len().min(cap);
+        debug_assert!(n > 0, "empty windows are never flushed");
+        let batch: Vec<T> = st.queue.drain(..n).collect();
+        // Requests left behind (beyond max_batch) start a fresh window
+        // now: they are first in line for the next flush.
+        st.window_open = if st.queue.is_empty() {
+            None
+        } else {
+            Some(Instant::now())
+        };
+        st.stats.flushes += 1;
+        st.stats.items += batch.len() as u64;
+        st.stats.max_flush = st.stats.max_flush.max(batch.len() as u64);
+        if !st.queue.is_empty() {
+            // More work is immediately available for another executor.
+            self.cv.notify_one();
+        }
+        batch
+    }
+
+    /// Shuts the coalescer down: pending requests still flush, then every
+    /// waiting executor receives `None`.
+    pub fn close(&self) {
+        let mut st = self.state.lock().expect("coalescer lock");
+        st.closed = true;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CoalesceStats {
+        self.state.lock().expect("coalescer lock").stats
+    }
+
+    /// Current queue depth (for observability; racy by nature).
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("coalescer lock").queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn window_zero_flushes_one_at_a_time() {
+        let c = Coalescer::new(0, 256, 64);
+        for i in 0..5 {
+            assert_eq!(c.enqueue(i), Enqueue::Accepted);
+        }
+        for i in 0..5 {
+            assert_eq!(c.next_flush(), Some(vec![i]));
+        }
+        let s = c.stats();
+        assert_eq!((s.flushes, s.items, s.max_flush), (5, 5, 1));
+        assert!((s.mean_flush() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_batch_caps_a_flush() {
+        let c = Coalescer::new(10_000, 4, 64);
+        for i in 0..10 {
+            assert_eq!(c.enqueue(i), Enqueue::Accepted);
+        }
+        assert_eq!(c.next_flush(), Some(vec![0, 1, 2, 3]));
+        assert_eq!(c.next_flush(), Some(vec![4, 5, 6, 7]));
+        // The remaining two wait out their (fresh) window.
+        assert_eq!(c.next_flush(), Some(vec![8, 9]));
+        assert_eq!(c.stats().max_flush, 4);
+    }
+
+    #[test]
+    fn queue_cap_rejects_busy() {
+        let c = Coalescer::new(1_000, 256, 3);
+        assert_eq!(c.enqueue(0), Enqueue::Accepted);
+        assert_eq!(c.enqueue(1), Enqueue::Accepted);
+        assert_eq!(c.enqueue(2), Enqueue::Accepted);
+        assert_eq!(c.enqueue(3), Enqueue::Busy);
+        assert_eq!(c.stats().busy_rejects, 1);
+        // Draining frees capacity again.
+        assert_eq!(c.next_flush(), Some(vec![0, 1, 2]));
+        assert_eq!(c.enqueue(4), Enqueue::Accepted);
+    }
+
+    #[test]
+    fn close_drains_then_yields_none_never_empty() {
+        let c = Coalescer::new(60_000_000, 256, 64);
+        c.enqueue(7u32);
+        c.close();
+        assert_eq!(c.enqueue(8), Enqueue::Closed);
+        // The pending item flushes without waiting out the huge window...
+        assert_eq!(c.next_flush(), Some(vec![7]));
+        // ...and afterwards the coalescer reports shutdown, not an empty
+        // batch (the size-0 no-op contract).
+        assert_eq!(c.next_flush(), None);
+        assert_eq!(c.next_flush(), None);
+    }
+
+    #[test]
+    fn window_deadline_flushes_partial_batch() {
+        let c = Arc::new(Coalescer::new(2_000, 256, 64));
+        let c2 = Arc::clone(&c);
+        let h = std::thread::spawn(move || c2.next_flush());
+        std::thread::sleep(Duration::from_millis(1));
+        c.enqueue(1u8);
+        c.enqueue(2u8);
+        // No further arrivals: the 2 ms deadline must release the batch.
+        let batch = h.join().unwrap();
+        assert_eq!(batch, Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_preserve_items() {
+        let c = Arc::new(Coalescer::new(200, 8, 4096));
+        let total: usize = 400;
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..total / 4 {
+                        while c.enqueue(p * 1000 + i) == Enqueue::Busy {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumer = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(batch) = c.next_flush() {
+                    assert!(!batch.is_empty());
+                    assert!(batch.len() <= 8);
+                    seen.extend(batch);
+                }
+                seen
+            })
+        };
+        for p in producers {
+            p.join().unwrap();
+        }
+        c.close();
+        let mut seen = consumer.join().unwrap();
+        seen.sort_unstable();
+        let mut expect: Vec<usize> = (0..4)
+            .flat_map(|p| (0..total / 4).map(move |i| p * 1000 + i))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(seen, expect);
+        let s = c.stats();
+        assert_eq!(s.items as usize, total);
+    }
+}

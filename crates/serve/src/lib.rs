@@ -1,0 +1,53 @@
+//! Async serve-many front-end with adaptive batch coalescing.
+//!
+//! The DATE 2019 paper's cryptoprocessor earns its throughput by keeping
+//! a pipelined datapath full of independent scalar multiplications. This
+//! crate is the software-system counterpart: a zero-dependency TCP
+//! server (plain `std::net`, an in-tree non-blocking reactor, `std`
+//! threads) that turns many small independent requests into the large
+//! batches the [`FourQEngine`](fourq_curve::FourQEngine) amortised paths
+//! want.
+//!
+//! The pieces, bottom up:
+//!
+//! * [`proto`] — length-prefixed binary wire protocol: six batched op
+//!   kinds (scalar mul, fixed-base mul, Schnorr sign/verify, ECDSA sign,
+//!   ECDH) plus an inline `Stats` probe; hard `MAX_FRAME` bound;
+//!   incremental [`proto::FrameReader`].
+//! * [`coalescer`] — the latency/throughput knob: hold requests up to
+//!   `window_us` (measured from the first arrival) or `max_batch`, then
+//!   flush; bounded queue with explicit `Busy` rejection; `window_us = 0`
+//!   means strict flush-of-one (the honest no-coalesce baseline).
+//! * [`tenant`] — deterministic per-tenant key derivation (domain-
+//!   separated SHA-512) cached behind an `RwLock`; the derivation is
+//!   public so tests reconstruct public keys independently.
+//! * [`exec`] — maps one coalesced flush onto the engine's batch calls
+//!   (`batch_scalar_mul`, `sign_batch_with`, RLC `verify_batch_with`
+//!   with per-item fallback, …); empty flushes are a no-op by
+//!   construction.
+//! * [`server`] — the reactor: accept/read/frame/write over non-blocking
+//!   sockets on one thread, executor threads draining the coalescer.
+//! * [`client`] — a small blocking client with pipelining, used by the
+//!   `loadgen` binary and the differential tests.
+//!
+//! Every response is a pure function of its request (deterministic
+//! nonces, deterministic tenant keys), so coalescing is observably
+//! transparent: the differential suite asserts bit-identical responses
+//! across `window_us ∈ {0, 500}` and thread counts, against one-shot
+//! library calls.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod coalescer;
+pub mod exec;
+pub mod proto;
+pub mod server;
+pub mod tenant;
+
+pub use client::Client;
+pub use coalescer::{CoalesceStats, Coalescer, Enqueue};
+pub use proto::{OpKind, Request, Response, Status};
+pub use server::{spawn, spawn_on, ServerConfig, ServerHandle};
+pub use tenant::{TenantDirectory, TenantKeys};

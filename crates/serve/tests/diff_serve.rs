@@ -1,0 +1,179 @@
+//! Differential tests: served responses are bit-identical to one-shot
+//! library calls, across engine thread counts and coalescing windows.
+//!
+//! The serving stack promises that batching is *observably transparent*:
+//! whether a request executes alone (`window_us = 0`) or lands in the
+//! middle of a coalesced flush, and whatever the engine's thread budget,
+//! the response bytes are the same. These tests drive a fixed workload
+//! of all six op kinds through real TCP connections under every
+//! configuration in `{1, 4} threads × {0, 500} µs windows` and compare
+//! against locally computed expectations.
+
+use fourq_curve::{AffinePoint, FourQEngine};
+use fourq_fp::Scalar;
+use fourq_serve::proto::{Request, Status};
+use fourq_serve::tenant::TenantKeys;
+use fourq_serve::{Client, ServerConfig};
+use fourq_sig::{dh, schnorr};
+
+const ROOT: u64 = 0x4007_DA7E; // ServerConfig::default().tenant_root
+
+/// A deterministic mixed workload touching every op kind, valid and
+/// invalid inputs included.
+fn workload() -> Vec<Request> {
+    let eng = FourQEngine::shared();
+    let mut reqs = Vec::new();
+    let point = |k: u64| eng.fixed_base_mul(&Scalar::from_u64(k)).encode();
+    let kp = schnorr::KeyPair::from_seed(&[3u8; 32]);
+    for i in 1u64..=4 {
+        reqs.push(Request::ScalarMul {
+            scalar: Scalar::from_u64(1000 + i),
+            point: point(i),
+        });
+        reqs.push(Request::FixedBaseMul {
+            scalar: Scalar::from_u64(2000 + i),
+        });
+        reqs.push(Request::SchnorrSign {
+            tenant: i % 3,
+            msg: format!("sign-{i}").into_bytes(),
+        });
+        let msg = format!("verify-{i}").into_bytes();
+        let sig = kp.sign(&msg);
+        let mut sig_r = sig.r;
+        if i == 4 {
+            // One bad signature, to pin the per-item fallback path.
+            sig_r[0] ^= 1;
+        }
+        reqs.push(Request::SchnorrVerify {
+            public: kp.public.encoded,
+            sig_r,
+            sig_s: sig.s,
+            msg,
+        });
+        reqs.push(Request::EcdsaSign {
+            tenant: i % 3,
+            msg: format!("ecdsa-{i}").into_bytes(),
+        });
+        reqs.push(Request::Ecdh {
+            tenant: i % 3,
+            peer: dh::EphemeralSecret::from_seed(&[i as u8; 32]).public,
+        });
+    }
+    // An invalid point: decode fails, response must be Failed.
+    reqs.push(Request::ScalarMul {
+        scalar: Scalar::from_u64(5),
+        point: [0xFF; 32],
+    });
+    reqs
+}
+
+/// Runs the workload through a real server and returns `(status,
+/// payload)` per request, in request order.
+fn serve_workload(threads: usize, window_us: u64) -> Vec<(Status, Vec<u8>)> {
+    let handle = fourq_serve::spawn(ServerConfig {
+        window_us,
+        threads,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server");
+    let reqs = workload();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    for (i, req) in reqs.iter().enumerate() {
+        client.send_with_id(i as u64 + 1, req).expect("send");
+    }
+    let mut got: Vec<Option<(Status, Vec<u8>)>> = vec![None; reqs.len()];
+    for _ in 0..reqs.len() {
+        let resp = client.recv().expect("recv");
+        let slot = (resp.id - 1) as usize;
+        assert!(got[slot].is_none(), "duplicate response id {}", resp.id);
+        got[slot] = Some((resp.status, resp.payload));
+    }
+    handle.shutdown();
+    got.into_iter().map(|o| o.expect("response")).collect()
+}
+
+/// One-shot expectations computed directly against the library APIs.
+fn expected() -> Vec<(Status, Vec<u8>)> {
+    let eng = FourQEngine::shared();
+    workload()
+        .into_iter()
+        .map(|req| match req {
+            Request::ScalarMul { scalar, point } => match AffinePoint::decode(&point) {
+                Ok(p) => (Status::Ok, eng.scalar_mul(&p, &scalar).encode().to_vec()),
+                Err(_) => (Status::Failed, Vec::new()),
+            },
+            Request::FixedBaseMul { scalar } => {
+                (Status::Ok, eng.fixed_base_mul(&scalar).encode().to_vec())
+            }
+            Request::SchnorrSign { tenant, msg } => {
+                let keys = TenantKeys::derive(ROOT, tenant);
+                let sig = keys.schnorr.sign(&msg);
+                let mut payload = sig.r.to_vec();
+                payload.extend_from_slice(&sig.s.to_le_bytes());
+                (Status::Ok, payload)
+            }
+            Request::SchnorrVerify {
+                public,
+                sig_r,
+                sig_s,
+                msg,
+            } => {
+                let pk = schnorr::PublicKey {
+                    point: AffinePoint::decode(&public).expect("workload pk decodes"),
+                    encoded: public,
+                };
+                let sig = schnorr::Signature { r: sig_r, s: sig_s };
+                (Status::Ok, vec![u8::from(schnorr::verify(&pk, &msg, &sig))])
+            }
+            Request::EcdsaSign { tenant, msg } => {
+                let keys = TenantKeys::derive(ROOT, tenant);
+                let sig = keys.ecdsa.sign(&msg).expect("ecdsa sign");
+                let mut payload = sig.r.to_le_bytes().to_vec();
+                payload.extend_from_slice(&sig.s.to_le_bytes());
+                (Status::Ok, payload)
+            }
+            Request::Ecdh { tenant, peer } => {
+                let keys = TenantKeys::derive(ROOT, tenant);
+                (Status::Ok, keys.dh.agree(&peer).expect("agree").to_vec())
+            }
+            Request::Stats => unreachable!("workload has no stats probes"),
+        })
+        .collect()
+}
+
+#[test]
+fn served_responses_match_one_shot_across_threads_and_windows() {
+    let want = expected();
+    for threads in [1usize, 4] {
+        for window_us in [0u64, 500] {
+            let got = serve_workload(threads, window_us);
+            assert_eq!(
+                got, want,
+                "served responses diverge at threads={threads} window_us={window_us}"
+            );
+        }
+    }
+}
+
+#[test]
+fn size_one_workload_matches_one_shot() {
+    // A single request must flush alone (deadline path) and still match.
+    let handle = fourq_serve::spawn(ServerConfig {
+        window_us: 500,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let k = Scalar::from_u64(77);
+    let resp = client
+        .call(&Request::FixedBaseMul { scalar: k })
+        .expect("call");
+    assert_eq!(resp.status, Status::Ok);
+    assert_eq!(
+        resp.payload,
+        FourQEngine::shared().fixed_base_mul(&k).encode().to_vec()
+    );
+    let stats = handle.stats();
+    handle.shutdown();
+    assert_eq!((stats.flushes, stats.items, stats.max_flush), (1, 1, 1));
+}

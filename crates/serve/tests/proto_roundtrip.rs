@@ -1,0 +1,197 @@
+//! Property tests for the wire protocol: every generated request
+//! round-trips, and no truncation, oversizing or garbage input can make
+//! the decoder panic (errors only).
+
+use fourq_fp::Scalar;
+use fourq_serve::proto::{
+    decode_request, decode_response, encode_request, encode_response, FrameReader, ProtoError,
+    Request, Response, Status, HEADER_LEN, MAX_FRAME, PROTO_VERSION,
+};
+use fourq_testkit::{Arbitrary, TestRng};
+
+/// Draws one structurally valid request (canonical scalars, arbitrary
+/// point/key bytes — validity of the *contents* is an execution concern,
+/// not a protocol one).
+fn arbitrary_request(rng: &mut TestRng) -> Request {
+    match rng.below(7) {
+        0 => Request::ScalarMul {
+            scalar: Scalar::arbitrary(rng),
+            point: <[u8; 32]>::arbitrary(rng),
+        },
+        1 => Request::FixedBaseMul {
+            scalar: Scalar::arbitrary(rng),
+        },
+        2 => Request::SchnorrSign {
+            tenant: rng.next_u64(),
+            msg: arbitrary_msg(rng),
+        },
+        3 => Request::SchnorrVerify {
+            public: <[u8; 32]>::arbitrary(rng),
+            sig_r: <[u8; 32]>::arbitrary(rng),
+            sig_s: Scalar::arbitrary(rng),
+            msg: arbitrary_msg(rng),
+        },
+        4 => Request::EcdsaSign {
+            tenant: rng.next_u64(),
+            msg: arbitrary_msg(rng),
+        },
+        5 => Request::Ecdh {
+            tenant: rng.next_u64(),
+            peer: <[u8; 32]>::arbitrary(rng),
+        },
+        _ => Request::Stats,
+    }
+}
+
+fn arbitrary_msg(rng: &mut TestRng) -> Vec<u8> {
+    let len = rng.range_usize(0, 200);
+    let mut m = vec![0u8; len];
+    rng.fill_bytes(&mut m);
+    m
+}
+
+fn payload_of(frame: &[u8]) -> &[u8] {
+    // Strip the u32 length prefix.
+    &frame[4..]
+}
+
+#[test]
+fn every_request_round_trips() {
+    let mut rng = TestRng::from_seed(0x5e7e);
+    for case in 0..500u64 {
+        let req = arbitrary_request(&mut rng);
+        let id = rng.next_u64();
+        let frame = encode_request(id, &req);
+        let (got_id, got) = decode_request(payload_of(&frame))
+            .unwrap_or_else(|e| panic!("case {case}: round-trip failed: {e}"));
+        assert_eq!(got_id, id, "case {case}");
+        assert_eq!(got, req, "case {case}");
+    }
+}
+
+#[test]
+fn responses_round_trip() {
+    let mut rng = TestRng::from_seed(0xca11);
+    for _ in 0..200 {
+        let resp = Response {
+            id: rng.next_u64(),
+            status: match rng.below(4) {
+                0 => Status::Ok,
+                1 => Status::Busy,
+                2 => Status::Malformed,
+                _ => Status::Failed,
+            },
+            payload: arbitrary_msg(&mut rng),
+        };
+        let frame = encode_response(&resp);
+        assert_eq!(decode_response(payload_of(&frame)).unwrap(), resp);
+    }
+}
+
+/// Truncation at every byte boundary is an error or a shorter-but-valid
+/// parse (variable-length message tails) — never a panic. Fixed-layout
+/// ops must reject every proper prefix outright.
+#[test]
+fn truncation_never_panics() {
+    let mut rng = TestRng::from_seed(0x7277);
+    for _ in 0..100 {
+        let req = arbitrary_request(&mut rng);
+        let frame = encode_request(rng.next_u64(), &req);
+        let payload = payload_of(&frame);
+        for cut in 0..payload.len() {
+            let result = decode_request(&payload[..cut]);
+            if matches!(
+                req,
+                Request::ScalarMul { .. }
+                    | Request::FixedBaseMul { .. }
+                    | Request::Ecdh { .. }
+                    | Request::Stats
+            ) && cut > HEADER_LEN
+            {
+                assert!(
+                    result.is_err(),
+                    "fixed-layout request accepted a {cut}-byte prefix of {} bytes",
+                    payload.len()
+                );
+            }
+            // Message-bearing ops may parse with a shorter msg; either
+            // way the decoder returned instead of panicking.
+            let _ = result;
+        }
+    }
+}
+
+#[test]
+fn garbage_never_panics() {
+    let mut rng = TestRng::from_seed(0xbad);
+    for _ in 0..500 {
+        let len = rng.range_usize(0, 128);
+        let mut junk = vec![0u8; len];
+        rng.fill_bytes(&mut junk);
+        let _ = decode_request(&junk);
+        let _ = decode_response(&junk);
+    }
+}
+
+#[test]
+fn bad_version_and_bad_tag_are_rejected() {
+    let mut rng = TestRng::from_seed(0x1ab);
+    let frame = encode_request(
+        7,
+        &Request::FixedBaseMul {
+            scalar: Scalar::arbitrary(&mut rng),
+        },
+    );
+    let mut payload = payload_of(&frame).to_vec();
+
+    let mut wrong_version = payload.clone();
+    wrong_version[0] = PROTO_VERSION + 1;
+    assert!(matches!(
+        decode_request(&wrong_version),
+        Err(ProtoError::BadVersion(_))
+    ));
+
+    payload[1] = 0xEE;
+    assert!(matches!(
+        decode_request(&payload),
+        Err(ProtoError::BadTag(0xEE))
+    ));
+}
+
+#[test]
+fn frame_reader_reassembles_under_arbitrary_chunking() {
+    let mut rng = TestRng::from_seed(0xfeed);
+    for _ in 0..50 {
+        // A wire stream of several frames...
+        let reqs: Vec<(u64, Request)> = (0..rng.range_usize(1, 8))
+            .map(|i| (i as u64 + 1, arbitrary_request(&mut rng)))
+            .collect();
+        let mut stream = Vec::new();
+        for (id, req) in &reqs {
+            stream.extend_from_slice(&encode_request(*id, req));
+        }
+        // ...delivered in random-size chunks...
+        let mut reader = FrameReader::new();
+        let mut decoded = Vec::new();
+        let mut off = 0;
+        while off < stream.len() {
+            let n = rng.range_usize(1, 17).min(stream.len() - off);
+            reader.push(&stream[off..off + n]);
+            off += n;
+            while let Some(frame) = reader.next_frame().expect("valid stream") {
+                decoded.push(decode_request(&frame).expect("valid frame"));
+            }
+        }
+        // ...comes out exactly as sent.
+        assert_eq!(decoded, reqs);
+        assert_eq!(reader.pending(), 0);
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_buffering() {
+    let mut reader = FrameReader::new();
+    let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+    reader.push(&huge);
+    assert!(matches!(reader.next_frame(), Err(ProtoError::Oversized)));
+}

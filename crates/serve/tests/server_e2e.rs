@@ -1,0 +1,177 @@
+//! End-to-end server behaviour: backpressure, malformed input handling,
+//! connection lifecycle, and the wire stats probe.
+
+use fourq_fp::Scalar;
+use fourq_serve::proto::{Request, Status, MAX_FRAME, PROTO_VERSION};
+use fourq_serve::{Client, ServerConfig};
+
+fn quiet_server(cfg: ServerConfig) -> fourq_serve::ServerHandle {
+    fourq_serve::spawn(cfg).expect("spawn server")
+}
+
+#[test]
+fn busy_backpressure_rejects_beyond_queue_cap() {
+    // A long window keeps requests queued; cap 2 forces the third into
+    // an explicit Busy rejection instead of unbounded buffering.
+    let handle = quiet_server(ServerConfig {
+        window_us: 200_000,
+        queue_cap: 2,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    for i in 1..=3u64 {
+        client
+            .send_with_id(
+                i,
+                &Request::FixedBaseMul {
+                    scalar: Scalar::from_u64(i),
+                },
+            )
+            .expect("send");
+    }
+    let mut statuses = Vec::new();
+    for _ in 0..3 {
+        let resp = client.recv().expect("recv");
+        statuses.push((resp.id, resp.status));
+    }
+    // The Busy rejection arrives first (answered inline); the two queued
+    // requests complete Ok once the window flushes.
+    statuses.sort_unstable_by_key(|(id, _)| *id);
+    assert_eq!(statuses[0].1, Status::Ok);
+    assert_eq!(statuses[1].1, Status::Ok);
+    assert_eq!(statuses[2].1, Status::Busy);
+    assert_eq!(handle.stats().busy_rejects, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_frame_answers_and_keeps_the_connection() {
+    let handle = quiet_server(ServerConfig::default());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // A well-framed payload with an unknown op tag: id echoes back.
+    let mut payload = vec![PROTO_VERSION, 0xEE];
+    payload.extend_from_slice(&42u64.to_le_bytes());
+    let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&payload);
+    client.send_raw(&frame).expect("send raw");
+    let resp = client.recv().expect("recv");
+    assert_eq!((resp.id, resp.status), (42, Status::Malformed));
+
+    // A wrong protocol version likewise.
+    let mut payload = vec![PROTO_VERSION + 9, 2];
+    payload.extend_from_slice(&43u64.to_le_bytes());
+    payload.extend_from_slice(&[0u8; 32]);
+    let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&payload);
+    client.send_raw(&frame).expect("send raw");
+    let resp = client.recv().expect("recv");
+    assert_eq!((resp.id, resp.status), (43, Status::Malformed));
+
+    // The connection is still good for real work afterwards.
+    let resp = client
+        .call(&Request::FixedBaseMul {
+            scalar: Scalar::from_u64(9),
+        })
+        .expect("call after malformed");
+    assert_eq!(resp.status, Status::Ok);
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_frame_closes_the_connection_but_not_the_server() {
+    let handle = quiet_server(ServerConfig::default());
+    let mut bad = Client::connect(handle.addr()).expect("connect");
+    bad.send_raw(&(MAX_FRAME as u32 + 1).to_le_bytes())
+        .expect("send raw");
+    // The server answers Malformed and/or closes; either way the read
+    // side terminates instead of hanging.
+    match bad.recv() {
+        Ok(resp) => assert_eq!(resp.status, Status::Malformed),
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof),
+    }
+
+    // A fresh connection still serves.
+    let mut good = Client::connect(handle.addr()).expect("connect");
+    let resp = good
+        .call(&Request::FixedBaseMul {
+            scalar: Scalar::from_u64(4),
+        })
+        .expect("call");
+    assert_eq!(resp.status, Status::Ok);
+    handle.shutdown();
+}
+
+#[test]
+fn truncated_stream_then_disconnect_leaves_server_healthy() {
+    let handle = quiet_server(ServerConfig::default());
+    {
+        let mut partial = Client::connect(handle.addr()).expect("connect");
+        // Announce 50 bytes, deliver 3, vanish.
+        partial.send_raw(&50u32.to_le_bytes()).expect("send raw");
+        partial.send_raw(&[1, 2, 3]).expect("send raw");
+    }
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let resp = client
+        .call(&Request::FixedBaseMul {
+            scalar: Scalar::from_u64(6),
+        })
+        .expect("call");
+    assert_eq!(resp.status, Status::Ok);
+    handle.shutdown();
+}
+
+#[test]
+fn stats_probe_reports_coalescing_over_the_wire() {
+    let handle = quiet_server(ServerConfig {
+        window_us: 5_000,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let n = 16u64;
+    for i in 1..=n {
+        client
+            .send_with_id(
+                i,
+                &Request::FixedBaseMul {
+                    scalar: Scalar::from_u64(i),
+                },
+            )
+            .expect("send");
+    }
+    for _ in 0..n {
+        assert_eq!(client.recv().expect("recv").status, Status::Ok);
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.items, n);
+    assert!(
+        stats.flushes >= 1 && stats.flushes < n,
+        "expected coalescing"
+    );
+    assert!(stats.mean_flush() > 1.0);
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_drains_pending_work() {
+    let handle = quiet_server(ServerConfig {
+        window_us: 100_000,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client
+        .send_with_id(
+            1,
+            &Request::FixedBaseMul {
+                scalar: Scalar::from_u64(11),
+            },
+        )
+        .expect("send");
+    // Give the reactor a moment to enqueue before shutting down.
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let stats = handle.stats();
+    handle.shutdown();
+    // The request was either flushed before shutdown or drained by it;
+    // the coalescer contract says it is never silently dropped.
+    assert!(stats.items <= 1);
+}

@@ -7,6 +7,9 @@
 # Usage: tools/ci.sh [--with-bench]
 #   --with-bench  additionally smoke-runs the microbench binary (fast
 #                 profile) to prove BENCH_fourq.json generation works.
+#
+# Setting FOURQ_BENCH_FAST=1 shrinks the bench budgets AND skips the
+# bench-regression compare stage (FAST medians are too noisy to gate on).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -74,11 +77,53 @@ FOURQ_BENCH_FAST=1 cargo run --release -q -p fourq-bench --bin microbench -- \
     --filter asic --gate-kernel-cache --out "$out"
 rm -f "$out"
 
+step "serve-smoke: server binary + loadgen over loopback TCP"
+# Starts the real `serve` binary on an ephemeral loopback port, drives
+# 2000 mixed requests through `loadgen`, and requires zero errors plus a
+# mean flush size above 1 (the coalescer actually coalesced). The
+# resulting BENCH_serve.json is the serve-layer perf artifact.
+serve_log="$(mktemp)"
+cargo run --release -q -p fourq-serve --bin serve -- --window-us 500 > "$serve_log" 2>/dev/null &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do
+    serve_addr="$(sed -n 's/^listening on //p' "$serve_log")"
+    [[ -n "$serve_addr" ]] && break
+    sleep 0.1
+done
+[[ -n "$serve_addr" ]] || { echo "serve did not report an address"; exit 1; }
+cargo run --release -q -p fourq-serve --bin loadgen -- \
+    --addr "$serve_addr" --requests 2000 --mixed \
+    --assert-zero-errors --assert-coalesced --out BENCH_serve.json
+kill "$serve_pid" 2>/dev/null || true
+trap - EXIT
+rm -f "$serve_log"
+
+step "serve-gate: coalescing throughput tripwire"
+# Coalesced (window_us=500) Schnorr-verify throughput must be >=2x the
+# strict no-coalesce (window_us=0) baseline; alert-only on hosts with
+# fewer than 4 hardware threads.
+cargo run --release -q -p fourq-serve --bin loadgen -- --gate-serve --requests 2000
+
 if [[ "${1:-}" == "--with-bench" ]]; then
     step "microbench smoke, all groups (FOURQ_BENCH_FAST=1)"
     out="$(mktemp)"
     FOURQ_BENCH_FAST=1 cargo run --release -q -p fourq-bench --bin microbench -- --out "$out"
     rm -f "$out"
+fi
+
+if [[ "${FOURQ_BENCH_FAST:-0}" == "0" || -z "${FOURQ_BENCH_FAST:-}" ]]; then
+    step "bench-regression: compare against committed BENCH_fourq.json"
+    # Full-budget (non-FAST) re-measurement of the three tracked groups,
+    # failing on a >25% median regression against the committed baseline
+    # (alert-only when the baseline came from different hardware).
+    out="$(mktemp)"
+    cargo run --release -q -p fourq-bench --bin microbench -- \
+        --filter scalar_ops,parallel_ops,asic_pipeline \
+        --compare BENCH_fourq.json --out "$out"
+    rm -f "$out"
+else
+    step "bench-regression: skipped (FOURQ_BENCH_FAST is set)"
 fi
 
 step "OK"
