@@ -58,6 +58,25 @@ fn main() {
         "  schedule          : {} cycles (lower bound {}, gap {gap:.1}%)",
         fp.cycles, fp.lower_bound
     );
+    // The static verifier recomputes the bounds from the trace alone,
+    // through an independent code path from fourq-sched's lower_bound —
+    // the two must agree, and the kernel must verify clean.
+    let check = fourq_cpu::verify(&kernel, fourq_cpu::CheckLevel::Full);
+    assert!(
+        check.is_clean(),
+        "kernel fails verification: {:?}",
+        check.findings
+    );
+    let m = &check.metrics;
+    let agree = if m.lower_bound == fp.lower_bound {
+        "cross-check OK"
+    } else {
+        "MISMATCH vs scheduler bound"
+    };
+    println!(
+        "  verifier bounds   : issue bandwidth {}, critical path {} ({agree})",
+        m.issue_bandwidth_bound, m.critical_path_bound
+    );
     println!(
         "  serial execution  : {} cycles ({:.2}x speedup from overlap)",
         fp.serial_cycles,

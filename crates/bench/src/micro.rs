@@ -327,9 +327,10 @@ pub fn parallel_ops(report: &mut BenchReport, opts: &BenchOptions) {
 
 /// The compile-once/execute-many ASIC kernel pipeline: cold compile cost
 /// (the full trace→schedule→allocate→assemble flow plus the audit), the
-/// warm per-scalar replay through the cached kernel, and the batched
-/// replay at 1 and 4 threads. `compile_cold / execute_warm` is the
-/// cache-amortisation ratio `--gate-kernel-cache` checks.
+/// warm per-scalar replay through the cached kernel, the full
+/// static-verifier pass (`kernel_verify`), and the batched replay at 1
+/// and 4 threads. `compile_cold / execute_warm` is the cache-amortisation
+/// ratio `--gate-kernel-cache` checks.
 pub fn asic_pipeline(report: &mut BenchReport, opts: &BenchOptions) {
     use fourq_sched::MachineConfig;
 
@@ -347,6 +348,11 @@ pub fn asic_pipeline(report: &mut BenchReport, opts: &BenchOptions) {
     let kernel = fourq_cpu::shared_kernel(&machine, KERNEL_EFFORT).expect("kernel compiles");
     report.push(run("asic_pipeline", "execute_warm", opts, || {
         kernel.execute(&g, black_box(&k)).expect("kernel executes")
+    }));
+    report.push(run("asic_pipeline", "kernel_verify", opts, || {
+        let r = fourq_cpu::verify(black_box(kernel), fourq_cpu::CheckLevel::Full);
+        assert!(r.is_clean(), "shipped kernel must verify clean");
+        r
     }));
     for threads in [1usize, 4] {
         let name = format!("execute_batch_n{KERNEL_BATCH}_t{threads}_per_sm");

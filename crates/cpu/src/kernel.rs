@@ -64,6 +64,14 @@ pub enum PipelineError {
     /// The compiled kernel's output disagrees with the software library
     /// (or left the curve) — a pipeline bug, caught by the compile audit.
     Diverged,
+    /// The static verifier ([`crate::check::verify`]) rejected the
+    /// artifact. Carries the finding count and the first diagnostic.
+    Verify {
+        /// Total findings the verifier reported.
+        findings: usize,
+        /// The first finding, in pass order.
+        first: Box<crate::check::KernelDiag>,
+    },
 }
 
 impl core::fmt::Display for PipelineError {
@@ -78,6 +86,13 @@ impl core::fmt::Display for PipelineError {
             }
             PipelineError::Diverged => {
                 write!(f, "kernel output diverged from the software library")
+            }
+            PipelineError::Verify { findings, first } => {
+                write!(
+                    f,
+                    "static verification failed with {findings} finding(s); first: [{}] {first}",
+                    first.rule()
+                )
             }
         }
     }
@@ -280,7 +295,7 @@ fn finish_compile(
             }
         })
         .collect();
-    Ok(CompiledKernel {
+    let kernel = CompiledKernel {
         machine: *machine,
         effort,
         trace,
@@ -290,10 +305,86 @@ fn finish_compile(
         fingerprint,
         stats: sim.stats,
         prog,
-    })
+    };
+    // Static verification: always in debug builds (every test compile
+    // gets the full pass), effort-gated in release so the hot low-effort
+    // compile path stays cheap.
+    if cfg!(debug_assertions) || effort >= crate::check::VERIFY_EFFORT {
+        let report = crate::check::verify(&kernel, crate::check::CheckLevel::Full);
+        if let Some(first) = report.findings.first() {
+            return Err(PipelineError::Verify {
+                findings: report.findings.len(),
+                first: Box::new(first.clone()),
+            });
+        }
+    }
+    Ok(kernel)
 }
 
 impl CompiledKernel {
+    /// Rebuilds this kernel around a replacement register allocation,
+    /// re-deriving the ROM, the replay program and the
+    /// allocation-dependent fingerprint fields — with **no verification
+    /// and no audit**.
+    ///
+    /// The replay program writes through a private copy of the
+    /// destination registers, so mutating [`CompiledKernel::allocation`]
+    /// in place would leave execution on the old mapping; this is the
+    /// consistent way to swap an allocation in. It exists for the
+    /// fault-injection campaign (`fourq-testkit`), which needs to
+    /// manufacture kernels the compile flow would refuse to produce.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Assemble`] if the control ROM cannot be packed
+    /// under the replacement allocation.
+    pub fn with_allocation(&self, allocation: Allocation) -> Result<CompiledKernel, PipelineError> {
+        let rom = if self.machine.mul_units == 1 && self.machine.addsub_units == 1 {
+            Some(ControlRom::assemble(
+                &self.trace,
+                &self.schedule,
+                &allocation,
+            )?)
+        } else {
+            None
+        };
+        let base = self.trace.first_op_id();
+        let mut order: Vec<usize> = (0..self.trace.nodes.len()).collect();
+        order.sort_by_key(|&i| (self.schedule.start[i], i));
+        let prog: Vec<Step> = order
+            .iter()
+            .map(|&i| {
+                let node = &self.trace.nodes[i];
+                let latency = match node.kind.unit() {
+                    Unit::Multiplier => self.machine.mul_latency as u64,
+                    Unit::AddSub => self.machine.addsub_latency as u64,
+                };
+                Step {
+                    kind: node.kind,
+                    a: node.a,
+                    b: node.b,
+                    dst: allocation.assignment[base + i],
+                    start: self.schedule.start[i],
+                    finish: self.schedule.start[i] + latency,
+                }
+            })
+            .collect();
+        let mut fingerprint = self.fingerprint.clone();
+        fingerprint.registers = allocation.num_registers;
+        fingerprint.rom_bits = rom.as_ref().map(|r| r.size_bits()).unwrap_or(0);
+        Ok(CompiledKernel {
+            machine: self.machine,
+            effort: self.effort,
+            trace: self.trace.clone(),
+            schedule: self.schedule.clone(),
+            allocation,
+            rom,
+            fingerprint,
+            stats: self.stats,
+            prog,
+        })
+    }
+
     /// Executes the fixed microcode for `[k]base` and returns the affine
     /// result.
     ///

@@ -40,10 +40,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 mod kernel;
 mod regalloc;
 mod vcd;
 
+pub use check::{verify, CheckLevel, GapMetrics, KernelDiag, VerifyReport, VERIFY_EFFORT};
 pub use kernel::{
     compile, compile_with_budget, shared_kernel, CompiledKernel, KernelFingerprint, PipelineError,
     DEFAULT_REGISTER_BUDGET,

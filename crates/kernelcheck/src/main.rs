@@ -1,0 +1,195 @@
+#![forbid(unsafe_code)]
+//! CLI driver for `fourq-kernelcheck`.
+//!
+//! ```text
+//! kernelcheck [--effort N] [--level quick|full|both] [--json FILE]
+//!             [--baseline FILE] [--update-baseline] [--root DIR]
+//!             [--inject N] [--seed S]
+//! ```
+//!
+//! Compiles (or fetches from the process cache) the scalar-multiplication
+//! kernel for the paper's `MachineConfig` at the given scheduling effort,
+//! runs the static verifier at the requested level(s), optionally runs an
+//! `N`-case single-bit fault-injection campaign, and prints findings plus
+//! the recomputed gap metrics. Exit status is 0 when every finding is
+//! baselined and every injected fault was detected, 1 on live findings or
+//! an undetected fault, 2 on usage errors.
+
+use fourq_kernelcheck::{
+    apply_baseline, parse_baseline, run_campaign, to_baseline, to_json, verify, CheckLevel,
+};
+use fourq_sched::MachineConfig;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const DEFAULT_BASELINE: &str = "tools/kernelcheck-baseline.txt";
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: kernelcheck [--effort N] [--level quick|full|both] [--json FILE] \
+         [--baseline FILE] [--update-baseline] [--root DIR] [--inject N] [--seed S]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut effort: u32 = 2;
+    let mut levels: Vec<CheckLevel> = vec![CheckLevel::Quick, CheckLevel::Full];
+    let mut json_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update_baseline = false;
+    let mut root: Option<PathBuf> = None;
+    let mut inject: usize = 0;
+    let mut seed: u64 = 0xfa01;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--effort" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => effort = v,
+                None => return usage(),
+            },
+            "--level" => match args.next().as_deref() {
+                Some("quick") => levels = vec![CheckLevel::Quick],
+                Some("full") => levels = vec![CheckLevel::Full],
+                Some("both") => levels = vec![CheckLevel::Quick, CheckLevel::Full],
+                _ => return usage(),
+            },
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--update-baseline" => update_baseline = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--inject" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => inject = v,
+                None => return usage(),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    // Default root: CARGO_MANIFEST_DIR/../.. (the workspace), else cwd.
+    let root = root.unwrap_or_else(|| {
+        std::env::var("CARGO_MANIFEST_DIR")
+            .map(|d| PathBuf::from(d).join("../.."))
+            .ok()
+            .and_then(|p| p.canonicalize().ok())
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    let machine = MachineConfig::paper();
+    let kernel = match fourq_cpu::shared_kernel(&machine, effort) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("kernelcheck: compile failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let reports: Vec<_> = levels.iter().map(|&l| verify(kernel, l)).collect();
+    // The deepest level run carries the authoritative finding set (the
+    // quick pass is a strict subset by construction).
+    let deepest = reports.last().expect("at least one level").clone();
+
+    let baseline_file = baseline_path.unwrap_or_else(|| root.join(DEFAULT_BASELINE));
+    if update_baseline {
+        let text = to_baseline(&deepest.findings);
+        if let Err(e) = std::fs::write(&baseline_file, text) {
+            eprintln!("kernelcheck: cannot write {}: {e}", baseline_file.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "kernelcheck: wrote {} entries to {}",
+            deepest.findings.len(),
+            baseline_file.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = std::fs::read_to_string(&baseline_file)
+        .map(|t| parse_baseline(&t))
+        .unwrap_or_default();
+    let (live, suppressed) = apply_baseline(deepest.findings.clone(), &baseline);
+
+    let campaign = (inject > 0).then(|| run_campaign(kernel, inject, seed));
+
+    if let Some(p) = &json_path {
+        let json = to_json(
+            effort,
+            &reports,
+            campaign.as_ref(),
+            live.len(),
+            suppressed.len(),
+        );
+        if let Err(e) = std::fs::write(p, json) {
+            eprintln!("kernelcheck: cannot write {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for f in &live {
+        println!("{}: {}: {f}", f.rule(), f.location());
+    }
+    let m = &deepest.metrics;
+    println!(
+        "kernelcheck: effort {effort}: {} cycles vs lower bound {} \
+         (critical path {}, issue bandwidth {}), gap {:.1}%",
+        m.makespan,
+        m.lower_bound,
+        m.critical_path_bound,
+        m.issue_bandwidth_bound,
+        m.schedule_gap_percent
+    );
+    println!(
+        "kernelcheck: {} registers vs pressure {} (gap {}), \
+         {} tainted values reach {} outputs, {} words / {} routes",
+        m.registers,
+        m.register_pressure,
+        m.register_gap,
+        m.tainted_values,
+        m.tainted_outputs,
+        m.rom_words,
+        m.route_entries
+    );
+    let mut failed = !live.is_empty();
+    if let Some(c) = &campaign {
+        let undetected = c.undetected();
+        println!(
+            "kernelcheck: fault campaign: {} cases, {} static, {} runtime, {} undetected",
+            c.outcomes.len(),
+            c.static_detections(),
+            c.runtime_detections(),
+            undetected.len()
+        );
+        for o in &undetected {
+            println!("  UNDETECTED: {:?} at {}", o.class, o.site);
+        }
+        failed |= !undetected.is_empty();
+    }
+    println!(
+        "kernelcheck: {} finding(s), {} baselined",
+        live.len(),
+        suppressed.len()
+    );
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

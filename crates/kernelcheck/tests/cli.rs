@@ -1,0 +1,91 @@
+//! End-to-end tests of the `kernelcheck` binary: exit codes, JSON
+//! artifact shape, baseline handling.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kernelcheck"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("kernelcheck-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn clean_kernel_exits_zero_and_writes_json() {
+    let json = temp_path("report.json");
+    let out = bin()
+        .args(["--effort", "0", "--json"])
+        .arg(&json)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 finding(s)"));
+    assert!(stdout.contains("lower bound"));
+    let text = std::fs::read_to_string(&json).expect("report written");
+    std::fs::remove_file(&json).ok();
+    assert!(text.contains("\"tool\": \"fourq-kernelcheck\""));
+    assert!(text.contains("\"finding_count\": 0"));
+    assert!(text.contains("\"level\": \"quick\""));
+    assert!(text.contains("\"level\": \"full\""));
+    assert!(text.contains("\"issue_bandwidth_bound\""));
+}
+
+#[test]
+fn fault_injection_smoke_exits_zero_with_full_detection() {
+    let json = temp_path("inject.json");
+    let out = bin()
+        .args(["--effort", "0", "--inject", "8", "--seed", "5", "--json"])
+        .arg(&json)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fault campaign: 8 cases"));
+    assert!(stdout.contains("0 undetected"));
+    let text = std::fs::read_to_string(&json).expect("report written");
+    std::fs::remove_file(&json).ok();
+    assert!(text.contains("\"fault_campaign\""));
+    assert!(text.contains("\"undetected\": 0"));
+}
+
+#[test]
+fn bad_usage_exits_two() {
+    let out = bin().arg("--no-such-flag").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin()
+        .args(["--level", "bogus"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn baseline_file_suppresses_findings() {
+    // A clean kernel has nothing to suppress; an empty baseline must not
+    // invent findings and a junk baseline entry must be ignored.
+    let baseline = temp_path("baseline.txt");
+    std::fs::write(&baseline, "# nothing\nK-FLOW-ROM|cycle 3\n").unwrap();
+    let out = bin()
+        .args(["--effort", "0", "--baseline"])
+        .arg(&baseline)
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&baseline).ok();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 finding(s), 0 baselined"));
+}

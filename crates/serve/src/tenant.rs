@@ -22,6 +22,7 @@ const TENANT_DOMAIN: &[u8] = b"fourq-serve-tenant/v1";
 
 /// The 32-byte master seed for one tenant: `SHA-512(domain ‖ root ‖ id)`
 /// truncated to 32 bytes.
+// ct: secret(root)
 pub fn tenant_seed(root: u64, tenant: u64) -> [u8; 32] {
     let mut h = <Sha512 as Digest>::new();
     h.update(TENANT_DOMAIN);
@@ -33,6 +34,7 @@ pub fn tenant_seed(root: u64, tenant: u64) -> [u8; 32] {
     out
 }
 
+// ct: secret(master)
 fn subseed(master: &[u8; 32], label: &[u8]) -> [u8; 32] {
     let mut h = <Sha512 as Digest>::new();
     h.update(master);
@@ -44,6 +46,7 @@ fn subseed(master: &[u8; 32], label: &[u8]) -> [u8; 32] {
 }
 
 /// One tenant's full key set.
+// ct: secret
 pub struct TenantKeys {
     /// Schnorr signing key pair.
     pub schnorr: schnorr::KeyPair,
@@ -66,6 +69,7 @@ impl TenantKeys {
 
 /// ECDSA key pair from a 32-byte seed: scalar = SHA-512(seed) folded mod
 /// `N`, forced nonzero (mirrors the other seed-to-scalar derivations).
+// ct: secret(seed)
 pub fn ecdsa_keypair_from_seed(seed: &[u8; 32]) -> ecdsa::KeyPair {
     use fourq_fp::{CtSelect, Scalar};
     let h = Sha512::digest(seed);
@@ -78,12 +82,14 @@ pub fn ecdsa_keypair_from_seed(seed: &[u8; 32]) -> ecdsa::KeyPair {
 
 /// The server-side cache: tenant id → derived keys, built on first use.
 pub struct TenantDirectory {
+    // ct: secret
     root: u64,
     cache: RwLock<HashMap<u64, Arc<TenantKeys>>>,
 }
 
 impl TenantDirectory {
     /// A directory deriving from `root`.
+    // ct: secret(root)
     pub fn new(root: u64) -> TenantDirectory {
         TenantDirectory {
             root,

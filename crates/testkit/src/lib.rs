@@ -33,6 +33,7 @@
 
 mod arbitrary;
 pub mod diff;
+pub mod fault;
 pub mod hexutil;
 pub mod prop;
 mod rng;

@@ -39,8 +39,18 @@ FOURQ_THREADS=1 cargo test --workspace -q
 step "cargo test --workspace -q (FOURQ_THREADS=4)"
 FOURQ_THREADS=4 cargo test --workspace -q
 
+mkdir -p target/ci
+
 step "fourq-ctlint (constant-time taint lint)"
-cargo run --release -q -p fourq-ctlint -- --workspace --json ctlint_report.json
+cargo run --release -q -p fourq-ctlint -- --workspace --json target/ci/ctlint_report.json
+
+step "fourq-kernelcheck: static verify + 64-fault injection smoke"
+# Verifies the shared kernel for the default MachineConfig at both check
+# levels, then runs the single-bit fault-injection campaign; any live
+# finding or undetected fault fails the build. The campaign injects into
+# cloned kernels, so FOURQ_BENCH_FAST only shrinks unrelated budgets.
+FOURQ_BENCH_FAST=1 cargo run --release -q -p fourq-kernelcheck --bin kernelcheck -- \
+    --level both --inject 64 --json target/ci/kernelcheck_report.json
 
 step "bench smoke: batch groups + amortisation gate (FOURQ_BENCH_FAST=1)"
 # Runs the batch_* benchmark groups and fails if the measured
