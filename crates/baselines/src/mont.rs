@@ -163,6 +163,57 @@ impl MontField {
     }
 }
 
+/// A field-element *handle*: the minimal operation set the shared curve
+/// formulas ([`crate::x25519::ladder_step`], [`crate::p256::add_complete`],
+/// [`crate::p256::double_complete`]) need.
+///
+/// Two implementations exist: [`MontFe`] executes on host integers, and
+/// `fourq-trace`'s `TracedFe` records the identical operation stream into a
+/// microinstruction trace. Writing the formulas once against this trait is
+/// what guarantees the compiled kernels and the baseline references compute
+/// the same function — they *are* the same code.
+pub trait FeLike: Clone {
+    /// Field addition.
+    fn add(&self, other: &Self) -> Self;
+    /// Field subtraction.
+    fn sub(&self, other: &Self) -> Self;
+    /// Field multiplication.
+    fn mul(&self, other: &Self) -> Self;
+    /// Field squaring.
+    fn sqr(&self) -> Self;
+}
+
+/// Host-side [`FeLike`]: a Montgomery-form element bound to its field.
+#[derive(Clone, Copy, Debug)]
+pub struct MontFe<'f> {
+    /// The field this element lives in.
+    pub field: &'f MontField,
+    /// The element (Montgomery form).
+    pub value: U256,
+}
+
+impl<'f> MontFe<'f> {
+    /// Wraps a Montgomery-form value.
+    pub fn new(field: &'f MontField, value: U256) -> MontFe<'f> {
+        MontFe { field, value }
+    }
+}
+
+impl FeLike for MontFe<'_> {
+    fn add(&self, other: &Self) -> Self {
+        MontFe::new(self.field, self.field.add(self.value, other.value))
+    }
+    fn sub(&self, other: &Self) -> Self {
+        MontFe::new(self.field, self.field.sub(self.value, other.value))
+    }
+    fn mul(&self, other: &Self) -> Self {
+        MontFe::new(self.field, self.field.mul(self.value, other.value))
+    }
+    fn sqr(&self) -> Self {
+        MontFe::new(self.field, self.field.sqr(self.value))
+    }
+}
+
 fn add_mod(a: U256, b: U256, p: &U256) -> U256 {
     let (s, c) = a.overflowing_add(&b);
     if c || s >= *p {

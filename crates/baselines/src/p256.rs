@@ -8,8 +8,108 @@
 //! homomorphism) in the test suite.
 #![allow(clippy::needless_range_loop)] // limb loops are clearer indexed
 
-use crate::mont::MontField;
-use fourq_fp::U256;
+use crate::mont::{FeLike, MontFe, MontField};
+use fourq_fp::{Choice, CtSelect, U256};
+
+/// Complete (exception-free) point addition in homogeneous projective
+/// coordinates `(X : Y : Z)` for a short-Weierstrass curve with `a = −3`
+/// — Renes–Costello–Batina 2015, Algorithm 4. `b` is the curve constant.
+///
+/// Written against [`FeLike`] so the host reference
+/// ([`P256::scalar_mul_complete`]) and the traced kernel of `fourq-trace`
+/// execute the same formula. Cost: 14 multiplications (two of them by
+/// `b`) + 29 additions/subtractions; no doubling/infinity special cases.
+pub fn add_complete<T: FeLike>(p: &[T; 3], q: &[T; 3], b: &T) -> [T; 3] {
+    let (x1, y1, z1) = (&p[0], &p[1], &p[2]);
+    let (x2, y2, z2) = (&q[0], &q[1], &q[2]);
+    let t0 = x1.mul(x2);
+    let t1 = y1.mul(y2);
+    let t2 = z1.mul(z2);
+    let t3 = x1.add(y1);
+    let t4 = x2.add(y2);
+    let t3 = t3.mul(&t4);
+    let t4 = t0.add(&t1);
+    let t3 = t3.sub(&t4);
+    let t4 = y1.add(z1);
+    let x3 = y2.add(z2);
+    let t4 = t4.mul(&x3);
+    let x3 = t1.add(&t2);
+    let t4 = t4.sub(&x3);
+    let x3 = x1.add(z1);
+    let y3 = x2.add(z2);
+    let x3 = x3.mul(&y3);
+    let y3 = t0.add(&t2);
+    let y3 = x3.sub(&y3);
+    let z3 = b.mul(&t2);
+    let x3 = y3.sub(&z3);
+    let z3 = x3.add(&x3);
+    let x3 = x3.add(&z3);
+    let z3 = t1.sub(&x3);
+    let x3 = t1.add(&x3);
+    let y3 = b.mul(&y3);
+    let t1 = t2.add(&t2);
+    let t2 = t1.add(&t2);
+    let y3 = y3.sub(&t2);
+    let y3 = y3.sub(&t0);
+    let t1 = y3.add(&y3);
+    let y3 = t1.add(&y3);
+    let t1 = t0.add(&t0);
+    let t0 = t1.add(&t0);
+    let t0 = t0.sub(&t2);
+    let t1 = t4.mul(&y3);
+    let t2 = t0.mul(&y3);
+    let y3 = x3.mul(&z3);
+    let y3 = y3.add(&t2);
+    let x3 = t3.mul(&x3);
+    let x3 = x3.sub(&t1);
+    let z3 = t4.mul(&z3);
+    let t1 = t3.mul(&t0);
+    let z3 = z3.add(&t1);
+    [x3, y3, z3]
+}
+
+/// Complete point doubling in homogeneous projective coordinates for a
+/// short-Weierstrass curve with `a = −3` — Renes–Costello–Batina 2015,
+/// Algorithm 6. Cost: 10 multiplications (two by `b`) + 3 squarings +
+/// 21 additions/subtractions.
+pub fn double_complete<T: FeLike>(p: &[T; 3], b: &T) -> [T; 3] {
+    let (x, y, z) = (&p[0], &p[1], &p[2]);
+    let t0 = x.sqr();
+    let t1 = y.sqr();
+    let t2 = z.sqr();
+    let t3 = x.mul(y);
+    let t3 = t3.add(&t3);
+    let z3 = x.mul(z);
+    let z3 = z3.add(&z3);
+    let y3 = b.mul(&t2);
+    let y3 = y3.sub(&z3);
+    let x3 = y3.add(&y3);
+    let y3 = x3.add(&y3);
+    let x3 = t1.sub(&y3);
+    let y3 = t1.add(&y3);
+    let y3 = x3.mul(&y3);
+    let x3 = x3.mul(&t3);
+    let t3 = t2.add(&t2);
+    let t2 = t2.add(&t3);
+    let z3 = b.mul(&z3);
+    let z3 = z3.sub(&t2);
+    let z3 = z3.sub(&t0);
+    let t3 = z3.add(&z3);
+    let z3 = z3.add(&t3);
+    let t3 = t0.add(&t0);
+    let t0 = t3.add(&t0);
+    let t0 = t0.sub(&t2);
+    let t0 = t0.mul(&z3);
+    let y3 = y3.add(&t0);
+    let t0 = y.mul(z);
+    let t0 = t0.add(&t0);
+    let z3 = t0.mul(&z3);
+    let x3 = x3.sub(&z3);
+    let z3 = t0.mul(&t1);
+    let z3 = z3.add(&z3);
+    let z3 = z3.add(&z3);
+    [x3, y3, z3]
+}
 
 /// The P-256 curve context (field, constants, generator).
 #[derive(Clone, Copy, Debug)]
@@ -80,6 +180,20 @@ impl P256 {
             order,
             gx: field.enter(gx),
             gy: field.enter(gy),
+        }
+    }
+
+    /// The curve constant `b` in Montgomery form (the form the complete
+    /// formulas and the traced kernel consume).
+    pub fn b(&self) -> U256 {
+        self.b
+    }
+
+    /// The standard generator in plain affine coordinates.
+    pub fn generator_affine(&self) -> Affine {
+        Affine::Point {
+            x: self.field.leave(self.gx),
+            y: self.field.leave(self.gy),
         }
     }
 
@@ -208,14 +322,67 @@ impl P256 {
         }
     }
 
-    /// Field multiplications needed by one double-and-add scalar
-    /// multiplication with a `bits`-bit scalar (for the op-count
-    /// comparison printed by the Table II harness): doubling ≈ 3M+5S,
-    /// general addition ≈ 11M+5S, on average half the bits add.
+    /// Branch-free always-double-and-add scalar multiplication over the
+    /// complete formulas ([`double_complete`] / [`add_complete`]) — the
+    /// exact ladder `fourq-trace` records and the compiled P-256 kernel
+    /// replays. Every one of the 256 iterations doubles *and* adds; bit
+    /// `i` of `k` only selects which result is kept, mirroring the
+    /// kernel's always-compute-and-select muxes.
+    // ct: secret(k)
+    pub fn scalar_mul_complete(&self, k: &U256, p: &Affine) -> Affine {
+        let f = &self.field;
+        let (px, py) = match p {
+            // (0 : 1 : 0) is the projective identity; adding it is exact
+            // under the complete formulas, so infinity needs no branch in
+            // the ladder itself.
+            Affine::Infinity => (U256::ZERO, f.enter(U256::ONE)),
+            Affine::Point { x, y } => (f.enter(*x), f.enter(*y)),
+        };
+        let zero = MontFe::new(f, U256::ZERO);
+        let one = MontFe::new(f, f.enter(U256::ONE));
+        let b = MontFe::new(f, self.b);
+        let base = [
+            MontFe::new(f, px),
+            MontFe::new(f, py),
+            if *p == Affine::Infinity { zero } else { one },
+        ];
+        let mut r = [zero, one, zero];
+        for i in (0..256).rev() {
+            r = double_complete(&r, &b);
+            let t = add_complete(&r, &base, &b);
+            // The traced kernel realises this select as three 2-way muxes
+            // keyed on bit i of the digit stream; the host mirrors them
+            // with masked selection so no branch depends on `k`.
+            let keep_add = Choice::from_bit(u64::from(k.bit(i)));
+            for j in 0..3 {
+                r[j].value = U256::ct_select(&r[j].value, &t[j].value, keep_add);
+            }
+        }
+        if r[2].value.is_zero() {
+            return Affine::Infinity;
+        }
+        let zi = f.inv(r[2].value);
+        Affine::Point {
+            x: f.leave(f.mul(r[0].value, zi)),
+            y: f.leave(f.mul(r[1].value, zi)),
+        }
+    }
+
+    /// Multiplier-unit operations (multiplications + squarings) in one
+    /// `bits`-iteration run of the complete-formula ladder, derived from
+    /// the structure the trace actually records: each iteration is one
+    /// [`double_complete`] (10M + 3S) and one [`add_complete`] (14M),
+    /// followed by the Fermat inversion of `Z` on the public exponent
+    /// `p − 2` and the two affine products plus their two
+    /// Montgomery-domain exit multiplications. `fourq-trace` asserts this
+    /// equals the traced kernel's op counts
+    /// (`trace_op_counts_match_baseline_estimate`).
     pub fn scalar_mul_field_ops(bits: u32) -> u64 {
-        let dbl = 8u64; // 3M + 5S
-        let add = 16u64; // 11M + 5S
-        bits as u64 * dbl + (bits as u64 / 2) * add
+        let c = P256::new();
+        let e = c.field.p.checked_sub(&U256::from_u64(2)).expect("p > 2");
+        let popcount: u64 = e.0.iter().map(|w| w.count_ones() as u64).sum();
+        let invert = (u64::from(e.bits()) - 1) + (popcount - 1);
+        u64::from(bits) * (10 + 3 + 14) + invert + 4
     }
 }
 
@@ -268,6 +435,49 @@ mod tests {
         assert_eq!(c.to_affine(&c.double(&inf)), Affine::Infinity);
         let g = c.generator();
         assert_eq!(c.to_affine(&c.add(&inf, &g)), c.to_affine(&g));
+    }
+
+    #[test]
+    fn complete_formulas_match_jacobian() {
+        let c = P256::new();
+        let g = c.generator();
+        let ga = c.to_affine(&g);
+        for k in [0u64, 1, 2, 3, 5, 1023, 0xdead_beef, u64::MAX] {
+            let k = U256::from_u64(k);
+            let expect = c.to_affine(&c.scalar_mul(&k, &g));
+            assert_eq!(c.scalar_mul_complete(&k, &ga), expect, "k = {k:?}");
+        }
+        // Full-width scalar, a non-generator base, and the group order.
+        let k = U256::from_hex("c51e4753afdec1e6b6c6a5b992f43f8dd0c7a8933072708b6522468b2ffb06fd")
+            .unwrap();
+        assert_eq!(
+            c.scalar_mul_complete(&k, &ga),
+            c.to_affine(&c.scalar_mul(&k, &g))
+        );
+        let p = c.scalar_mul(&U256::from_u64(0xabcdef), &g);
+        let pa = c.to_affine(&p);
+        assert_eq!(
+            c.scalar_mul_complete(&k, &pa),
+            c.to_affine(&c.scalar_mul(&k, &p))
+        );
+        assert_eq!(c.scalar_mul_complete(&c.order, &ga), Affine::Infinity);
+    }
+
+    #[test]
+    fn complete_ladder_handles_infinity_base() {
+        let c = P256::new();
+        assert_eq!(
+            c.scalar_mul_complete(&U256::from_u64(7), &Affine::Infinity),
+            Affine::Infinity
+        );
+    }
+
+    #[test]
+    fn generator_affine_on_curve() {
+        let c = P256::new();
+        let g = c.generator_affine();
+        assert!(c.is_on_curve(&g));
+        assert_eq!(g, c.to_affine(&c.generator()));
     }
 
     #[test]

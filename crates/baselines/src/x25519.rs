@@ -5,8 +5,33 @@
 //! Montgomery ladder over `p = 2^255 − 19` with the standard
 //! constant-time-shaped conditional swaps.
 
-use crate::mont::MontField;
+use crate::mont::{FeLike, MontFe, MontField};
 use fourq_fp::U256;
+
+/// One Montgomery-ladder step on the working state `(x2, z2, x3, z3)` with
+/// the fixed base `x1` and curve constant `a24`, written against
+/// [`FeLike`] so the host ladder and the traced uniform ladder of
+/// `fourq-trace` run the *same* formula. Returns the updated state.
+///
+/// Cost: 6 mul-unit multiplications + 4 squarings + 8 additions per step
+/// (the `a24` product counted as a full multiplication, as the simulated
+/// machine executes it).
+pub fn ladder_step<T: FeLike>(x1: &T, a24: &T, x2: &T, z2: &T, x3: &T, z3: &T) -> (T, T, T, T) {
+    let a = x2.add(z2);
+    let aa = a.sqr();
+    let b = x2.sub(z2);
+    let bb = b.sqr();
+    let e = aa.sub(&bb);
+    let c = x3.add(z3);
+    let d = x3.sub(z3);
+    let da = d.mul(&a);
+    let cb = c.mul(&b);
+    let nx3 = da.add(&cb).sqr();
+    let nz3 = x1.mul(&da.sub(&cb).sqr());
+    let nx2 = aa.mul(&bb);
+    let nz2 = e.mul(&aa.add(&a24.mul(&e)));
+    (nx2, nz2, nx3, nz3)
+}
 
 /// The X25519 context.
 #[derive(Clone, Copy, Debug)]
@@ -31,6 +56,16 @@ impl X25519 {
             field,
             a24: field.enter(U256::from_u64(121665)),
         }
+    }
+
+    /// The field of definition (`p = 2^255 − 19`).
+    pub fn field(&self) -> &MontField {
+        &self.field
+    }
+
+    /// The ladder constant `(A+2)/4 = 121665` in Montgomery form.
+    pub fn a24(&self) -> U256 {
+        self.a24
     }
 
     /// RFC 7748 scalar clamping.
@@ -59,6 +94,8 @@ impl X25519 {
         let mut z3 = one;
         let mut swap = false;
 
+        let x1h = MontFe::new(f, x1);
+        let a24h = MontFe::new(f, self.a24);
         for t in (0..255).rev() {
             let kt = k.bit(t);
             if swap != kt {
@@ -67,19 +104,18 @@ impl X25519 {
             }
             swap = kt;
 
-            let a = f.add(x2, z2);
-            let aa = f.sqr(a);
-            let b = f.sub(x2, z2);
-            let bb = f.sqr(b);
-            let e = f.sub(aa, bb);
-            let c = f.add(x3, z3);
-            let d = f.sub(x3, z3);
-            let da = f.mul(d, a);
-            let cb = f.mul(c, b);
-            x3 = f.sqr(f.add(da, cb));
-            z3 = f.mul(x1, f.sqr(f.sub(da, cb)));
-            x2 = f.mul(aa, bb);
-            z2 = f.mul(e, f.add(aa, f.mul(self.a24, e)));
+            let (nx2, nz2, nx3, nz3) = ladder_step(
+                &x1h,
+                &a24h,
+                &MontFe::new(f, x2),
+                &MontFe::new(f, z2),
+                &MontFe::new(f, x3),
+                &MontFe::new(f, z3),
+            );
+            x2 = nx2.value;
+            z2 = nz2.value;
+            x3 = nx3.value;
+            z3 = nz3.value;
         }
         if swap {
             core::mem::swap(&mut x2, &mut x3);
@@ -100,11 +136,19 @@ impl X25519 {
         self.ladder(secret, &base)
     }
 
-    /// Field multiplications in one ladder execution (for the op-count
-    /// comparison): 255 steps × (5M + 4S) plus the final inversion
-    /// (~265 S+M).
+    /// Multiplier-unit operations (multiplications + squarings) in one
+    /// ladder execution, derived from the structure the trace actually
+    /// records: 255 × [`ladder_step`] (6M + 4S each), the Fermat inversion
+    /// of `z2` by square-and-multiply on the public exponent `p − 2`, and
+    /// the final `x2·z2⁻¹` product plus the Montgomery-domain exit
+    /// multiplication. `fourq-trace` asserts this equals the traced
+    /// kernel's op counts (`trace_op_counts_match_baseline_estimate`).
     pub fn ladder_field_ops() -> u64 {
-        255 * 9 + 265
+        let x = X25519::new();
+        let e = x.field.p.checked_sub(&U256::from_u64(2)).expect("p > 2");
+        let popcount: u64 = e.0.iter().map(|w| w.count_ones() as u64).sum();
+        let invert = (u64::from(e.bits()) - 1) + (popcount - 1);
+        255 * 10 + invert + 2
     }
 }
 

@@ -21,7 +21,9 @@
 //!
 //! `--gate-kernel-cache` fails the run when a warm-cache kernel
 //! `execute` is not at least 10× faster than the cold compile+execute
-//! path — the tripwire for the compile-once/execute-many pipeline.
+//! path — the tripwire for the compile-once/execute-many pipeline. When
+//! the `multi_curve` group is in the run, the same floor applies to
+//! every curve's `(curve, machine, effort)` cache entry.
 //!
 //! `--compare BASELINE.json` re-parses a previous report and fails when
 //! the median slowdown within any of `scalar_ops`, `parallel_ops` or
@@ -142,28 +144,48 @@ fn gate_parallel(report: &BenchReport) -> Result<(), String> {
 const GATE_KERNEL_CACHE_MIN: f64 = 10.0;
 
 fn gate_kernel_cache(report: &BenchReport) -> Result<(), String> {
-    let lookup = |name: &str| -> Result<f64, String> {
+    let lookup = |group: &str, name: &str| -> Result<f64, String> {
         report
             .results
             .iter()
-            .find(|r| r.group == "asic_pipeline" && r.name == name)
+            .find(|r| r.group == group && r.name == name)
             .map(|r| r.ns_per_op)
-            .ok_or(format!("gate: asic_pipeline/{name} missing from this run"))
+            .ok_or(format!("gate: {group}/{name} missing from this run"))
     };
-    let cold = lookup("compile_cold")?;
-    let warm = lookup("execute_warm")?;
-    let ratio = (cold + warm) / warm;
-    eprintln!(
-        "gate: kernel compile {:.0} us vs warm execute {:.0} us \
-         (amortisation {ratio:.1}x, floor {GATE_KERNEL_CACHE_MIN}x)",
-        cold / 1e3,
-        warm / 1e3
-    );
-    if ratio < GATE_KERNEL_CACHE_MIN {
-        return Err(format!(
-            "gate: warm-cache execute is only {ratio:.1}x faster than cold \
-             compile+execute (floor {GATE_KERNEL_CACHE_MIN}x)"
-        ));
+    let check = |label: &str, cold: f64, warm: f64| -> Result<(), String> {
+        let ratio = (cold + warm) / warm;
+        eprintln!(
+            "gate: {label} kernel compile {:.0} us vs warm execute {:.0} us \
+             (amortisation {ratio:.1}x, floor {GATE_KERNEL_CACHE_MIN}x)",
+            cold / 1e3,
+            warm / 1e3
+        );
+        if ratio < GATE_KERNEL_CACHE_MIN {
+            return Err(format!(
+                "gate: {label} warm-cache execute is only {ratio:.1}x faster than cold \
+                 compile+execute (floor {GATE_KERNEL_CACHE_MIN}x)"
+            ));
+        }
+        Ok(())
+    };
+    check(
+        "fourq",
+        lookup("asic_pipeline", "compile_cold")?,
+        lookup("asic_pipeline", "execute_warm")?,
+    )?;
+    // The per-curve cache: when the multi_curve group ran, every curve's
+    // compile/execute pair must amortise like the Fourℚ one. When it was
+    // filtered out, say so instead of silently passing.
+    if report.results.iter().any(|r| r.group == "multi_curve") {
+        for curve in ["fourq", "x25519", "p256"] {
+            check(
+                curve,
+                lookup("multi_curve", &format!("{curve}_compile_cold"))?,
+                lookup("multi_curve", &format!("{curve}_execute_warm"))?,
+            )?;
+        }
+    } else {
+        eprintln!("gate: multi_curve group absent from this run — per-curve cache not gated");
     }
     Ok(())
 }

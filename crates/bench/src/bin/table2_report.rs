@@ -1,0 +1,123 @@
+//! Measured Table II: all three curves on the *same* simulated silicon.
+//!
+//! The paper's Table II (and `table2_comparison`) compares Fourℚ against
+//! Curve25519 and P-256 numbers *reported* by other groups on other
+//! silicon — different nodes, voltages and methodologies. This report
+//! removes that caveat: every curve's scalar multiplication is compiled
+//! through the identical trace → schedule → allocate → assemble pipeline
+//! onto the identical machine configuration, and the resulting cycle
+//! counts are run through one technology model calibrated once. The
+//! remaining differences are purely algorithmic — exactly the comparison
+//! the paper could not make.
+//!
+//! ```text
+//! cargo run --release -p fourq-bench --bin table2_report
+//! cargo run --release -p fourq-bench --bin table2_report -- --effort 16
+//! ```
+//!
+//! Caveats printed with the table: the machine config models the paper's
+//! Fourℚ datapath (an `F_p²` multiplier on 127-bit lanes); X25519 and
+//! P-256 kernels run their 255/256-bit field ops on the same nominal
+//! units, so their cycle counts are optimistic for them (a real 256-bit
+//! multiplier would be slower or larger). Even so the measured gap is
+//! dominated by operation *count*, which is exact.
+
+use fourq_bench::cell;
+use fourq_curve::CurveId;
+use fourq_sched::MachineConfig;
+use fourq_tech::SotbModel;
+
+/// Default ILS scheduling effort; override with `--effort N`.
+const DEFAULT_EFFORT: u32 = 8;
+
+fn main() {
+    let mut effort = DEFAULT_EFFORT;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--effort" => {
+                effort = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--effort requires a number");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: table2_report [--effort N]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let machine = MachineConfig::paper();
+    println!("== Table II, measured: three curves on one simulated machine ==");
+    println!(
+        "   (machine = paper config, scheduling effort = {effort}; every row is the\n\
+         \x20   same pipeline, same simulated datapath, same calibrated 65nm SOTB model)\n"
+    );
+
+    // Compile every curve's kernel on the same machine; calibrate the
+    // technology model once, against the Fourℚ cycle count (the paper's
+    // anchor), and reuse it verbatim for the other curves.
+    let kernels: Vec<_> = CurveId::ALL
+        .iter()
+        .map(|&curve| {
+            let k = fourq_cpu::shared_kernel_for(curve, &machine, effort)
+                .unwrap_or_else(|e| panic!("{curve} kernel compiles: {e}"));
+            (curve, k)
+        })
+        .collect();
+    let fourq_cycles = kernels[0].1.fingerprint.cycles;
+    let tech = SotbModel::calibrate_paper(fourq_cycles);
+
+    println!(
+        "curve      | cycles    | vs fourq | lb        | rom words | regs | VDD   | fmax MHz | lat [us]  | ops/s     | E/op [uJ]"
+    );
+    println!(
+        "-----------+-----------+----------+-----------+-----------+------+-------+----------+-----------+-----------+----------"
+    );
+    for (curve, kernel) in &kernels {
+        let fp = &kernel.fingerprint;
+        for vdd in [1.20, 0.32] {
+            let pt = tech.operating_point(vdd, fp.cycles);
+            println!(
+                "{:<10} | {:>9} | {:>7.2}x | {:>9} | {:>9} | {:>4} | {vdd:>5.2} | {} | {} | {} | {}",
+                curve.name(),
+                fp.cycles,
+                fp.cycles as f64 / fourq_cycles as f64,
+                fp.lower_bound,
+                fp.rom_words,
+                fp.registers,
+                cell(Some(pt.fmax_mhz), 8, 1),
+                cell(Some(pt.latency_us), 9, 2),
+                cell(Some(1e6 / pt.latency_us), 9, 0),
+                cell(Some(pt.energy_uj), 9, 4),
+            );
+        }
+    }
+
+    println!("\n== measured op mix (same trace layer, uniform programs) ==");
+    for (curve, kernel) in &kernels {
+        let ops = &kernel.fingerprint.op_counts;
+        println!(
+            "  {:<7}: mul {:>5}  sqr {:>5}  add {:>5}  sub {:>5}  neg {:>4}  conj {:>4}  (total {})",
+            curve.name(),
+            ops.mul,
+            ops.sqr,
+            ops.add,
+            ops.sub,
+            ops.neg,
+            ops.conj,
+            ops.total(),
+        );
+    }
+
+    println!(
+        "\ncaveat: the machine models the paper's F_p^2 datapath; X25519/P-256 field\n\
+         ops are counted as single unit ops, flattering them. The cycle ratios above\n\
+         are therefore a *lower bound* on Fourq's same-silicon advantage."
+    );
+}

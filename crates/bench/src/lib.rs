@@ -8,6 +8,7 @@
 //! | `table1_schedule` | Table I — scheduled double-and-add loop |
 //! | `fig4_voltage_sweep` | Fig. 4 — `f_max` / latency / energy vs `V_DD` |
 //! | `table2_comparison` | Table II — comparison to prior art + headline ratios |
+//! | `table2_report` | Table II, measured — all three curves compiled onto the *same* simulated machine |
 //! | `ablation` | design-choice ablations (§III): multiplier algorithm, scheduler, pipeline depth, ports |
 //!
 //! Micro-benchmarks (formerly Criterion benches) live in the hermetic

@@ -11,6 +11,7 @@
 //! | `scalar_ops` | mod-N arithmetic ablation — Montgomery vs `rem_wide`, windowed vs binary inversion |
 //! | `batch_ops` | batch-first curve pipeline — amortized normalisation, fixed-base, MSM |
 //! | `batch_sig` | batch-first signature pipeline — RLC batch verify, batch signing |
+//! | `multi_curve` | Table II on one machine — per-curve compiled kernels through the shared cache |
 
 use crate::harness::{run, BenchOptions, BenchRecord, BenchReport};
 use fourq_baselines::{p256::P256, x25519::X25519};
@@ -369,6 +370,63 @@ pub fn asic_pipeline(report: &mut BenchReport, opts: &BenchOptions) {
     }
 }
 
+/// The multi-curve compiled-kernel pipeline on the paper machine: cold
+/// compile and warm cached execute for each curve the tracer knows, all
+/// through the per-`(curve, machine, effort)` shared kernel cache. The
+/// per-curve `compile_cold / execute_warm` pairs are what
+/// `--gate-kernel-cache` checks for cache amortisation beyond Fourℚ.
+pub fn multi_curve(report: &mut BenchReport, opts: &BenchOptions) {
+    use fourq_curve::{CurveId, MultiCurveEngine};
+    use fourq_sched::MachineConfig;
+
+    const KERNEL_EFFORT: u32 = 2;
+    let machine = MachineConfig::paper();
+    let eng = MultiCurveEngine::shared();
+    let mut rng = TestRng::from_seed(BENCH_SEED ^ 7);
+    for curve in CurveId::ALL {
+        let name = curve.name();
+        report.push(run(
+            "multi_curve",
+            &format!("{name}_compile_cold"),
+            opts,
+            || fourq_cpu::compile_curve(curve, &machine, KERNEL_EFFORT).expect("kernel compiles"),
+        ));
+        let kernel =
+            fourq_cpu::shared_kernel_for(curve, &machine, KERNEL_EFFORT).expect("kernel compiles");
+        let mut scalar = [0u8; 32];
+        rng.fill_bytes(&mut scalar);
+        let point = eng.generator_encoded(curve);
+        let warm = format!("{name}_execute_warm");
+        match curve {
+            CurveId::FourQ => {
+                let g = AffinePoint::generator();
+                let k = Scalar::from_le_bytes(&scalar);
+                report.push(run("multi_curve", &warm, opts, || {
+                    kernel.execute(&g, black_box(&k)).expect("kernel executes")
+                }));
+            }
+            CurveId::X25519 => {
+                let mut u = [0u8; 32];
+                u.copy_from_slice(&point);
+                report.push(run("multi_curve", &warm, opts, || {
+                    kernel
+                        .execute_x25519(black_box(&scalar), &u)
+                        .expect("kernel executes")
+                }));
+            }
+            CurveId::P256 => {
+                let mut p = [0u8; 64];
+                p.copy_from_slice(&point);
+                report.push(run("multi_curve", &warm, opts, || {
+                    kernel
+                        .execute_p256(black_box(&scalar), &p)
+                        .expect("kernel executes")
+                }));
+            }
+        }
+    }
+}
+
 /// A benchmark group: fills a report under the given options.
 type GroupFn = fn(&mut BenchReport, &BenchOptions);
 
@@ -378,7 +436,7 @@ type GroupFn = fn(&mut BenchReport, &BenchOptions);
 /// `"scalar_ops,parallel_ops,asic_pipeline"` runs exactly the three
 /// groups the CI regression tripwire compares.
 pub fn run_suite(opts: &BenchOptions, filter: &str) -> BenchReport {
-    let groups: [(&str, GroupFn); 10] = [
+    let groups: [(&str, GroupFn); 11] = [
         ("fp2_mul", fp2_mul),
         ("scalar_mul", scalar_mul),
         ("scalar_ops", scalar_ops),
@@ -389,6 +447,7 @@ pub fn run_suite(opts: &BenchOptions, filter: &str) -> BenchReport {
         ("curve_compare", curve_compare),
         ("scheduling", scheduling),
         ("asic_pipeline", asic_pipeline),
+        ("multi_curve", multi_curve),
     ];
     let wanted: Vec<&str> = filter
         .split(',')

@@ -11,18 +11,31 @@
 //! `(MachineConfig, effort)`.
 //!
 //! Every stage failure is a typed [`PipelineError`] — the compile path
-//! has no panicking branches — and [`compile`] ends with an end-to-end
+//! has no panicking branches — and every compile ends with an end-to-end
 //! audit executing two scalars against the software library.
+//!
+//! The same pipeline serves every curve the tracer knows: [`compile_curve`]
+//! / [`shared_kernel_for`] build kernels for Fourℚ, X25519 and P-256 from
+//! their uniform traces, and [`CompiledKernel::execute_x25519`] /
+//! [`CompiledKernel::execute_p256`] replay them with fresh inputs. The
+//! register-file words are [`Word`]s — `F_p²` pairs for Fourℚ,
+//! Montgomery-form base-field residues for the short-Weierstrass and
+//! Montgomery curves — but the control path (schedule, allocation, ROM,
+//! verifier) is identical.
 
 use crate::regalloc::{allocate, Allocation, ControlRom};
 use crate::{simulate, SimError, SimStats};
-use fourq_curve::AffinePoint;
-use fourq_fp::{Fp2, Scalar};
+use fourq_baselines::p256::{Affine, P256};
+use fourq_baselines::x25519::X25519;
+use fourq_curve::{AffinePoint, CurveId};
+use fourq_fp::{Scalar, U256};
 use fourq_sched::{
     lower_bound, schedule, serial_schedule, trace_to_problem, MachineConfig, Problem, Schedule,
     ScheduleError,
 };
-use fourq_trace::{DigitStream, OpKind, OpStats, Operand, Trace, TraceError, Unit};
+use fourq_trace::{
+    mont_field, DigitStream, OpKind, OpStats, Operand, Trace, TraceError, Unit, Word,
+};
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
@@ -72,6 +85,14 @@ pub enum PipelineError {
         /// The first finding, in pass order.
         first: Box<crate::check::KernelDiag>,
     },
+    /// The kernel was asked to execute a curve other than the one it was
+    /// compiled for.
+    WrongCurve {
+        /// Curve the kernel was compiled for.
+        compiled: CurveId,
+        /// Curve the call requested.
+        requested: CurveId,
+    },
 }
 
 impl core::fmt::Display for PipelineError {
@@ -92,6 +113,15 @@ impl core::fmt::Display for PipelineError {
                     f,
                     "static verification failed with {findings} finding(s); first: [{}] {first}",
                     first.rule()
+                )
+            }
+            PipelineError::WrongCurve {
+                compiled,
+                requested,
+            } => {
+                write!(
+                    f,
+                    "kernel compiled for {compiled}, asked to execute {requested}"
                 )
             }
         }
@@ -165,6 +195,8 @@ struct Step {
 /// [`CompiledKernel::execute`] / [`CompiledKernel::execute_batch`].
 #[derive(Clone, Debug)]
 pub struct CompiledKernel {
+    /// The curve whose scalar multiplication this kernel computes.
+    pub curve: CurveId,
     /// The machine this kernel is scheduled for.
     pub machine: MachineConfig,
     /// Scheduling effort (ILS iterations) the schedule was built with.
@@ -185,15 +217,17 @@ pub struct CompiledKernel {
     prog: Vec<Step>,
 }
 
-/// Compiles the scalar-multiplication kernel for a machine at the given
-/// scheduling effort, with the [`DEFAULT_REGISTER_BUDGET`].
+/// Compiles the Fourℚ scalar-multiplication kernel for a machine at the
+/// given scheduling effort, with the [`DEFAULT_REGISTER_BUDGET`].
+///
+/// Shorthand for [`compile_curve`] with [`CurveId::FourQ`].
 ///
 /// # Errors
 ///
 /// Any stage failure as a [`PipelineError`]; [`PipelineError::Diverged`]
 /// if the final audit against the software library fails.
 pub fn compile(machine: &MachineConfig, effort: u32) -> Result<CompiledKernel, PipelineError> {
-    compile_with_budget(machine, effort, DEFAULT_REGISTER_BUDGET)
+    compile_curve_with_budget(CurveId::FourQ, machine, effort, DEFAULT_REGISTER_BUDGET)
 }
 
 /// As [`compile`] with an explicit register-file budget.
@@ -207,20 +241,113 @@ pub fn compile_with_budget(
     effort: u32,
     budget: usize,
 ) -> Result<CompiledKernel, PipelineError> {
-    let rep = Scalar::from_le_bytes(&REP_SCALAR);
-    let recorded = fourq_trace::trace_scalar_mul(&rep);
-    let kernel = compile_trace(recorded.trace, machine, effort, budget)?;
-    // End-to-end audit: the kernel must reproduce the software library on
-    // the representative scalar and on an unrelated one.
-    let g = AffinePoint::generator();
-    for k in [rep, Scalar::from_u64(0x9e37_79b9_7f4a_7c15)] {
-        let got = kernel.execute(&g, &k)?;
-        let want = g.mul(&k);
-        if (got.x, got.y) != (want.x, want.y) {
-            return Err(PipelineError::Diverged);
+    compile_curve_with_budget(CurveId::FourQ, machine, effort, budget)
+}
+
+/// Compiles the scalar-multiplication kernel of any supported curve,
+/// with the [`DEFAULT_REGISTER_BUDGET`].
+///
+/// Each curve's uniform trace goes through the identical flow — validate,
+/// schedule, allocate, assemble, verify — and ends with the same
+/// end-to-end audit: the kernel must reproduce that curve's software
+/// baseline on two independent inputs before it is handed out.
+///
+/// # Errors
+///
+/// Any stage failure as a [`PipelineError`]; [`PipelineError::Diverged`]
+/// if the final audit against the software baseline fails.
+pub fn compile_curve(
+    curve: CurveId,
+    machine: &MachineConfig,
+    effort: u32,
+) -> Result<CompiledKernel, PipelineError> {
+    compile_curve_with_budget(curve, machine, effort, DEFAULT_REGISTER_BUDGET)
+}
+
+/// As [`compile_curve`] with an explicit register-file budget.
+///
+/// # Errors
+///
+/// See [`compile_curve`]; additionally [`PipelineError::RegisterBudget`]
+/// when the allocation does not fit `budget` registers.
+pub fn compile_curve_with_budget(
+    curve: CurveId,
+    machine: &MachineConfig,
+    effort: u32,
+    budget: usize,
+) -> Result<CompiledKernel, PipelineError> {
+    match curve {
+        CurveId::FourQ => {
+            let rep = Scalar::from_le_bytes(&REP_SCALAR);
+            let recorded = fourq_trace::trace_scalar_mul(&rep);
+            let kernel = compile_trace(recorded.trace, machine, effort, budget)?;
+            // End-to-end audit: the kernel must reproduce the software
+            // library on the representative scalar and on an unrelated one.
+            let g = AffinePoint::generator();
+            for k in [rep, Scalar::from_u64(0x9e37_79b9_7f4a_7c15)] {
+                let got = kernel.execute(&g, &k)?;
+                let want = g.mul(&k);
+                if (got.x, got.y) != (want.x, want.y) {
+                    return Err(PipelineError::Diverged);
+                }
+            }
+            Ok(kernel)
+        }
+        CurveId::X25519 => {
+            let mut base = [0u8; 32];
+            base[0] = 9;
+            let recorded = fourq_trace::trace_x25519_ladder(&REP_SCALAR, &base);
+            let kernel = compile_trace(recorded.trace, machine, effort, budget)?;
+            let ctx = X25519::new();
+            let mut scalar2 = REP_SCALAR;
+            scalar2[7] ^= 0xa5;
+            // Chain the audits: the second runs on the first's output, so
+            // a non-trivial u-coordinate is exercised too.
+            let mut u = base;
+            for s in [REP_SCALAR, scalar2] {
+                let got = kernel.execute_x25519(&s, &u)?;
+                if got != ctx.ladder(&s, &u) {
+                    return Err(PipelineError::Diverged);
+                }
+                u = got;
+            }
+            Ok(kernel)
+        }
+        CurveId::P256 => {
+            let ctx = P256::new();
+            let rep = U256::from_le_bytes(&REP_SCALAR);
+            let g = ctx.generator_affine();
+            let recorded = fourq_trace::trace_p256_scalar_mul(&rep, &g);
+            let kernel = compile_trace(recorded.trace, machine, effort, budget)?;
+            let base = encode_p256_point(&g);
+            for k in [rep, U256::from_u64(0x9e37_79b9_7f4a_7c15)] {
+                let got = kernel.execute_p256(&k.to_le_bytes(), &base)?;
+                let want = encode_p256_point(&ctx.scalar_mul_complete(&k, &g));
+                if got != want {
+                    return Err(PipelineError::Diverged);
+                }
+            }
+            Ok(kernel)
         }
     }
-    Ok(kernel)
+}
+
+/// 64-byte little-endian `x ‖ y` encoding of a P-256 affine point; the
+/// all-zero string encodes the point at infinity (`(0, 0)` is not on the
+/// curve, so the encoding is unambiguous).
+fn encode_p256_point(pt: &Affine) -> [u8; 64] {
+    let mut out = [0u8; 64];
+    if let Affine::Point { x, y } = pt {
+        out[..32].copy_from_slice(&x.to_le_bytes());
+        out[32..].copy_from_slice(&y.to_le_bytes());
+    }
+    out
+}
+
+/// Process-wide P-256 context for the per-execution on-curve guard.
+fn p256_ctx() -> &'static P256 {
+    static CTX: OnceLock<P256> = OnceLock::new();
+    CTX.get_or_init(P256::new)
 }
 
 /// Runs the flow on an already-recorded trace: validate → bridge →
@@ -296,6 +423,7 @@ fn finish_compile(
         })
         .collect();
     let kernel = CompiledKernel {
+        curve: trace.curve,
         machine: *machine,
         effort,
         trace,
@@ -373,6 +501,7 @@ impl CompiledKernel {
         fingerprint.registers = allocation.num_registers;
         fingerprint.rom_bits = rom.as_ref().map(|r| r.size_bits()).unwrap_or(0);
         Ok(CompiledKernel {
+            curve: self.curve,
             machine: self.machine,
             effort: self.effort,
             trace: self.trace.clone(),
@@ -398,15 +527,112 @@ impl CompiledKernel {
     ///
     /// # Errors
     ///
+    /// [`PipelineError::WrongCurve`] if this is not a Fourℚ kernel;
     /// [`PipelineError::Diverged`] if the replayed outputs are not a
     /// curve point (the per-execution sanity guard).
     pub fn execute(&self, base: &AffinePoint, k: &Scalar) -> Result<AffinePoint, PipelineError> {
+        self.expect_curve(CurveId::FourQ)?;
         if base.is_identity() {
             return Ok(AffinePoint::identity());
         }
         let digits = fourq_trace::digit_stream(k);
-        let (x, y) = self.replay(base.x, base.y, &digits);
+        let outs = self.replay_words(
+            &[("Px", Word::Fp2(base.x)), ("Py", Word::Fp2(base.y))],
+            &digits,
+        );
+        let x = out_word(&outs, "x").as_fp2();
+        let y = out_word(&outs, "y").as_fp2();
         AffinePoint::new(x, y).map_err(|_| PipelineError::Diverged)
+    }
+
+    /// Executes an X25519 kernel: `scalar` is the raw RFC 7748 secret
+    /// (clamped here, exactly as the baseline does), `u` the little-endian
+    /// input u-coordinate; returns the output u-coordinate.
+    ///
+    /// Only the u-coordinate register and the mux select lines (the
+    /// running-swap recoding of the clamped scalar) change between calls.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::WrongCurve`] if this is not an X25519 kernel.
+    pub fn execute_x25519(
+        &self,
+        scalar: &[u8; 32],
+        u: &[u8; 32],
+    ) -> Result<[u8; 32], PipelineError> {
+        self.expect_curve(CurveId::X25519)?;
+        let digits = fourq_trace::x25519_digit_stream(scalar);
+        let f = mont_field(CurveId::X25519);
+        // RFC 7748 masks the top bit of u (mirrors the trace recording).
+        let mut ub = *u;
+        ub[31] &= 0x7f;
+        let x1 = f.enter(U256::from_le_bytes(&ub));
+        let outs = self.replay_words(&[("U", Word::Fe(CurveId::X25519, x1))], &digits);
+        // The program's Montgomery exit already returned `x` to a plain
+        // little-endian integer.
+        Ok(out_word(&outs, "x").as_fe().to_le_bytes())
+    }
+
+    /// Executes a P-256 kernel: `scalar` is little-endian, `point` the
+    /// 64-byte little-endian `x ‖ y` affine encoding (all-zero = point at
+    /// infinity); the result uses the same encoding.
+    ///
+    /// The caller is responsible for point validation (`fourq-curve`'s
+    /// `MultiCurveEngine` rejects off-curve inputs before reaching this);
+    /// the kernel still guards its own *output*: a non-infinity result
+    /// that is not on the curve reports [`PipelineError::Diverged`].
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::WrongCurve`] if this is not a P-256 kernel;
+    /// [`PipelineError::Diverged`] on an off-curve output.
+    pub fn execute_p256(
+        &self,
+        scalar: &[u8; 32],
+        point: &[u8; 64],
+    ) -> Result<[u8; 64], PipelineError> {
+        self.expect_curve(CurveId::P256)?;
+        let f = mont_field(CurveId::P256);
+        let k = U256::from_le_bytes(scalar);
+        let digits = fourq_trace::p256_digit_stream(&k);
+        let (px, py, pz) = if point.iter().all(|&b| b == 0) {
+            // Projective identity (0 : 1 : 0), as the trace records it.
+            (U256::ZERO, f.enter(U256::ONE), U256::ZERO)
+        } else {
+            let x = U256::from_le_bytes(point[..32].try_into().expect("32 bytes"));
+            let y = U256::from_le_bytes(point[32..].try_into().expect("32 bytes"));
+            (f.enter(x), f.enter(y), f.enter(U256::ONE))
+        };
+        let outs = self.replay_words(
+            &[
+                ("Px", Word::Fe(CurveId::P256, px)),
+                ("Py", Word::Fe(CurveId::P256, py)),
+                ("Pz", Word::Fe(CurveId::P256, pz)),
+            ],
+            &digits,
+        );
+        let x = out_word(&outs, "x").as_fe();
+        let y = out_word(&outs, "y").as_fe();
+        let result = if x == U256::ZERO && y == U256::ZERO {
+            Affine::Infinity
+        } else {
+            Affine::Point { x, y }
+        };
+        if !p256_ctx().is_on_curve(&result) {
+            return Err(PipelineError::Diverged);
+        }
+        Ok(encode_p256_point(&result))
+    }
+
+    fn expect_curve(&self, requested: CurveId) -> Result<(), PipelineError> {
+        if self.curve == requested {
+            Ok(())
+        } else {
+            Err(PipelineError::WrongCurve {
+                compiled: self.curve,
+                requested,
+            })
+        }
     }
 
     /// Executes a batch of scalars against one base, fanning the replay
@@ -444,22 +670,27 @@ impl CompiledKernel {
     }
 
     /// Replays the precompiled program through the physical register file
-    /// under a fresh digit stream, returning the `(x, y)` outputs.
-    fn replay(&self, px: Fp2, py: Fp2, digits: &DigitStream) -> (Fp2, Fp2) {
+    /// under a fresh digit stream, returning the named outputs.
+    ///
+    /// `runtime` overrides the named inputs' recorded values (the curve
+    /// points); every other input keeps the constant captured at compile
+    /// time. This is the curve-agnostic core behind [`Self::execute`],
+    /// [`Self::execute_x25519`] and [`Self::execute_p256`].
+    fn replay_words(&self, runtime: &[(&str, Word)], digits: &DigitStream) -> Vec<(String, Word)> {
         let assignment = &self.allocation.assignment;
-        let mut rf = vec![Fp2::ZERO; self.allocation.num_registers];
+        let mut rf = vec![self.trace.zero_word(); self.allocation.num_registers];
         for (id, (name, rep)) in self.trace.inputs.iter().enumerate() {
-            let v = match name.as_str() {
-                "Px" => px,
-                "Py" => py,
-                _ => *rep, // constants keep their recorded value
-            };
+            let v = runtime
+                .iter()
+                .find(|(n, _)| *n == name.as_str())
+                .map(|&(_, w)| w)
+                .unwrap_or(*rep); // constants keep their recorded value
             rf[assignment[id] as usize] = v;
         }
         // Pending-writeback replay (same timing model as
         // `simulate_allocated`): a result finishing at cycle c is readable
         // from cycle c on; idle cycles are skipped.
-        let mut pending: Vec<(u64, u16, Fp2)> = Vec::new();
+        let mut pending: Vec<(u64, u16, Word)> = Vec::new();
         for step in &self.prog {
             let cycle = step.start;
             pending.retain(|&(f, reg, v)| {
@@ -471,44 +702,39 @@ impl CompiledKernel {
                 }
             });
             let fetch =
-                |op: Operand| -> Fp2 { rf[assignment[self.trace.resolve(op, digits)] as usize] };
+                |op: Operand| -> Word { rf[assignment[self.trace.resolve(op, digits)] as usize] };
             let a = fetch(step.a);
-            let result = match (step.kind, step.b) {
-                (OpKind::Mul, Some(b)) => a.mul_karatsuba(&fetch(b)),
-                (OpKind::Add, Some(b)) => a + fetch(b),
-                (OpKind::Sub, Some(b)) => a - fetch(b),
-                (OpKind::Sqr, _) => a.square(),
-                (OpKind::Neg, _) => -a,
-                (OpKind::Conj, _) => a.conj(),
-                _ => unreachable!("validated trace: binary op carries operand b"),
+            let b = match (step.kind, step.b) {
+                (OpKind::Mul | OpKind::Add | OpKind::Sub, Some(op)) => Some(fetch(op)),
+                _ => None,
             };
-            pending.push((step.finish, step.dst, result));
+            pending.push((step.finish, step.dst, Word::eval(step.kind, a, b)));
         }
         for (_, reg, v) in pending {
             rf[reg as usize] = v;
         }
-        let out = |name: &str| -> Fp2 {
-            let id = self
-                .trace
-                .outputs
-                .iter()
-                .find(|(n, _)| n == name)
-                .expect("kernel trace has x/y outputs")
-                .1;
-            rf[assignment[id] as usize]
-        };
-        (out("x"), out("y"))
+        self.trace
+            .outputs
+            .iter()
+            .map(|(n, id)| (n.clone(), rf[assignment[*id] as usize]))
+            .collect()
     }
 }
 
-type KernelCache = Mutex<HashMap<(MachineConfig, u32), &'static CompiledKernel>>;
+/// Looks up a named replay output.
+fn out_word(outs: &[(String, Word)], name: &str) -> Word {
+    outs.iter()
+        .find(|(n, _)| n == name)
+        .unwrap_or_else(|| panic!("kernel trace carries output {name:?}"))
+        .1
+}
 
-/// Returns the process-wide compiled kernel for `(machine, effort)`,
+type KernelCache = Mutex<HashMap<(CurveId, MachineConfig, u32), &'static CompiledKernel>>;
+
+/// Returns the process-wide compiled Fourℚ kernel for `(machine, effort)`,
 /// compiling it on first use.
 ///
-/// Kernels are leaked into `'static` storage (a handful per process — one
-/// per distinct machine shape and effort), so callers share one immutable
-/// artifact across threads with no per-call locking beyond the map probe.
+/// Shorthand for [`shared_kernel_for`] with [`CurveId::FourQ`].
 ///
 /// # Errors
 ///
@@ -518,9 +744,29 @@ pub fn shared_kernel(
     machine: &MachineConfig,
     effort: u32,
 ) -> Result<&'static CompiledKernel, PipelineError> {
+    shared_kernel_for(CurveId::FourQ, machine, effort)
+}
+
+/// Returns the process-wide compiled kernel for
+/// `(curve, machine, effort)`, compiling it on first use.
+///
+/// Kernels are leaked into `'static` storage (a handful per process — one
+/// per distinct curve, machine shape and effort), so callers share one
+/// immutable artifact across threads with no per-call locking beyond the
+/// map probe.
+///
+/// # Errors
+///
+/// The [`PipelineError`] of the first compile attempt. Failures are not
+/// cached: a later call retries.
+pub fn shared_kernel_for(
+    curve: CurveId,
+    machine: &MachineConfig,
+    effort: u32,
+) -> Result<&'static CompiledKernel, PipelineError> {
     static CACHE: OnceLock<KernelCache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    let key = (*machine, effort);
+    let key = (curve, *machine, effort);
     {
         let map = cache.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(k) = map.get(&key) {
@@ -529,7 +775,7 @@ pub fn shared_kernel(
     }
     // Compile outside the lock (it is the slow path); racing compiles are
     // benign — the first insert wins and later ones are dropped.
-    let kernel = compile(machine, effort)?;
+    let kernel = compile_curve(curve, machine, effort)?;
     let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
     Ok(*map
         .entry(key)
@@ -539,6 +785,7 @@ pub fn shared_kernel(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fourq_fp::Fp2;
     use fourq_trace::Node;
 
     #[test]
@@ -631,7 +878,8 @@ mod tests {
         // Hand-rolled trace with a value-table mismatch: typed error, no
         // panic.
         let bad = Trace {
-            inputs: vec![("a".to_string(), Fp2::ONE)],
+            curve: CurveId::FourQ,
+            inputs: vec![("a".to_string(), Word::Fp2(Fp2::ONE))],
             runtime_ids: vec![],
             nodes: vec![Node {
                 kind: OpKind::Sqr,
@@ -640,7 +888,7 @@ mod tests {
             }],
             muxes: vec![],
             outputs: vec![("o".to_string(), 1)],
-            values: vec![Fp2::ONE], // should be 2 entries
+            values: vec![Word::Fp2(Fp2::ONE)], // should be 2 entries
             digits: DigitStream::empty(),
         };
         let m = MachineConfig::paper();
@@ -648,6 +896,97 @@ mod tests {
             compile_trace(bad, &m, 0, DEFAULT_REGISTER_BUDGET).err(),
             Some(PipelineError::Trace(TraceError::ValueCountMismatch))
         );
+    }
+
+    #[test]
+    fn x25519_kernel_matches_baseline() {
+        let m = MachineConfig::paper();
+        let kernel = shared_kernel_for(CurveId::X25519, &m, 0).expect("compiles");
+        assert_eq!(kernel.curve, CurveId::X25519);
+        let ctx = X25519::new();
+        let mut base = [0u8; 32];
+        base[0] = 9;
+        let mut u = base;
+        for i in 0..3u8 {
+            let mut s = [0x42u8 ^ i; 32];
+            s[0] = i.wrapping_mul(97);
+            let got = kernel.execute_x25519(&s, &u).expect("executes");
+            assert_eq!(got, ctx.ladder(&s, &u));
+            u = got;
+        }
+        // High-bit-set u is masked identically on both sides.
+        let mut high = [0xffu8; 32];
+        high[0] = 7;
+        let s = [0x11u8; 32];
+        assert_eq!(
+            kernel.execute_x25519(&s, &high).expect("executes"),
+            ctx.ladder(&s, &high)
+        );
+    }
+
+    #[test]
+    fn p256_kernel_matches_baseline_including_degenerates() {
+        let m = MachineConfig::paper();
+        let kernel = shared_kernel_for(CurveId::P256, &m, 0).expect("compiles");
+        assert_eq!(kernel.curve, CurveId::P256);
+        let ctx = P256::new();
+        let g = ctx.generator_affine();
+        let gb = encode_p256_point(&g);
+        for k in [
+            U256::from_u64(1),
+            U256::from_u64(2),
+            U256::from_le_bytes(&[0x6b; 32]),
+        ] {
+            let got = kernel
+                .execute_p256(&k.to_le_bytes(), &gb)
+                .expect("executes");
+            assert_eq!(got, encode_p256_point(&ctx.scalar_mul_complete(&k, &g)));
+        }
+        // Zero scalar flows through the datapath and lands on infinity.
+        let zero = kernel.execute_p256(&[0u8; 32], &gb).expect("executes");
+        assert_eq!(zero, [0u8; 64]);
+        // Infinity base stays at infinity, through the same fixed program.
+        let inf = kernel
+            .execute_p256(&U256::from_u64(5).to_le_bytes(), &[0u8; 64])
+            .expect("executes");
+        assert_eq!(inf, [0u8; 64]);
+    }
+
+    #[test]
+    fn shared_kernel_for_caches_per_curve() {
+        let m = MachineConfig::paper();
+        let fq = shared_kernel_for(CurveId::FourQ, &m, 0).expect("compiles");
+        let x = shared_kernel_for(CurveId::X25519, &m, 0).expect("compiles");
+        assert!(std::ptr::eq(
+            x,
+            shared_kernel_for(CurveId::X25519, &m, 0).unwrap()
+        ));
+        assert!(!std::ptr::eq(fq, x), "distinct curves → distinct kernels");
+        assert!(
+            std::ptr::eq(fq, shared_kernel(&m, 0).unwrap()),
+            "FourQ wrapper hits the same cache entry"
+        );
+    }
+
+    #[test]
+    fn wrong_curve_execution_is_reported() {
+        let m = MachineConfig::paper();
+        let kernel = shared_kernel_for(CurveId::X25519, &m, 0).expect("compiles");
+        let err = kernel
+            .execute(&AffinePoint::generator(), &Scalar::from_u64(3))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PipelineError::WrongCurve {
+                compiled: CurveId::X25519,
+                requested: CurveId::FourQ,
+            }
+        );
+        let fq = shared_kernel(&m, 0).expect("compiles");
+        assert!(matches!(
+            fq.execute_p256(&[1u8; 32], &[0u8; 64]),
+            Err(PipelineError::WrongCurve { .. })
+        ));
     }
 
     #[test]

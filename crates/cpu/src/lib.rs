@@ -47,8 +47,8 @@ mod vcd;
 
 pub use check::{verify, CheckLevel, GapMetrics, KernelDiag, VerifyReport, VERIFY_EFFORT};
 pub use kernel::{
-    compile, compile_with_budget, shared_kernel, CompiledKernel, KernelFingerprint, PipelineError,
-    DEFAULT_REGISTER_BUDGET,
+    compile, compile_curve, compile_curve_with_budget, compile_with_budget, shared_kernel,
+    shared_kernel_for, CompiledKernel, KernelFingerprint, PipelineError, DEFAULT_REGISTER_BUDGET,
 };
 pub use regalloc::{
     allocate, simulate_allocated, Allocation, AssembleError, ControlRom, ControlWord, RomRoute, Src,
@@ -61,9 +61,8 @@ pub use vcd::export_vcd;
 pub use fourq_sched::trace_to_problem;
 
 use fourq_curve::AffinePoint;
-use fourq_fp::Fp2;
 use fourq_sched::{MachineConfig, Schedule, UnitKind};
-use fourq_trace::{OpKind, Operand, Trace};
+use fourq_trace::{OpKind, Operand, Trace, Word};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -94,8 +93,9 @@ pub struct SimStats {
 pub struct SimResult {
     /// Total cycles (schedule makespan, i.e. last write-back).
     pub cycles: u64,
-    /// Named outputs with their computed values.
-    pub outputs: Vec<(String, Fp2)>,
+    /// Named outputs with their computed values (`F_p²` or base-field
+    /// words, per the trace's curve).
+    pub outputs: Vec<(String, Word)>,
     /// Machine statistics.
     pub stats: SimStats,
 }
@@ -190,8 +190,8 @@ pub fn simulate(
 
     // avail[id] = cycle at which the value can first be read (inputs: 0).
     let mut avail = vec![0u64; base + n];
-    let mut values: Vec<Fp2> = trace.inputs.iter().map(|(_, v)| *v).collect();
-    values.resize(base + n, Fp2::ZERO);
+    let mut values: Vec<Word> = trace.inputs.iter().map(|(_, v)| *v).collect();
+    values.resize(base + n, trace.zero_word());
 
     let mut stats = SimStats::default();
     let mut issue_guard: HashMap<(UnitKind, u64), usize> = HashMap::new();
@@ -213,7 +213,7 @@ pub fn simulate(
             return Err(SimError::IssueConflict { unit, cycle });
         }
 
-        let fetch = |op: Operand, stats: &mut SimStats| -> Result<Fp2, SimError> {
+        let fetch = |op: Operand, stats: &mut SimStats| -> Result<Word, SimError> {
             match op {
                 Operand::Val(id) if id >= base => {
                     // produced by an operation
@@ -245,15 +245,14 @@ pub fn simulate(
         };
 
         let a = fetch(node.a, &mut stats)?;
-        let b = || node.b.ok_or(SimError::MalformedTrace { op: i });
-        let result = match node.kind {
-            OpKind::Mul => a.mul_karatsuba(&fetch(b()?, &mut stats)?),
-            OpKind::Add => a + fetch(b()?, &mut stats)?,
-            OpKind::Sub => a - fetch(b()?, &mut stats)?,
-            OpKind::Sqr => a.square(),
-            OpKind::Neg => -a,
-            OpKind::Conj => a.conj(),
+        let b = match (node.kind, node.b) {
+            (OpKind::Mul | OpKind::Add | OpKind::Sub, Some(op)) => Some(fetch(op, &mut stats)?),
+            (OpKind::Mul | OpKind::Add | OpKind::Sub, None) => {
+                return Err(SimError::MalformedTrace { op: i });
+            }
+            _ => None,
         };
+        let result = Word::eval(node.kind, a, b);
         match unit {
             UnitKind::Multiplier => stats.mul_issued += 1,
             UnitKind::AddSub => stats.addsub_issued += 1,
@@ -403,7 +402,10 @@ pub fn simulate_scalar_mul_for(
     ScalarMulSim {
         sim: SimResult {
             cycles: fp.cycles,
-            outputs: vec![("x".to_string(), result.x), ("y".to_string(), result.y)],
+            outputs: vec![
+                ("x".to_string(), Word::Fp2(result.x)),
+                ("y".to_string(), Word::Fp2(result.y)),
+            ],
             stats: kernel.stats,
         },
         result,
@@ -462,8 +464,8 @@ mod tests {
             let p = trace_to_problem(&rec.trace);
             let s = schedule(&p, &m, 0);
             let r = simulate(&rec.trace, &s, &m).unwrap();
-            assert_eq!(r.outputs[0].1, rec.expected.x);
-            assert_eq!(r.outputs[1].1, rec.expected.y);
+            assert_eq!(r.outputs[0].1.as_fp2(), rec.expected.x);
+            assert_eq!(r.outputs[1].1.as_fp2(), rec.expected.y);
         }
     }
 

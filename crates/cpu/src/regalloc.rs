@@ -20,9 +20,8 @@
 //! register.
 
 use crate::SimError;
-use fourq_fp::Fp2;
 use fourq_sched::{MachineConfig, Schedule};
-use fourq_trace::{OpKind, Operand, Selector, Trace, Unit};
+use fourq_trace::{OpKind, Operand, Selector, Trace, Unit, Word};
 
 /// A virtual-to-physical register mapping.
 #[derive(Clone, Debug)]
@@ -373,7 +372,7 @@ pub fn simulate_allocated(
     sched: &Schedule,
     alloc: &Allocation,
     machine: &MachineConfig,
-) -> Result<Vec<(String, Fp2)>, SimError> {
+) -> Result<Vec<(String, Word)>, SimError> {
     let base = trace.first_op_id();
     let n = trace.nodes.len();
     if sched.start.len() != n {
@@ -386,7 +385,7 @@ pub fn simulate_allocated(
         }
     };
 
-    let mut rf = vec![Fp2::ZERO; alloc.num_registers];
+    let mut rf = vec![trace.zero_word(); alloc.num_registers];
     for (id, (_, v)) in trace.inputs.iter().enumerate() {
         rf[alloc.assignment[id] as usize] = *v;
     }
@@ -398,7 +397,7 @@ pub fn simulate_allocated(
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by_key(|&i| (sched.start[i], i));
     // pending writebacks: (finish_cycle, reg, value)
-    let mut pending: Vec<(u64, u16, Fp2)> = Vec::new();
+    let mut pending: Vec<(u64, u16, Word)> = Vec::new();
     let mut oi = 0usize;
     for cycle in 0..=sched.makespan {
         // retire results that finish at this cycle (readable this cycle).
@@ -415,19 +414,18 @@ pub fn simulate_allocated(
             let i = order[oi];
             oi += 1;
             let node = &trace.nodes[i];
-            let fetch = |op: Operand| -> Fp2 {
+            let fetch = |op: Operand| -> Word {
                 rf[alloc.assignment[trace.resolve(op, &trace.digits)] as usize]
             };
             let a = fetch(node.a);
-            let b = || node.b.ok_or(SimError::MalformedTrace { op: i });
-            let result = match node.kind {
-                OpKind::Mul => a.mul_karatsuba(&fetch(b()?)),
-                OpKind::Add => a + fetch(b()?),
-                OpKind::Sub => a - fetch(b()?),
-                OpKind::Sqr => a.square(),
-                OpKind::Neg => -a,
-                OpKind::Conj => a.conj(),
+            let b = match (node.kind, node.b) {
+                (OpKind::Mul | OpKind::Add | OpKind::Sub, Some(op)) => Some(fetch(op)),
+                (OpKind::Mul | OpKind::Add | OpKind::Sub, None) => {
+                    return Err(SimError::MalformedTrace { op: i });
+                }
+                _ => None,
             };
+            let result = Word::eval(node.kind, a, b);
             pending.push((cycle + latency(i), alloc.assignment[base + i], result));
         }
     }
@@ -476,8 +474,8 @@ mod tests {
         let m = MachineConfig::paper();
         let (s, a) = pipeline(&rec.trace, &m);
         let outs = simulate_allocated(&rec.trace, &s, &a, &m).expect("executes");
-        assert_eq!(outs[0].1, rec.expected.x);
-        assert_eq!(outs[1].1, rec.expected.y);
+        assert_eq!(outs[0].1.as_fp2(), rec.expected.x);
+        assert_eq!(outs[1].1.as_fp2(), rec.expected.y);
         // A realistic register file (paper's has 4R/2W ports; capacity is
         // set by allocation). The uniform program pins the full 8-entry
         // table, so the budget is wider than a per-scalar schedule's.

@@ -58,6 +58,7 @@ mod engine;
 mod extended;
 mod fixed_base;
 mod multi;
+mod multicurve;
 pub mod params;
 
 pub use affine::{AffinePoint, DecodePointError};
@@ -71,3 +72,4 @@ pub use multi::{
     msm_pippenger_threaded, msm_straus, multi_scalar_mul, multi_scalar_mul_threaded,
     window_scalar_mul, PIPPENGER_THRESHOLD,
 };
+pub use multicurve::{CurveId, CurveMulError, MultiCurveEngine};

@@ -71,6 +71,64 @@ fn bad_usage_exits_two() {
         .output()
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(2));
+    let out = bin()
+        .args(["--curve", "ed448"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn default_run_covers_all_three_curves() {
+    let json = temp_path("curves.json");
+    let out = bin()
+        .args(["--effort", "0", "--json"])
+        .arg(&json)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for curve in ["fourq", "x25519", "p256"] {
+        assert!(
+            stdout.contains(&format!("kernelcheck[{curve}]:")),
+            "missing {curve} section in: {stdout}"
+        );
+    }
+    let text = std::fs::read_to_string(&json).expect("report written");
+    std::fs::remove_file(&json).ok();
+    for curve in ["fourq", "x25519", "p256"] {
+        assert!(text.contains(&format!("\"curve\": \"{curve}\"")));
+    }
+}
+
+#[test]
+fn curve_flag_selects_a_single_kernel() {
+    let json = temp_path("x25519.json");
+    let out = bin()
+        .args([
+            "--curve", "x25519", "--effort", "0", "--inject", "4", "--json",
+        ])
+        .arg(&json)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("kernelcheck[x25519]: fault campaign: 4 cases"));
+    assert!(!stdout.contains("kernelcheck[fourq]"));
+    assert!(!stdout.contains("kernelcheck[p256]"));
+    let text = std::fs::read_to_string(&json).expect("report written");
+    std::fs::remove_file(&json).ok();
+    assert!(text.contains("\"curve\": \"x25519\""));
+    assert!(!text.contains("\"curve\": \"fourq\""));
+    assert!(text.contains("\"undetected\": 0"));
 }
 
 #[test]

@@ -27,6 +27,7 @@
 //! baseline. Below 4 hardware threads the gate is alert-only (the
 //! speedup there comes mostly from engine-level parallelism).
 
+use fourq_curve::{CurveId, MultiCurveEngine};
 use fourq_fp::Scalar;
 use fourq_serve::proto::{OpKind, Request, Status};
 use fourq_serve::{Client, ServerConfig};
@@ -160,6 +161,8 @@ type VerifyTuple = ([u8; 32], [u8; 32], Scalar, Vec<u8>);
 struct Material {
     points: Vec<[u8; 32]>,
     verifies: Vec<VerifyTuple>,
+    /// One valid (generator) point encoding per curve, for `CurveMul`.
+    curve_points: Vec<(CurveId, Vec<u8>)>,
 }
 
 impl Material {
@@ -175,11 +178,20 @@ impl Material {
                 (kp.public.encoded, sig.r, sig.s, m)
             })
             .collect();
-        Material { points, verifies }
+        let mc = MultiCurveEngine::shared();
+        let curve_points = CurveId::ALL
+            .iter()
+            .map(|&c| (c, mc.generator_encoded(c)))
+            .collect();
+        Material {
+            points,
+            verifies,
+            curve_points,
+        }
     }
 
     fn request_for(&self, i: u64, mixed: bool) -> Request {
-        let pick = if mixed { i % 6 } else { 3 };
+        let pick = if mixed { i % 7 } else { 3 };
         match pick {
             0 => Request::ScalarMul {
                 scalar: scalar_for(i),
@@ -206,10 +218,19 @@ impl Material {
                 tenant: i % 8,
                 msg: msg_for(i),
             },
-            _ => Request::Ecdh {
+            5 => Request::Ecdh {
                 tenant: i % 8,
                 peer: self.points[(i / 6) as usize % self.points.len()],
             },
+            _ => {
+                let (curve, point) =
+                    self.curve_points[(i / 7) as usize % self.curve_points.len()].clone();
+                Request::CurveMul {
+                    curve,
+                    scalar: scalar_for(i).to_le_bytes(),
+                    point,
+                }
+            }
         }
     }
 }
@@ -348,7 +369,7 @@ fn run_traffic(addr: SocketAddr, o: &Opts) -> std::io::Result<RunResult> {
         match status {
             Status::Ok => ok += 1,
             Status::Busy => busy += 1,
-            Status::Malformed => malformed += 1,
+            Status::Malformed | Status::UnknownCurve => malformed += 1,
             Status::Failed => failed += 1,
         }
         if status == Status::Ok {

@@ -1,11 +1,13 @@
 //! Flush execution: one coalesced window → the batch engine → responses.
 //!
 //! A flush is a mixed bag of requests. Execution groups it by op kind
-//! (and, for signing, by tenant), runs each group through the matching
-//! batch API — [`FourQEngine::batch_scalar_mul`],
+//! (for signing, by tenant; for multi-curve `CurveMul`, by curve), runs
+//! each group through the matching batch API —
+//! [`FourQEngine::batch_scalar_mul`],
 //! [`FourQEngine::batch_fixed_base_mul`], `sign_batch_with`,
-//! `verify_batch_with` — and emits one encoded response frame per
-//! request, tagged with the connection token it came from.
+//! `verify_batch_with`, [`MultiCurveEngine::batch_curve_mul`] — and
+//! emits one encoded response frame per request, tagged with the
+//! connection token it came from.
 //!
 //! **Bit-identical to one-shot calls.** Every batch path in the
 //! workspace guarantees results identical to its batch-of-1 form at any
@@ -19,7 +21,7 @@
 
 use crate::proto::{encode_response, Request, Response, Status};
 use crate::tenant::TenantDirectory;
-use fourq_curve::{AffinePoint, FourQEngine};
+use fourq_curve::{AffinePoint, CurveId, FourQEngine, MultiCurveEngine};
 use fourq_fp::Scalar;
 use fourq_sig::schnorr;
 use std::collections::HashMap;
@@ -68,7 +70,7 @@ fn failed(p: &Pending) -> Outbound {
 /// An empty flush is a no-op by contract — the coalescer never emits
 /// one, and this function never invokes a batch API with `n = 0`.
 pub fn execute_flush(
-    eng: &FourQEngine,
+    eng: &MultiCurveEngine,
     tenants: &TenantDirectory,
     batch: &[Pending],
 ) -> Vec<Outbound> {
@@ -83,6 +85,7 @@ pub fn execute_flush(
     let mut schnorr_verify: Vec<&Pending> = Vec::new();
     let mut ecdsa_sign: HashMap<u64, Vec<&Pending>> = HashMap::new();
     let mut ecdh: Vec<&Pending> = Vec::new();
+    let mut curve_mul: HashMap<CurveId, Vec<&Pending>> = HashMap::new();
     for p in batch {
         match &p.req {
             Request::ScalarMul { .. } => scalar_mul.push(p),
@@ -91,23 +94,58 @@ pub fn execute_flush(
             Request::SchnorrVerify { .. } => schnorr_verify.push(p),
             Request::EcdsaSign { tenant, .. } => ecdsa_sign.entry(*tenant).or_default().push(p),
             Request::Ecdh { .. } => ecdh.push(p),
+            Request::CurveMul { curve, .. } => curve_mul.entry(*curve).or_default().push(p),
             // Stats is answered inline by the reactor; a queued one (only
             // constructible in tests) gets an empty Ok.
             Request::Stats => out.push(ok(p, Vec::new())),
         }
     }
 
-    run_scalar_mul(eng, &scalar_mul, &mut out);
-    run_fixed_base(eng, &fixed_base, &mut out);
+    let fq = eng.fourq();
+    run_scalar_mul(fq, &scalar_mul, &mut out);
+    run_fixed_base(fq, &fixed_base, &mut out);
     for (tenant, group) in schnorr_sign {
-        run_schnorr_sign(eng, tenants, tenant, &group, &mut out);
+        run_schnorr_sign(fq, tenants, tenant, &group, &mut out);
     }
-    run_schnorr_verify(eng, &schnorr_verify, &mut out);
+    run_schnorr_verify(fq, &schnorr_verify, &mut out);
     for (tenant, group) in ecdsa_sign {
-        run_ecdsa_sign(eng, tenants, tenant, &group, &mut out);
+        run_ecdsa_sign(fq, tenants, tenant, &group, &mut out);
     }
-    run_ecdh(eng, tenants, &ecdh, &mut out);
+    run_ecdh(fq, tenants, &ecdh, &mut out);
+    for (curve, group) in curve_mul {
+        run_curve_mul(eng, curve, &group, &mut out);
+    }
     out
+}
+
+fn run_curve_mul(
+    eng: &MultiCurveEngine,
+    curve: CurveId,
+    group: &[&Pending],
+    out: &mut Vec<Outbound>,
+) {
+    if group.is_empty() {
+        return;
+    }
+    // No decode-first pass needed: `batch_curve_mul` reports per-item
+    // failures (bad length, off-curve point) without poisoning the
+    // batch, exactly matching the one-shot `curve_mul` result.
+    let items: Vec<([u8; 32], Vec<u8>)> = group
+        .iter()
+        .map(|p| {
+            let Request::CurveMul { scalar, point, .. } = &p.req else {
+                unreachable!("grouped by kind");
+            };
+            (*scalar, point.clone())
+        })
+        .collect();
+    let results = eng.batch_curve_mul(curve, &items);
+    for (p, r) in group.iter().zip(results) {
+        match r {
+            Ok(bytes) => out.push(ok(p, bytes)),
+            Err(_) => out.push(failed(p)),
+        }
+    }
 }
 
 fn run_scalar_mul(eng: &FourQEngine, group: &[&Pending], out: &mut Vec<Outbound>) {
@@ -319,8 +357,8 @@ mod tests {
     use super::*;
     use crate::proto::Status;
 
-    fn eng() -> FourQEngine {
-        FourQEngine::shared().with_threads(1)
+    fn eng() -> MultiCurveEngine {
+        MultiCurveEngine::shared().with_threads(1)
     }
 
     #[test]
@@ -413,5 +451,54 @@ mod tests {
         assert_eq!(verdicts[&1], 1);
         assert_eq!(verdicts[&2], 0);
         assert_eq!(verdicts[&3], 0);
+    }
+
+    #[test]
+    fn mixed_curve_flush_matches_one_shot() {
+        let tenants = TenantDirectory::new(0);
+        let eng = eng();
+        let mut batch = Vec::new();
+        let mut want = Vec::new();
+        for (i, curve) in CurveId::ALL.into_iter().enumerate() {
+            let mut scalar = [0u8; 32];
+            scalar[0] = i as u8 + 3;
+            let point = eng.generator_encoded(curve);
+            want.push((
+                i as u64 + 1,
+                eng.curve_mul(curve, &scalar, &point).expect("one-shot"),
+            ));
+            batch.push(Pending {
+                conn: 0,
+                id: i as u64 + 1,
+                req: Request::CurveMul {
+                    curve,
+                    scalar,
+                    point,
+                },
+            });
+        }
+        // An off-curve P-256 point fails without poisoning the flush.
+        batch.push(Pending {
+            conn: 0,
+            id: 99,
+            req: Request::CurveMul {
+                curve: CurveId::P256,
+                scalar: [1u8; 32],
+                point: vec![0xFF; 64],
+            },
+        });
+        let out = execute_flush(&eng, &tenants, &batch);
+        let by_id: HashMap<u64, Response> = out
+            .iter()
+            .map(|(_, b)| {
+                let r = crate::proto::decode_response(&b[4..]).unwrap();
+                (r.id, r)
+            })
+            .collect();
+        for (id, payload) in want {
+            assert_eq!(by_id[&id].status, Status::Ok, "id {id}");
+            assert_eq!(by_id[&id].payload, payload, "id {id}");
+        }
+        assert_eq!(by_id[&99].status, Status::Failed);
     }
 }

@@ -10,10 +10,12 @@
 //!
 //! The pieces, bottom up:
 //!
-//! * [`proto`] — length-prefixed binary wire protocol: six batched op
+//! * [`proto`] — length-prefixed binary wire protocol: seven batched op
 //!   kinds (scalar mul, fixed-base mul, Schnorr sign/verify, ECDSA sign,
-//!   ECDH) plus an inline `Stats` probe; hard `MAX_FRAME` bound;
-//!   incremental [`proto::FrameReader`].
+//!   ECDH, and the multi-curve `CurveMul` carrying a curve-id byte) plus
+//!   an inline `Stats` probe; hard `MAX_FRAME` bound; incremental
+//!   [`proto::FrameReader`]. An unknown curve id answers the typed
+//!   `UnknownCurve` status and keeps the connection.
 //! * [`coalescer`] — the latency/throughput knob: hold requests up to
 //!   `window_us` (measured from the first arrival) or `max_batch`, then
 //!   flush; bounded queue with explicit `Busy` rejection; `window_us = 0`
@@ -23,8 +25,10 @@
 //!   public so tests reconstruct public keys independently.
 //! * [`exec`] — maps one coalesced flush onto the engine's batch calls
 //!   (`batch_scalar_mul`, `sign_batch_with`, RLC `verify_batch_with`
-//!   with per-item fallback, …); empty flushes are a no-op by
-//!   construction.
+//!   with per-item fallback, per-curve `batch_curve_mul`, …); empty
+//!   flushes are a no-op by construction. One
+//!   [`MultiCurveEngine`](fourq_curve::MultiCurveEngine) answers mixed
+//!   Fourℚ/X25519/P-256 traffic from a single process.
 //! * [`server`] — the reactor: accept/read/frame/write over non-blocking
 //!   sockets on one thread, executor threads draining the coalescer.
 //! * [`client`] — a small blocking client with pipelining, used by the

@@ -21,13 +21,18 @@
 //! decode, so every 32-byte string is a valid scalar), points in the
 //! 32-byte compressed encoding of [`AffinePoint::encode`] (validated at
 //! execution time, not decode time — a bad point yields a
-//! [`Status::Failed`] response, not a protocol error).
+//! [`Status::Failed`] response, not a protocol error). The multi-curve
+//! `CurveMul` op prefixes its payload with a [`CurveId`] wire byte and
+//! carries the scalar raw (per-curve interpretation happens at
+//! execution); an unknown curve byte is the one *typed* decode error —
+//! the server answers [`Status::UnknownCurve`] and keeps the connection.
 //!
 //! Decoding never panics on attacker-controlled bytes: every length is
 //! checked before indexing, and the property suite in
 //! `tests/proto_roundtrip.rs` fuzzes truncated, oversized and
 //! bit-flipped frames against both decoders.
 
+use fourq_curve::CurveId;
 use fourq_fp::Scalar;
 
 /// Protocol version byte; bumped on any wire-incompatible change.
@@ -41,7 +46,7 @@ pub const MAX_FRAME: usize = 4096;
 /// Frame header size: version + op/status + request id.
 pub const HEADER_LEN: usize = 10;
 
-/// The six request kinds the server coalesces, plus the out-of-band
+/// The seven request kinds the server coalesces, plus the out-of-band
 /// stats probe.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(u8)]
@@ -61,17 +66,22 @@ pub enum OpKind {
     /// Coalescer statistics (answered inline by the reactor, never
     /// queued).
     Stats = 7,
+    /// `[k]P` on a named curve (Fourℚ, X25519 or P-256): the first
+    /// payload byte is a [`CurveId`] wire byte, followed by 32 scalar
+    /// bytes and the curve's [`CurveId::point_len`]-byte point encoding.
+    CurveMul = 8,
 }
 
 impl OpKind {
     /// All batched op kinds, in wire order (excludes [`OpKind::Stats`]).
-    pub const BATCHED: [OpKind; 6] = [
+    pub const BATCHED: [OpKind; 7] = [
         OpKind::ScalarMul,
         OpKind::FixedBaseMul,
         OpKind::SchnorrSign,
         OpKind::SchnorrVerify,
         OpKind::EcdsaSign,
         OpKind::Ecdh,
+        OpKind::CurveMul,
     ];
 
     /// The wire byte.
@@ -89,6 +99,7 @@ impl OpKind {
             5 => Some(OpKind::EcdsaSign),
             6 => Some(OpKind::Ecdh),
             7 => Some(OpKind::Stats),
+            8 => Some(OpKind::CurveMul),
             _ => None,
         }
     }
@@ -103,6 +114,7 @@ impl OpKind {
             OpKind::EcdsaSign => "ecdsa_sign",
             OpKind::Ecdh => "ecdh",
             OpKind::Stats => "stats",
+            OpKind::CurveMul => "curve_mul",
         }
     }
 }
@@ -156,6 +168,19 @@ pub enum Request {
     },
     /// Coalescer statistics probe.
     Stats,
+    /// `[k]P` on a named curve — the multi-curve path answered by
+    /// [`MultiCurveEngine`](fourq_curve::MultiCurveEngine).
+    CurveMul {
+        /// Which curve the scalar and point live on.
+        curve: CurveId,
+        /// Raw little-endian scalar bytes; interpretation (Fourℚ
+        /// group-order fold, RFC 7748 clamp, plain 256-bit integer) is
+        /// per curve and happens at execution.
+        scalar: [u8; 32],
+        /// Point in the curve's [`CurveId::point_len`]-byte wire
+        /// encoding (validated at execution).
+        point: Vec<u8>,
+    },
 }
 
 impl Request {
@@ -169,6 +194,7 @@ impl Request {
             Request::EcdsaSign { .. } => OpKind::EcdsaSign,
             Request::Ecdh { .. } => OpKind::Ecdh,
             Request::Stats => OpKind::Stats,
+            Request::CurveMul { .. } => OpKind::CurveMul,
         }
     }
 }
@@ -187,6 +213,11 @@ pub enum Status {
     /// The operation itself failed (invalid point, degenerate ECDH
     /// share, signing error); payload is empty.
     Failed = 3,
+    /// A `CurveMul` request named a curve id this server does not
+    /// implement. The frame itself was well-formed (the id echoes back
+    /// and the connection stays open) — the curve byte just names
+    /// nothing.
+    UnknownCurve = 4,
 }
 
 impl Status {
@@ -197,6 +228,7 @@ impl Status {
             1 => Some(Status::Busy),
             2 => Some(Status::Malformed),
             3 => Some(Status::Failed),
+            4 => Some(Status::UnknownCurve),
             _ => None,
         }
     }
@@ -225,6 +257,10 @@ pub enum ProtoError {
     BadVersion(u8),
     /// Unknown op-kind or status byte.
     BadTag(u8),
+    /// A `CurveMul` frame named an unsupported curve id. Distinguished
+    /// from [`ProtoError::BadTag`] so the server can answer the typed
+    /// [`Status::UnknownCurve`] frame and keep the connection.
+    UnknownCurve(u8),
 }
 
 impl core::fmt::Display for ProtoError {
@@ -234,6 +270,7 @@ impl core::fmt::Display for ProtoError {
             ProtoError::Oversized => write!(f, "frame exceeds {MAX_FRAME} bytes"),
             ProtoError::BadVersion(v) => write!(f, "unknown protocol version {v}"),
             ProtoError::BadTag(t) => write!(f, "unknown op/status tag {t}"),
+            ProtoError::UnknownCurve(c) => write!(f, "unknown curve id {c}"),
         }
     }
 }
@@ -269,6 +306,16 @@ fn take_32(buf: &mut &[u8]) -> Result<[u8; 32], ProtoError> {
 // ct: secret
 fn take_scalar(buf: &mut &[u8]) -> Result<Scalar, ProtoError> {
     Ok(Scalar::from_le_bytes(&take_32(buf)?))
+}
+
+/// Decodes a multi-curve secret scalar: 32 raw little-endian bytes whose
+/// interpretation (Fourℚ group-order fold, RFC 7748 clamp, plain 256-bit
+/// integer) is per curve and deferred to execution. X25519 and P-256 key
+/// material enters the server through this one point, so the
+/// constant-time lint tracks it from here.
+// ct: secret
+fn take_curve_scalar(buf: &mut &[u8]) -> Result<[u8; 32], ProtoError> {
+    take_32(buf)
 }
 
 /// Encodes a request into a complete frame (length prefix included).
@@ -311,6 +358,15 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
             p.extend_from_slice(peer);
         }
         Request::Stats => {}
+        Request::CurveMul {
+            curve,
+            scalar,
+            point,
+        } => {
+            p.push(curve.byte());
+            p.extend_from_slice(scalar);
+            p.extend_from_slice(point);
+        }
     }
     assert!(p.len() <= MAX_FRAME, "request exceeds MAX_FRAME");
     frame(p)
@@ -354,6 +410,15 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), ProtoError> {
             peer: take_32(&mut buf)?,
         },
         OpKind::Stats => Request::Stats,
+        OpKind::CurveMul => {
+            let b = take(&mut buf, 1)?[0];
+            let curve = CurveId::from_byte(b).ok_or(ProtoError::UnknownCurve(b))?;
+            Request::CurveMul {
+                curve,
+                scalar: take_curve_scalar(&mut buf)?,
+                point: take(&mut buf, curve.point_len())?.to_vec(),
+            }
+        }
     };
     // Fixed-layout ops must consume the payload exactly; trailing bytes
     // mean a length mismatch, not extra data to ignore.
@@ -543,6 +608,21 @@ mod tests {
                 peer: [4u8; 32],
             },
             Request::Stats,
+            Request::CurveMul {
+                curve: CurveId::FourQ,
+                scalar: [6u8; 32],
+                point: vec![7u8; 32],
+            },
+            Request::CurveMul {
+                curve: CurveId::X25519,
+                scalar: [8u8; 32],
+                point: vec![9u8; 32],
+            },
+            Request::CurveMul {
+                curve: CurveId::P256,
+                scalar: [10u8; 32],
+                point: vec![11u8; 64],
+            },
         ];
         for (i, req) in reqs.iter().enumerate() {
             let wire = encode_request(i as u64, req);
@@ -630,6 +710,31 @@ mod tests {
         );
         let mut payload = wire[4..].to_vec();
         payload.push(0xaa);
+        assert_eq!(decode_request(&payload), Err(ProtoError::Truncated));
+    }
+
+    #[test]
+    fn unknown_curve_byte_is_a_typed_error() {
+        // Hand-build a CurveMul payload naming curve id 9.
+        let mut payload = vec![PROTO_VERSION, OpKind::CurveMul.as_u8()];
+        payload.extend_from_slice(&77u64.to_le_bytes());
+        payload.push(9);
+        payload.extend_from_slice(&[0u8; 64]);
+        assert_eq!(decode_request(&payload), Err(ProtoError::UnknownCurve(9)));
+    }
+
+    #[test]
+    fn curve_mul_trailing_garbage_rejected() {
+        let wire = encode_request(
+            3,
+            &Request::CurveMul {
+                curve: CurveId::X25519,
+                scalar: [1u8; 32],
+                point: vec![2u8; 32],
+            },
+        );
+        let mut payload = wire[4..].to_vec();
+        payload.push(0x55);
         assert_eq!(decode_request(&payload), Err(ProtoError::Truncated));
     }
 

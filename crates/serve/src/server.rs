@@ -11,8 +11,8 @@
 //!            ┌───────▼──────────┐      ┌───────┴────────────┐
 //!            │ Coalescer        │ ───▶ │ executor × W:      │
 //!            │ window_us /      │flush │ execute_flush over │
-//!            │ max_batch /      │      │ FourQEngine batch  │
-//!            │ queue_cap        │      │ paths (N threads)  │
+//!            │ max_batch /      │      │ MultiCurveEngine   │
+//!            │ queue_cap        │      │ batches (N threads)│
 //!            └──────────────────┘      └────────────────────┘
 //! ```
 //!
@@ -29,10 +29,10 @@
 use crate::coalescer::{CoalesceStats, Coalescer, Enqueue};
 use crate::exec::{execute_flush, Pending};
 use crate::proto::{
-    decode_request, encode_response, FrameReader, Request, Response, Status, WireStats,
+    decode_request, encode_response, FrameReader, ProtoError, Request, Response, Status, WireStats,
 };
 use crate::tenant::TenantDirectory;
-use fourq_curve::FourQEngine;
+use fourq_curve::MultiCurveEngine;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -155,7 +155,7 @@ pub fn spawn_on(bind: &str, cfg: ServerConfig) -> std::io::Result<ServerHandle> 
     } else {
         cfg.threads
     };
-    let engine = Arc::new(FourQEngine::shared().with_threads(threads));
+    let engine = Arc::new(MultiCurveEngine::shared().with_threads(threads));
     let tenants = Arc::new(TenantDirectory::new(cfg.tenant_root));
     let coalescer = Arc::new(Coalescer::new(cfg.window_us, cfg.max_batch, cfg.queue_cap));
     let stop = Arc::new(AtomicBool::new(false));
@@ -361,10 +361,11 @@ fn dispatch(coalescer: &Coalescer<Pending>, conn: &mut Conn, tok: u64, frame: &[
                 reply_now(conn, id, Status::Busy, Vec::new());
             }
         },
-        Err(_) => {
-            // Framing is intact (the length prefix was valid) — answer
-            // Malformed with a best-effort id echo and keep the
-            // connection.
+        Err(e) => {
+            // Framing is intact (the length prefix was valid) — answer a
+            // typed error with a best-effort id echo and keep the
+            // connection: `UnknownCurve` when a well-formed `CurveMul`
+            // named a curve this server lacks, `Malformed` otherwise.
             let id = if frame.len() >= 10 {
                 let mut b = [0u8; 8];
                 b.copy_from_slice(&frame[2..10]);
@@ -372,7 +373,12 @@ fn dispatch(coalescer: &Coalescer<Pending>, conn: &mut Conn, tok: u64, frame: &[
             } else {
                 0
             };
-            reply_now(conn, id, Status::Malformed, Vec::new());
+            let status = if matches!(e, ProtoError::UnknownCurve(_)) {
+                Status::UnknownCurve
+            } else {
+                Status::Malformed
+            };
+            reply_now(conn, id, status, Vec::new());
         }
     }
 }

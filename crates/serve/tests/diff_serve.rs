@@ -5,11 +5,12 @@
 //! whether a request executes alone (`window_us = 0`) or lands in the
 //! middle of a coalesced flush, and whatever the engine's thread budget,
 //! the response bytes are the same. These tests drive a fixed workload
-//! of all six op kinds through real TCP connections under every
+//! of all seven op kinds — including mixed-curve `CurveMul` traffic over
+//! Fourℚ, X25519 and P-256 — through real TCP connections under every
 //! configuration in `{1, 4} threads × {0, 500} µs windows` and compare
 //! against locally computed expectations.
 
-use fourq_curve::{AffinePoint, FourQEngine};
+use fourq_curve::{AffinePoint, CurveId, FourQEngine, MultiCurveEngine};
 use fourq_fp::Scalar;
 use fourq_serve::proto::{Request, Status};
 use fourq_serve::tenant::TenantKeys;
@@ -58,11 +59,30 @@ fn workload() -> Vec<Request> {
             tenant: i % 3,
             peer: dh::EphemeralSecret::from_seed(&[i as u8; 32]).public,
         });
+        // Mixed-curve traffic: one CurveMul per curve per round, all
+        // sharing the window with the Fourℚ ops above.
+        let meng = MultiCurveEngine::shared();
+        for curve in CurveId::ALL {
+            let mut scalar = [0u8; 32];
+            scalar[0] = i as u8;
+            scalar[8] = curve.byte() + 1;
+            reqs.push(Request::CurveMul {
+                curve,
+                scalar,
+                point: meng.generator_encoded(curve),
+            });
+        }
     }
     // An invalid point: decode fails, response must be Failed.
     reqs.push(Request::ScalarMul {
         scalar: Scalar::from_u64(5),
         point: [0xFF; 32],
+    });
+    // An off-curve P-256 CurveMul point: executes Failed, batch intact.
+    reqs.push(Request::CurveMul {
+        curve: CurveId::P256,
+        scalar: [2u8; 32],
+        point: vec![0xFF; 64],
     });
     reqs
 }
@@ -136,6 +156,14 @@ fn expected() -> Vec<(Status, Vec<u8>)> {
                 let keys = TenantKeys::derive(ROOT, tenant);
                 (Status::Ok, keys.dh.agree(&peer).expect("agree").to_vec())
             }
+            Request::CurveMul {
+                curve,
+                scalar,
+                point,
+            } => match MultiCurveEngine::shared().curve_mul(curve, &scalar, &point) {
+                Ok(bytes) => (Status::Ok, bytes),
+                Err(_) => (Status::Failed, Vec::new()),
+            },
             Request::Stats => unreachable!("workload has no stats probes"),
         })
         .collect()

@@ -2,10 +2,11 @@
 //! round-trips, and no truncation, oversizing or garbage input can make
 //! the decoder panic (errors only).
 
+use fourq_curve::CurveId;
 use fourq_fp::Scalar;
 use fourq_serve::proto::{
-    decode_request, decode_response, encode_request, encode_response, FrameReader, ProtoError,
-    Request, Response, Status, HEADER_LEN, MAX_FRAME, PROTO_VERSION,
+    decode_request, decode_response, encode_request, encode_response, FrameReader, OpKind,
+    ProtoError, Request, Response, Status, HEADER_LEN, MAX_FRAME, PROTO_VERSION,
 };
 use fourq_testkit::{Arbitrary, TestRng};
 
@@ -13,7 +14,7 @@ use fourq_testkit::{Arbitrary, TestRng};
 /// point/key bytes — validity of the *contents* is an execution concern,
 /// not a protocol one).
 fn arbitrary_request(rng: &mut TestRng) -> Request {
-    match rng.below(7) {
+    match rng.below(8) {
         0 => Request::ScalarMul {
             scalar: Scalar::arbitrary(rng),
             point: <[u8; 32]>::arbitrary(rng),
@@ -39,6 +40,16 @@ fn arbitrary_request(rng: &mut TestRng) -> Request {
             tenant: rng.next_u64(),
             peer: <[u8; 32]>::arbitrary(rng),
         },
+        6 => {
+            let curve = CurveId::ALL[rng.below(3) as usize];
+            let mut point = vec![0u8; curve.point_len()];
+            rng.fill_bytes(&mut point);
+            Request::CurveMul {
+                curve,
+                scalar: <[u8; 32]>::arbitrary(rng),
+                point,
+            }
+        }
         _ => Request::Stats,
     }
 }
@@ -106,6 +117,7 @@ fn truncation_never_panics() {
                     | Request::FixedBaseMul { .. }
                     | Request::Ecdh { .. }
                     | Request::Stats
+                    | Request::CurveMul { .. }
             ) && cut > HEADER_LEN
             {
                 assert!(
@@ -156,6 +168,30 @@ fn bad_version_and_bad_tag_are_rejected() {
         decode_request(&payload),
         Err(ProtoError::BadTag(0xEE))
     ));
+}
+
+/// Every non-implemented curve byte in a `CurveMul` frame is the typed
+/// [`ProtoError::UnknownCurve`] — never a panic, never a silent parse —
+/// regardless of how much payload follows the curve byte.
+#[test]
+fn unknown_curve_bytes_are_typed_errors() {
+    let mut rng = TestRng::from_seed(0xc1d);
+    for byte in 3u8..=255 {
+        let mut payload = vec![PROTO_VERSION, OpKind::CurveMul.as_u8()];
+        payload.extend_from_slice(&rng.next_u64().to_le_bytes());
+        payload.push(byte);
+        // Vary the tail: empty, short, and full-size bodies all take the
+        // typed error path (the curve byte is checked first).
+        let tail = rng.range_usize(0, 97);
+        let mut body = vec![0u8; tail];
+        rng.fill_bytes(&mut body);
+        payload.extend_from_slice(&body);
+        assert_eq!(
+            decode_request(&payload),
+            Err(ProtoError::UnknownCurve(byte)),
+            "curve byte {byte}"
+        );
+    }
 }
 
 #[test]

@@ -1,8 +1,9 @@
 //! End-to-end server behaviour: backpressure, malformed input handling,
 //! connection lifecycle, and the wire stats probe.
 
+use fourq_curve::{CurveId, MultiCurveEngine};
 use fourq_fp::Scalar;
-use fourq_serve::proto::{Request, Status, MAX_FRAME, PROTO_VERSION};
+use fourq_serve::proto::{OpKind, Request, Status, MAX_FRAME, PROTO_VERSION};
 use fourq_serve::{Client, ServerConfig};
 
 fn quiet_server(cfg: ServerConfig) -> fourq_serve::ServerHandle {
@@ -75,6 +76,46 @@ fn malformed_frame_answers_and_keeps_the_connection() {
         })
         .expect("call after malformed");
     assert_eq!(resp.status, Status::Ok);
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_curve_id_answers_typed_frame_and_keeps_connection() {
+    let handle = quiet_server(ServerConfig::default());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // A well-framed CurveMul naming curve id 7: the server answers the
+    // typed UnknownCurve status with the id echoed, not Malformed, and
+    // does not drop the connection.
+    let mut payload = vec![PROTO_VERSION, OpKind::CurveMul.as_u8()];
+    payload.extend_from_slice(&91u64.to_le_bytes());
+    payload.push(7); // unknown curve byte
+    payload.extend_from_slice(&[0u8; 64]); // scalar + point-sized tail
+    let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&payload);
+    client.send_raw(&frame).expect("send raw");
+    let resp = client.recv().expect("recv");
+    assert_eq!((resp.id, resp.status), (91, Status::UnknownCurve));
+
+    // The same connection still serves real multi-curve work.
+    let eng = MultiCurveEngine::shared();
+    for curve in CurveId::ALL {
+        let scalar = [5u8; 32];
+        let point = eng.generator_encoded(curve);
+        let resp = client
+            .call(&Request::CurveMul {
+                curve,
+                scalar,
+                point: point.clone(),
+            })
+            .expect("curve_mul call");
+        assert_eq!(resp.status, Status::Ok, "{curve}");
+        assert_eq!(
+            resp.payload,
+            eng.curve_mul(curve, &scalar, &point).expect("one-shot"),
+            "{curve}"
+        );
+    }
     handle.shutdown();
 }
 

@@ -22,9 +22,12 @@
 //!   register-file image. Structurally invisible by design: detection
 //!   must come from the runtime audit.
 
+use fourq_baselines::p256::{Affine, P256};
+use fourq_baselines::x25519::X25519;
 use fourq_cpu::{verify, CheckLevel, CompiledKernel};
-use fourq_curve::AffinePoint;
-use fourq_fp::{Fp, Fp2, Scalar};
+use fourq_curve::{AffinePoint, CurveId};
+use fourq_fp::{Fp, Fp2, Scalar, U256};
+use fourq_trace::{mont_field, Word};
 
 use crate::TestRng;
 
@@ -121,38 +124,80 @@ impl CampaignReport {
 /// Detection scalars for the runtime net: a handful of fixed values that
 /// together exercise all digit positions and table entries many times
 /// over, so a surviving data fault has no digit pattern to hide behind.
-fn audit_scalars(rng: &mut TestRng) -> Vec<Scalar> {
-    let mut v = vec![Scalar::from_u64(1), Scalar::from_u64(0x9e37_79b9_7f4a_7c15)];
+/// Raw little-endian bytes, interpreted per curve by [`detect`].
+fn audit_scalars(rng: &mut TestRng) -> Vec<[u8; 32]> {
+    let mut one = [0u8; 32];
+    one[0] = 1;
+    let mut golden = [0u8; 32];
+    golden[..8].copy_from_slice(&0x9e37_79b9_7f4a_7c15u64.to_le_bytes());
+    let mut v = vec![one, golden];
     for _ in 0..4 {
         let mut bytes = [0u8; 32];
         rng.fill_bytes(&mut bytes);
-        v.push(Scalar::from_le_bytes(&bytes));
+        v.push(bytes);
     }
     v
 }
 
+/// 64-byte little-endian `x ‖ y` encoding of a P-256 affine point
+/// (all-zero = infinity) — the `execute_p256` wire encoding.
+fn p256_bytes(pt: &Affine) -> [u8; 64] {
+    let mut out = [0u8; 64];
+    if let Affine::Point { x, y } = pt {
+        out[..32].copy_from_slice(&x.to_le_bytes());
+        out[32..].copy_from_slice(&y.to_le_bytes());
+    }
+    out
+}
+
 /// Runs the detection pipeline on a corrupted kernel: full static
-/// verification first, then the runtime audit against the software
-/// library.
-fn detect(kernel: &CompiledKernel, scalars: &[Scalar]) -> Detection {
+/// verification first, then the runtime audit against the curve's
+/// software baseline — the kernel's own curve decides which.
+fn detect(kernel: &CompiledKernel, scalars: &[[u8; 32]]) -> Detection {
     let report = verify(kernel, CheckLevel::Full);
     if let Some(first) = report.findings.first() {
         return Detection::Static { rule: first.rule() };
     }
-    let g = AffinePoint::generator();
-    for k in scalars {
+    for kb in scalars {
         // ct: allow(R1) reason="audit scalars are fixed public test vectors, not live key material"
-        match kernel.execute(&g, k) {
-            Err(_) => return Detection::Runtime,
-            Ok(got) => {
-                let want = g.mul(k);
-                // ct: allow(R1) reason="correctness audit over public test vectors"
-                // ct: allow(R4) reason="correctness audit over public test vectors"
-                if (got.x, got.y) != (want.x, want.y) {
-                    // ct: allow(R6) reason="early exit reports a detected fault, a public outcome"
-                    return Detection::Runtime;
+        let diverged = match kernel.curve {
+            CurveId::FourQ => {
+                let g = AffinePoint::generator();
+                let k = Scalar::from_le_bytes(kb);
+                match kernel.execute(&g, &k) {
+                    Err(_) => true,
+                    Ok(got) => {
+                        let want = g.mul(&k);
+                        // ct: allow(R1) reason="correctness audit over public test vectors"
+                        // ct: allow(R4) reason="correctness audit over public test vectors"
+                        (got.x, got.y) != (want.x, want.y)
+                    }
                 }
             }
+            CurveId::X25519 => {
+                let ctx = X25519::new();
+                let mut base = [0u8; 32];
+                base[0] = 9;
+                match kernel.execute_x25519(kb, &base) {
+                    Err(_) => true,
+                    // ct: allow(R4) reason="correctness audit over public test vectors"
+                    Ok(got) => got != ctx.ladder(kb, &base),
+                }
+            }
+            CurveId::P256 => {
+                let ctx = P256::new();
+                let g = ctx.generator_affine();
+                let k = U256::from_le_bytes(kb);
+                match kernel.execute_p256(kb, &p256_bytes(&g)) {
+                    Err(_) => true,
+                    // ct: allow(R4) reason="correctness audit over public test vectors"
+                    Ok(got) => got != p256_bytes(&ctx.scalar_mul_complete(&k, &g)),
+                }
+            }
+        };
+        if diverged {
+            // ct: allow(R6) reason="early exit reports a detected fault, a public outcome"
+            return Detection::Runtime;
         }
     }
     Detection::Undetected
@@ -170,6 +215,27 @@ fn flip_fp2_bit(v: Fp2, bit: u32) -> Fp2 {
         out.im = Fp::from_u128(v.im.to_u128() ^ (1u128 << (b - 127)));
     }
     out
+}
+
+/// Single-bit corruption of a register-file word, in whatever field the
+/// word lives. Base-field flips stay strictly below the modulus' top bit
+/// and reduce once afterwards, so the corrupted residue is guaranteed to
+/// differ from the original mod p (`v ^ 2^b ≢ v` because `2^b < p`).
+fn flip_word_bit(w: Word, bit: u32) -> Word {
+    match w {
+        Word::Fp2(v) => Word::Fp2(flip_fp2_bit(v, bit)),
+        Word::Fe(c, v) => {
+            let p = mont_field(c).p;
+            let b = bit % (p.bits() - 1);
+            let mut limbs = v.0;
+            limbs[(b / 64) as usize] ^= 1 << (b % 64);
+            let mut flipped = U256(limbs);
+            if let Some(reduced) = flipped.checked_sub(&p) {
+                flipped = reduced;
+            }
+            Word::Fe(c, flipped)
+        }
+    }
 }
 
 fn inject_rom_word(kernel: &CompiledKernel, rng: &mut TestRng) -> (CompiledKernel, String) {
@@ -267,12 +333,19 @@ fn inject_constant(kernel: &CompiledKernel, rng: &mut TestRng) -> (CompiledKerne
     let mut k = kernel.clone();
     // Only the lifted constants: the runtime inputs (Px/Py) are rebound
     // on every execute, so a flip there would be silently repaired.
+    // P-256's `Ry0` is also off the surface: it is the Y of the
+    // accumulator's homogeneous identity (0 : 1 : 0), and the complete
+    // formulas are homogeneous, so flipping it to any nonzero value is a
+    // global projective scaling the final Z^(p−2) normalisation quotients
+    // out — no scalar and no point can ever surface the fault in an
+    // output, leaving nothing for a detector to detect.
     let constants: Vec<usize> = (0..k.trace.inputs.len())
         .filter(|id| !k.trace.runtime_ids.contains(id))
+        .filter(|&id| k.trace.inputs[id].0 != "Ry0")
         .collect();
     let id = constants[rng.below(constants.len() as u64) as usize];
     let bit = rng.below(254) as u32;
-    k.trace.inputs[id].1 = flip_fp2_bit(k.trace.inputs[id].1, bit);
+    k.trace.inputs[id].1 = flip_word_bit(k.trace.inputs[id].1, bit);
     let site = format!("input {id} ({}) bit {bit}", k.trace.inputs[id].0);
     (k, site)
 }
@@ -343,6 +416,42 @@ mod tests {
                     o.detection
                 );
             }
+        }
+    }
+
+    #[test]
+    fn x25519_campaign_detects_everything() {
+        let kernel = fourq_cpu::shared_kernel_for(CurveId::X25519, &MachineConfig::paper(), 0)
+            .expect("compiles");
+        let report = run_campaign(kernel, 8, 0x25519);
+        assert_eq!(report.outcomes.len(), 8);
+        if let Some(o) = report.undetected().first() {
+            panic!("undetected fault: {:?} at {}", o.class, o.site);
+        }
+    }
+
+    #[test]
+    fn p256_campaign_smoke() {
+        let kernel = fourq_cpu::shared_kernel_for(CurveId::P256, &MachineConfig::paper(), 0)
+            .expect("compiles");
+        let report = run_campaign(kernel, 4, 0x256);
+        assert_eq!(report.outcomes.len(), 4);
+        if let Some(o) = report.undetected().first() {
+            panic!("undetected fault: {:?} at {}", o.class, o.site);
+        }
+    }
+
+    #[test]
+    fn p256_identity_y_is_off_the_constant_surface() {
+        // Seed 5 used to draw `Ry0` — the projective-scaling-only
+        // constant whose faults are output-invariant by homogeneity —
+        // and report it undetected. It must no longer be injectable.
+        let kernel = fourq_cpu::shared_kernel_for(CurveId::P256, &MachineConfig::paper(), 0)
+            .expect("compiles");
+        let report = run_campaign(kernel, 8, 5);
+        assert!(!report.outcomes.iter().any(|o| o.site.contains("Ry0")));
+        if let Some(o) = report.undetected().first() {
+            panic!("undetected fault: {:?} at {}", o.class, o.site);
         }
     }
 

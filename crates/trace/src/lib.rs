@@ -33,10 +33,11 @@ mod programs;
 mod tracer;
 
 pub use programs::{
-    digit_stream, trace_double_add_iteration, trace_scalar_mul, trace_scalar_mul_for,
-    ScalarMulTrace,
+    digit_stream, p256_digit_stream, trace_double_add_iteration, trace_p256_scalar_mul,
+    trace_scalar_mul, trace_scalar_mul_for, trace_x25519_ladder, x25519_digit_stream, P256Trace,
+    ScalarMulTrace, X25519Trace,
 };
 pub use tracer::{
-    DigitStream, Mux, Node, NodeId, OpKind, OpStats, Operand, Selector, Trace, TraceError,
-    TracedFp2, Tracer, Unit,
+    mont_field, DigitStream, Mux, Node, NodeId, OpKind, OpStats, Operand, Selector, Trace,
+    TraceError, TracedFe, TracedFp2, Tracer, Unit, Word,
 };

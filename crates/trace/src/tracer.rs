@@ -2,7 +2,10 @@
 
 use core::cell::RefCell;
 use core::fmt;
-use fourq_fp::{Fp2, Fp2Like};
+use fourq_baselines::mont::{FeLike, MontField};
+use fourq_baselines::{p256::P256, x25519::X25519};
+use fourq_curve::CurveId;
+use fourq_fp::{Fp2, Fp2Like, U256};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -151,6 +154,128 @@ impl DigitStream {
     /// An empty stream, for programs without data-dependent routing.
     pub fn empty() -> DigitStream {
         DigitStream::default()
+    }
+}
+
+/// The Montgomery-field context a base-field curve's trace values live in.
+///
+/// Traces store base-field elements in Montgomery form so every recorded
+/// `Mul` costs exactly one hardware Montgomery multiplication — the same
+/// cost model the paper's Table II competitors ([17]/[18]) are built on.
+///
+/// # Panics
+///
+/// Panics for [`CurveId::FourQ`], whose traces carry `F_p²` words instead.
+pub fn mont_field(curve: CurveId) -> &'static MontField {
+    use std::sync::OnceLock;
+    static X25519_FIELD: OnceLock<MontField> = OnceLock::new();
+    static P256_FIELD: OnceLock<MontField> = OnceLock::new();
+    match curve {
+        CurveId::FourQ => panic!("Fourℚ traces use F_p² words, not a Montgomery base field"),
+        CurveId::X25519 => X25519_FIELD.get_or_init(|| *X25519::new().field()),
+        CurveId::P256 => P256_FIELD.get_or_init(|| P256::new().field),
+    }
+}
+
+/// A value recorded in a trace: an `F_p²` element for Fourℚ programs, or a
+/// base-field element in Montgomery form for X25519 / P-256 programs.
+///
+/// Every value of one trace is the same variant — the datapath word width
+/// is a property of the compiled kernel, not of individual registers — and
+/// [`Trace::validate`] relies on [`Word::eval`] to enforce it dynamically
+/// (mixed-variant arithmetic panics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Word {
+    /// An `F_p²` element (Fourℚ).
+    Fp2(Fp2),
+    /// A base-field element of `curve`'s field, Montgomery form.
+    Fe(CurveId, U256),
+}
+
+impl Word {
+    /// The additive identity in `curve`'s word type.
+    pub fn zero(curve: CurveId) -> Word {
+        match curve {
+            CurveId::FourQ => Word::Fp2(Fp2::ZERO),
+            c => Word::Fe(c, U256::ZERO),
+        }
+    }
+
+    /// The `F_p²` payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a base-field word.
+    pub fn as_fp2(self) -> Fp2 {
+        match self {
+            Word::Fp2(v) => v,
+            Word::Fe(c, _) => panic!("word is a {c} base-field element, not F_p²"),
+        }
+    }
+
+    /// The base-field payload (Montgomery form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is an `F_p²` word.
+    pub fn as_fe(self) -> U256 {
+        match self {
+            Word::Fe(_, v) => v,
+            Word::Fp2(_) => panic!("word is an F_p² element, not a base-field element"),
+        }
+    }
+
+    /// Applies one microinstruction to concrete words — the single
+    /// arithmetic definition shared by [`Trace::self_check`], the
+    /// scheduler simulators and kernel replay, so every layer computes
+    /// with identical semantics.
+    ///
+    /// `Conj` on a base field is the identity (conjugation is an `F_p²`
+    /// notion); base-field programs simply never emit it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a missing/extra second operand or mixed-variant operands.
+    ///
+    /// Inline: this sits on the kernel replay hot path (one call per
+    /// microinstruction), where the variant tag is loop-invariant and the
+    /// field arithmetic must inline into the caller.
+    #[inline]
+    pub fn eval(kind: OpKind, a: Word, b: Option<Word>) -> Word {
+        match a {
+            Word::Fp2(x) => {
+                let rhs = |b: Option<Word>| b.expect("binary op needs a second operand").as_fp2();
+                Word::Fp2(match kind {
+                    OpKind::Mul => x.mul_karatsuba(&rhs(b)),
+                    OpKind::Add => x + rhs(b),
+                    OpKind::Sub => x - rhs(b),
+                    OpKind::Sqr => x.square(),
+                    OpKind::Neg => -x,
+                    OpKind::Conj => x.conj(),
+                })
+            }
+            Word::Fe(c, x) => {
+                let f = mont_field(c);
+                let rhs = |b: Option<Word>| match b.expect("binary op needs a second operand") {
+                    Word::Fe(c2, v) => {
+                        assert_eq!(c2, c, "operands belong to different base fields");
+                        v
+                    }
+                    Word::Fp2(_) => panic!("mixed F_p²/base-field operands"),
+                };
+                Word::Fe(
+                    c,
+                    match kind {
+                        OpKind::Mul => f.mul(x, rhs(b)),
+                        OpKind::Add => f.add(x, rhs(b)),
+                        OpKind::Sub => f.sub(x, rhs(b)),
+                        OpKind::Sqr => f.sqr(x),
+                        OpKind::Neg => f.neg(x),
+                        OpKind::Conj => x,
+                    },
+                )
+            }
+        }
     }
 }
 
@@ -316,8 +441,12 @@ impl std::error::Error for TraceError {}
 /// representative digit stream (for functional checks).
 #[derive(Clone, Debug)]
 pub struct Trace {
+    /// The curve this program computes on; fixes the word type of every
+    /// input, value and output ([`Word::Fp2`] for Fourℚ, [`Word::Fe`]
+    /// otherwise).
+    pub curve: CurveId,
     /// Named inputs and lifted constants.
-    pub inputs: Vec<(String, Fp2)>,
+    pub inputs: Vec<(String, Word)>,
     /// Ids of inputs that are bound fresh on every execution (the base
     /// point's coordinates); the remaining inputs are lifted constants
     /// baked into a compiled kernel's register file image.
@@ -331,7 +460,7 @@ pub struct Trace {
     pub outputs: Vec<(String, NodeId)>,
     /// Value of every id (inputs followed by node results), as recorded
     /// under [`Trace::digits`].
-    pub values: Vec<Fp2>,
+    pub values: Vec<Word>,
     /// The representative digit stream the values were recorded under.
     pub digits: DigitStream,
 }
@@ -340,6 +469,12 @@ impl Trace {
     /// The id of the first operation (inputs come before).
     pub fn first_op_id(&self) -> NodeId {
         self.inputs.len()
+    }
+
+    /// The zero word of this trace's curve (the register-file reset value
+    /// simulators use for uninitialised registers).
+    pub fn zero_word(&self) -> Word {
+        Word::zero(self.curve)
     }
 
     /// Operation-count statistics.
@@ -496,24 +631,11 @@ impl Trace {
     /// `false` on any mismatch. This is the independent functional audit
     /// of the recording itself.
     pub fn self_check(&self) -> bool {
-        let mut vals: Vec<Fp2> = self.inputs.iter().map(|(_, v)| *v).collect();
+        let mut vals: Vec<Word> = self.inputs.iter().map(|(_, v)| *v).collect();
         for n in &self.nodes {
             let a = vals[self.resolve(n.a, &self.digits)];
-            let fetch_b = |b: Option<Operand>, what: &str| {
-                vals[self.resolve(
-                    b.unwrap_or_else(|| panic!("{what} is binary")),
-                    &self.digits,
-                )]
-            };
-            let v = match n.kind {
-                OpKind::Mul => a.mul_karatsuba(&fetch_b(n.b, "mul")),
-                OpKind::Add => a + fetch_b(n.b, "add"),
-                OpKind::Sub => a - fetch_b(n.b, "sub"),
-                OpKind::Sqr => a.square(),
-                OpKind::Neg => -a,
-                OpKind::Conj => a.conj(),
-            };
-            vals.push(v);
+            let b = n.b.map(|b| vals[self.resolve(b, &self.digits)]);
+            vals.push(Word::eval(n.kind, a, b));
         }
         vals == self.values
     }
@@ -594,14 +716,14 @@ impl Trace {
     }
 }
 
-#[derive(Default)]
 struct TraceBuilder {
-    inputs: Vec<(String, Fp2)>,
+    curve: CurveId,
+    inputs: Vec<(String, Word)>,
     runtime_ids: Vec<NodeId>,
     nodes: Vec<Node>,
     muxes: Vec<Mux>,
     outputs: Vec<(String, NodeId)>,
-    values: Vec<Fp2>,
+    values: Vec<Word>,
     digits: DigitStream,
     /// Structural CSE map: (kind, a, b) -> existing id. The paper's ROM
     /// stores each microinstruction once; re-recorded identical ops (e.g.
@@ -609,6 +731,22 @@ struct TraceBuilder {
     /// Mux operands carry the mux *index*, which is unique per recorded
     /// mux, so instructions reading different muxes never merge.
     memo: HashMap<(OpKind, Operand, Option<Operand>), NodeId>,
+}
+
+impl Default for TraceBuilder {
+    fn default() -> TraceBuilder {
+        TraceBuilder {
+            curve: CurveId::FourQ,
+            inputs: Vec::new(),
+            runtime_ids: Vec::new(),
+            nodes: Vec::new(),
+            muxes: Vec::new(),
+            outputs: Vec::new(),
+            values: Vec::new(),
+            digits: DigitStream::default(),
+            memo: HashMap::new(),
+        }
+    }
 }
 
 /// Records microinstructions executed through [`TracedFp2`] handles.
@@ -635,24 +773,98 @@ impl Tracer {
         t
     }
 
+    /// Creates a tracer for a base-field curve's program: values are
+    /// [`Word::Fe`] elements of `curve`'s Montgomery field, handled
+    /// through [`TracedFe`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`CurveId::FourQ`] — Fourℚ programs trace `F_p²`
+    /// formulas through [`Tracer::with_digits`] and [`TracedFp2`].
+    pub fn for_curve(curve: CurveId, digits: DigitStream) -> Tracer {
+        assert!(
+            curve != CurveId::FourQ,
+            "Fourℚ programs use Tracer::with_digits and TracedFp2"
+        );
+        let t = Tracer::default();
+        {
+            let mut b = t.inner.borrow_mut();
+            b.curve = curve;
+            b.digits = digits;
+        }
+        t
+    }
+
+    /// The curve this tracer records for.
+    pub fn curve(&self) -> CurveId {
+        self.inner.borrow().curve
+    }
+
     /// Registers a named *runtime* input — rebound on every execution of
     /// a compiled kernel (the base point's coordinates) — and returns its
     /// handle.
     pub fn input(&self, name: &str, value: Fp2) -> TracedFp2 {
-        let v = self.register(name, value);
-        if let Operand::Val(id) = v.op {
-            self.inner.borrow_mut().runtime_ids.push(id);
+        let op = self.register_word(name, Word::Fp2(value), true);
+        TracedFp2 {
+            op,
+            value,
+            tracer: self.clone(),
         }
-        v
     }
 
     /// Registers a named lifted *constant* — baked into the program and
     /// identical for every execution — and returns its handle.
     pub fn constant(&self, name: &str, value: Fp2) -> TracedFp2 {
-        self.register(name, value)
+        let op = self.register_word(name, Word::Fp2(value), false);
+        TracedFp2 {
+            op,
+            value,
+            tracer: self.clone(),
+        }
     }
 
-    fn register(&self, name: &str, value: Fp2) -> TracedFp2 {
+    /// Registers a named runtime base-field input (Montgomery form).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a Fourℚ tracer (use [`Tracer::input`]).
+    pub fn input_fe(&self, name: &str, value: U256) -> TracedFe {
+        let curve = self.fe_curve();
+        let op = self.register_word(name, Word::Fe(curve, value), true);
+        TracedFe {
+            op,
+            value,
+            curve,
+            tracer: self.clone(),
+        }
+    }
+
+    /// Registers a named lifted base-field constant (Montgomery form).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a Fourℚ tracer (use [`Tracer::constant`]).
+    pub fn constant_fe(&self, name: &str, value: U256) -> TracedFe {
+        let curve = self.fe_curve();
+        let op = self.register_word(name, Word::Fe(curve, value), false);
+        TracedFe {
+            op,
+            value,
+            curve,
+            tracer: self.clone(),
+        }
+    }
+
+    fn fe_curve(&self) -> CurveId {
+        let curve = self.inner.borrow().curve;
+        assert!(
+            curve != CurveId::FourQ,
+            "base-field handles require a Tracer::for_curve tracer"
+        );
+        curve
+    }
+
+    fn register_word(&self, name: &str, value: Word, runtime: bool) -> Operand {
         let mut b = self.inner.borrow_mut();
         assert!(
             b.nodes.is_empty(),
@@ -661,11 +873,10 @@ impl Tracer {
         let id = b.inputs.len();
         b.inputs.push((name.to_string(), value));
         b.values.push(value);
-        TracedFp2 {
-            op: Operand::Val(id),
-            value,
-            tracer: self.clone(),
+        if runtime {
+            b.runtime_ids.push(id);
         }
+        Operand::Val(id)
     }
 
     /// Records an operand multiplexer over `cands` and returns its
@@ -683,26 +894,53 @@ impl Tracer {
     /// to a different tracer, or if the representative stream does not
     /// cover the selector's digit position.
     pub fn mux(&self, sel: Selector, cands: &[&TracedFp2]) -> TracedFp2 {
-        assert_eq!(cands.len(), sel.arity(), "mux arity mismatch");
         for c in cands {
             assert!(
                 Rc::ptr_eq(&self.inner, &c.tracer.inner),
                 "operands belong to different tracers"
             );
         }
-        let mut t = self.inner.borrow_mut();
-        let pick = sel.select(&t.digits);
-        assert!(pick < cands.len(), "representative digit out of range");
-        let m = t.muxes.len();
-        t.muxes.push(Mux {
-            sel,
-            cands: cands.iter().map(|c| c.op).collect(),
-        });
+        let ops: Vec<Operand> = cands.iter().map(|c| c.op).collect();
+        let (op, pick) = self.mux_word(sel, ops);
         TracedFp2 {
-            op: Operand::Mux(m),
+            op,
             value: cands[pick].value,
             tracer: self.clone(),
         }
+    }
+
+    /// The base-field counterpart of [`Tracer::mux`]: records an operand
+    /// multiplexer over [`TracedFe`] candidates.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Tracer::mux`].
+    pub fn mux_fe(&self, sel: Selector, cands: &[&TracedFe]) -> TracedFe {
+        for c in cands {
+            assert!(
+                Rc::ptr_eq(&self.inner, &c.tracer.inner),
+                "operands belong to different tracers"
+            );
+        }
+        let curve = self.fe_curve();
+        let ops: Vec<Operand> = cands.iter().map(|c| c.op).collect();
+        let (op, pick) = self.mux_word(sel, ops);
+        TracedFe {
+            op,
+            value: cands[pick].value,
+            curve,
+            tracer: self.clone(),
+        }
+    }
+
+    fn mux_word(&self, sel: Selector, ops: Vec<Operand>) -> (Operand, usize) {
+        assert_eq!(ops.len(), sel.arity(), "mux arity mismatch");
+        let mut t = self.inner.borrow_mut();
+        let pick = sel.select(&t.digits);
+        assert!(pick < ops.len(), "representative digit out of range");
+        let m = t.muxes.len();
+        t.muxes.push(Mux { sel, cands: ops });
+        (Operand::Mux(m), pick)
     }
 
     /// Marks a value as a named output of the program.
@@ -716,7 +954,24 @@ impl Tracer {
             Rc::ptr_eq(&self.inner, &v.tracer.inner),
             "output value belongs to a different tracer"
         );
-        let Operand::Val(id) = v.op else {
+        self.mark_output_op(name, v.op);
+    }
+
+    /// Marks a base-field value as a named output of the program.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Tracer::mark_output`].
+    pub fn mark_output_fe(&self, name: &str, v: &TracedFe) {
+        assert!(
+            Rc::ptr_eq(&self.inner, &v.tracer.inner),
+            "output value belongs to a different tracer"
+        );
+        self.mark_output_op(name, v.op);
+    }
+
+    fn mark_output_op(&self, name: &str, op: Operand) {
+        let Operand::Val(id) = op else {
             panic!("outputs must be concrete values, not mux routes");
         };
         self.inner.borrow_mut().outputs.push((name.to_string(), id));
@@ -726,6 +981,7 @@ impl Tracer {
     pub fn finish(&self) -> Trace {
         let b = self.inner.borrow();
         Trace {
+            curve: b.curve,
             inputs: b.inputs.clone(),
             runtime_ids: b.runtime_ids.clone(),
             nodes: b.nodes.clone(),
@@ -747,28 +1003,53 @@ impl Tracer {
                 "operands belong to different tracers"
             );
         }
-        let mut t = self.inner.borrow_mut();
-        let key = (kind, a.op, b.map(|x| x.op));
-        if let Some(&id) = t.memo.get(&key) {
-            return TracedFp2 {
-                op: Operand::Val(id),
-                value: t.values[id],
-                tracer: self.clone(),
-            };
-        }
-        let id = t.inputs.len() + t.nodes.len();
-        t.nodes.push(Node {
-            kind,
-            a: a.op,
-            b: b.map(|x| x.op),
-        });
-        t.values.push(value);
-        t.memo.insert(key, id);
+        let (op, word) = self.record_word(kind, a.op, b.map(|x| x.op), Word::Fp2(value));
         TracedFp2 {
-            op: Operand::Val(id),
-            value,
+            op,
+            value: word.as_fp2(),
             tracer: self.clone(),
         }
+    }
+
+    fn record_fe(&self, kind: OpKind, a: &TracedFe, b: Option<&TracedFe>, value: U256) -> TracedFe {
+        assert!(
+            Rc::ptr_eq(&self.inner, &a.tracer.inner),
+            "operands belong to different tracers"
+        );
+        if let Some(b) = b {
+            assert!(
+                Rc::ptr_eq(&self.inner, &b.tracer.inner),
+                "operands belong to different tracers"
+            );
+            assert_eq!(a.curve, b.curve, "operands belong to different base fields");
+        }
+        let word = Word::Fe(a.curve, value);
+        let (op, word) = self.record_word(kind, a.op, b.map(|x| x.op), word);
+        TracedFe {
+            op,
+            value: word.as_fe(),
+            curve: a.curve,
+            tracer: self.clone(),
+        }
+    }
+
+    fn record_word(
+        &self,
+        kind: OpKind,
+        a: Operand,
+        b: Option<Operand>,
+        value: Word,
+    ) -> (Operand, Word) {
+        let mut t = self.inner.borrow_mut();
+        let key = (kind, a, b);
+        if let Some(&id) = t.memo.get(&key) {
+            return (Operand::Val(id), t.values[id]);
+        }
+        let id = t.inputs.len() + t.nodes.len();
+        t.nodes.push(Node { kind, a, b });
+        t.values.push(value);
+        t.memo.insert(key, id);
+        (Operand::Val(id), value)
     }
 }
 
@@ -841,6 +1122,85 @@ impl Fp2Like for TracedFp2 {
     }
 }
 
+/// A base-field element (Montgomery form) that records every operation
+/// applied to it — the [`FeLike`] counterpart of [`TracedFp2`].
+///
+/// The shared curve formulas of `fourq-baselines`
+/// ([`fourq_baselines::x25519::ladder_step`],
+/// [`fourq_baselines::p256::add_complete`], …) are generic over `FeLike`,
+/// so the exact code path the host baseline executes is what gets recorded
+/// into the microinstruction trace.
+#[derive(Clone)]
+pub struct TracedFe {
+    op: Operand,
+    value: U256,
+    curve: CurveId,
+    tracer: Tracer,
+}
+
+impl TracedFe {
+    /// The operand this handle denotes (a value id or a mux route).
+    pub fn operand(&self) -> Operand {
+        self.op
+    }
+
+    /// The trace id of this value.
+    ///
+    /// # Panics
+    ///
+    /// Panics for mux-routed handles, which have no single id.
+    pub fn id(&self) -> NodeId {
+        match self.op {
+            Operand::Val(id) => id,
+            Operand::Mux(m) => panic!("mux route m{m} has no value id"),
+        }
+    }
+
+    /// The concrete value (Montgomery form) under the representative
+    /// digit stream.
+    pub fn value(&self) -> U256 {
+        self.value
+    }
+
+    /// The curve whose base field this element lives in.
+    pub fn curve(&self) -> CurveId {
+        self.curve
+    }
+}
+
+impl fmt::Debug for TracedFe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TracedFe({}, {:?} = {:?})",
+            self.curve, self.op, self.value
+        )
+    }
+}
+
+impl FeLike for TracedFe {
+    fn add(&self, rhs: &Self) -> Self {
+        let f = mont_field(self.curve);
+        self.tracer
+            .record_fe(OpKind::Add, self, Some(rhs), f.add(self.value, rhs.value))
+    }
+    fn sub(&self, rhs: &Self) -> Self {
+        let f = mont_field(self.curve);
+        self.tracer
+            .record_fe(OpKind::Sub, self, Some(rhs), f.sub(self.value, rhs.value))
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        let f = mont_field(self.curve);
+        self.tracer
+            .record_fe(OpKind::Mul, self, Some(rhs), f.mul(self.value, rhs.value))
+    }
+    fn sqr(&self) -> Self {
+        let f = mont_field(self.curve);
+        self.tracer
+            .record_fe(OpKind::Sqr, self, None, f.sqr(self.value))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -858,7 +1218,7 @@ mod tests {
         assert_eq!(tr.runtime_ids, vec![0, 1]);
         assert_eq!(tr.nodes.len(), 2);
         assert_eq!(tr.outputs, vec![("d".to_string(), 3)]);
-        assert_eq!(tr.values[3], Fp2::from(8u64));
+        assert_eq!(tr.values[3].as_fp2(), Fp2::from(8u64));
         assert!(tr.self_check());
         assert!(tr.validate().is_ok());
     }
@@ -950,7 +1310,7 @@ mod tests {
         let tr = t.finish();
         assert_eq!(tr.nodes.len(), 1);
         assert_eq!(tr.muxes.len(), 1);
-        assert_eq!(tr.values[2], Fp2::from(30u64));
+        assert_eq!(tr.values[2].as_fp2(), Fp2::from(30u64));
         assert!(tr.self_check());
         assert!(tr.validate().is_ok());
         // Resolution under the opposite digit picks a instead.
@@ -1045,6 +1405,53 @@ mod tests {
             cands: vec![Operand::Val(0); 2],
         });
         assert_eq!(bad.validate(), Err(TraceError::DigitOutOfRange { mux: 0 }));
+    }
+
+    #[test]
+    fn fe_words_record_and_self_check() {
+        let t = Tracer::for_curve(CurveId::P256, DigitStream::empty());
+        let f = mont_field(CurveId::P256);
+        let a = t.input_fe("a", f.enter(U256::from_u64(7)));
+        let b = t.constant_fe("b", f.enter(U256::from_u64(9)));
+        let c = a.mul(&b).add(&a).sqr(); // ((7·9)+7)² = 4900
+        t.mark_output_fe("c", &c);
+        let tr = t.finish();
+        assert_eq!(tr.curve, CurveId::P256);
+        assert_eq!(tr.runtime_ids, vec![0]);
+        assert_eq!(tr.nodes.len(), 3);
+        assert!(tr.self_check());
+        assert!(tr.validate().is_ok());
+        assert_eq!(f.leave(c.value()), U256::from_u64(4900));
+        assert_eq!(tr.zero_word(), Word::Fe(CurveId::P256, U256::ZERO));
+    }
+
+    #[test]
+    fn fe_mux_routes_by_digit_stream() {
+        let digits = DigitStream {
+            indices: vec![],
+            neg: vec![true],
+            corrected: false,
+        };
+        let t = Tracer::for_curve(CurveId::X25519, digits);
+        let f = mont_field(CurveId::X25519);
+        let a = t.input_fe("a", f.enter(U256::from_u64(10)));
+        let b = t.input_fe("b", f.enter(U256::from_u64(20)));
+        let m = t.mux_fe(Selector::SignNeg(0), &[&a, &b]);
+        assert_eq!(f.leave(m.value()), U256::from_u64(20));
+        let c = m.add(&a);
+        t.mark_output_fe("c", &c);
+        let tr = t.finish();
+        assert_eq!(tr.nodes.len(), 1);
+        assert_eq!(tr.muxes.len(), 1);
+        assert!(tr.self_check());
+        assert!(tr.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "Tracer::for_curve")]
+    fn fe_inputs_require_base_field_tracer() {
+        let t = Tracer::new();
+        let _ = t.input_fe("a", U256::ONE);
     }
 
     #[test]

@@ -71,8 +71,16 @@ fn pipeline_works_across_machine_configs() {
             .unwrap_or_else(|e| panic!("config {ci}: invalid schedule: {e}"));
         let sim = simulate(&recorded.trace, &sched, machine)
             .unwrap_or_else(|e| panic!("config {ci}: simulation failed: {e}"));
-        assert_eq!(sim.outputs[0].1, recorded.expected.x, "config {ci}");
-        assert_eq!(sim.outputs[1].1, recorded.expected.y, "config {ci}");
+        assert_eq!(
+            sim.outputs[0].1.as_fp2(),
+            recorded.expected.x,
+            "config {ci}"
+        );
+        assert_eq!(
+            sim.outputs[1].1.as_fp2(),
+            recorded.expected.y,
+            "config {ci}"
+        );
         assert!(sim.cycles >= lower_bound(&problem, machine), "config {ci}");
     }
 }

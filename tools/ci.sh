@@ -44,13 +44,15 @@ mkdir -p target/ci
 step "fourq-ctlint (constant-time taint lint)"
 cargo run --release -q -p fourq-ctlint -- --workspace --json target/ci/ctlint_report.json
 
-step "fourq-kernelcheck: static verify + 64-fault injection smoke"
-# Verifies the shared kernel for the default MachineConfig at both check
-# levels, then runs the single-bit fault-injection campaign; any live
-# finding or undetected fault fails the build. The campaign injects into
-# cloned kernels, so FOURQ_BENCH_FAST only shrinks unrelated budgets.
+step "fourq-kernelcheck: static verify + 64-fault injection smoke, all curves"
+# Verifies the shared kernels of all three curves (Fourℚ, X25519, P-256)
+# for the default MachineConfig at both check levels, then runs the
+# single-bit fault-injection campaign per curve; any live finding or
+# undetected fault on any curve fails the build. The campaign injects
+# into cloned kernels, so FOURQ_BENCH_FAST only shrinks unrelated
+# budgets.
 FOURQ_BENCH_FAST=1 cargo run --release -q -p fourq-kernelcheck --bin kernelcheck -- \
-    --level both --inject 64 --json target/ci/kernelcheck_report.json
+    --curve all --level both --inject 64 --json target/ci/kernelcheck_report.json
 
 step "bench smoke: batch groups + amortisation gate (FOURQ_BENCH_FAST=1)"
 # Runs the batch_* benchmark groups and fails if the measured
@@ -73,18 +75,22 @@ rm -f "$out"
 step "asic-smoke: paper-artifact binaries (FOURQ_BENCH_FAST=1)"
 # End-to-end smoke of the compile-once/execute-many ASIC pipeline: the
 # profiling claim, the Table I schedule (reduced search budgets under
-# FOURQ_BENCH_FAST), and the Fig. 4 voltage sweep, all through the
-# shared kernel cache.
+# FOURQ_BENCH_FAST), the Fig. 4 voltage sweep, and the measured
+# same-silicon Table II across all three curves, all through the shared
+# kernel cache.
 FOURQ_BENCH_FAST=1 cargo run --release -q -p fourq-bench --bin profile_ops > /dev/null
 FOURQ_BENCH_FAST=1 cargo run --release -q -p fourq-bench --bin table1_schedule > /dev/null
 FOURQ_BENCH_FAST=1 cargo run --release -q -p fourq-bench --bin fig4_voltage_sweep > /dev/null
+FOURQ_BENCH_FAST=1 cargo run --release -q -p fourq-bench --bin table2_report -- --effort 2 > /dev/null
 
-step "asic-smoke: kernel-cache amortisation tripwire (FOURQ_BENCH_FAST=1)"
+step "asic-smoke: kernel-cache amortisation tripwire, all curves (FOURQ_BENCH_FAST=1)"
 # Warm-cache kernel execute must be >=10x faster than the cold
-# compile+execute path, or the compile-once pipeline lost its point.
+# compile+execute path — on the Fourℚ kernel (asic_pipeline group) and
+# on every curve of the multi_curve group — or the compile-once
+# pipeline lost its point.
 out="$(mktemp)"
 FOURQ_BENCH_FAST=1 cargo run --release -q -p fourq-bench --bin microbench -- \
-    --filter asic --gate-kernel-cache --out "$out"
+    --filter asic,multi_curve --gate-kernel-cache --out "$out"
 rm -f "$out"
 
 step "serve-smoke: server binary + loadgen over loopback TCP"
