@@ -25,6 +25,11 @@
 //! the `multi_curve` group is in the run, the same floor applies to
 //! every curve's `(curve, machine, effort)` cache entry.
 //!
+//! `--gate-fleet` fails the run when the modeled 4-core fleet (2 ROM
+//! ports) falls below 2× the single-core modeled throughput — the
+//! tripwire for ROM-port arbitration in the capacity planner's fleet
+//! model. Alert-only on machines with fewer than 4 hardware threads.
+//!
 //! `--compare BASELINE.json` re-parses a previous report and fails when
 //! the median slowdown within any of `scalar_ops`, `parallel_ops` or
 //! `asic_pipeline` exceeds 25%. Alert-only when the baseline was
@@ -190,6 +195,67 @@ fn gate_kernel_cache(report: &BenchReport) -> Result<(), String> {
     Ok(())
 }
 
+/// The fleet-scaling gate (`--gate-fleet`): the modeled 4-core fleet
+/// (homogeneous Fourℚ cores sharing a 2-port table ROM, the same
+/// configuration `fleet_ops` times) must sustain at least this multiple
+/// of the modeled single-core throughput. The model is deterministic,
+/// so a miss means ROM-port arbitration started eating more than half
+/// the added cores — a real regression in either the fleet model or the
+/// kernel's fetch density. Below 4 hardware threads the gate is
+/// alert-only: the accompanying `fleet_ops` timings are unrepresentative
+/// there and CI should not hard-fail on such boxes.
+const GATE_FLEET_MIN: f64 = 2.0;
+
+fn gate_fleet(report: &BenchReport) -> Result<(), String> {
+    use fourq_sched::MachineConfig;
+    use fourq_tech::fleet::{simulate_fleet, CoreSpec, FleetConfig};
+
+    // Require the group in the run so a filtered-out report cannot pass
+    // the gate vacuously, and take hw_threads from the measurement.
+    let rec = report
+        .results
+        .iter()
+        .find(|r| r.group == "fleet_ops")
+        .ok_or("gate: fleet_ops group missing from this run")?;
+    let fp = &fourq_cpu::shared_kernel_for(fourq_curve::CurveId::FourQ, &MachineConfig::paper(), 2)
+        .map_err(|e| format!("gate: fourq kernel compiles: {e}"))?
+        .fingerprint;
+    let fleet = |cores: usize| {
+        let cfg = FleetConfig {
+            rom_ports: 2,
+            cores: (0..cores)
+                .map(|_| CoreSpec {
+                    name: "fourq".to_string(),
+                    cycles_per_op: fp.cycles,
+                    rom_reads_per_op: fp.mux_count as u64,
+                })
+                .collect(),
+        };
+        simulate_fleet(&cfg, 8 * fp.cycles).ops_per_cycle
+    };
+    let solo = fleet(1);
+    let quad = fleet(4);
+    let scaling = quad / solo;
+    let cores = rec.hw_threads;
+    eprintln!(
+        "gate: modeled fleet scaling {scaling:.2}x at 4 cores / 2 ROM ports \
+         ({solo:.6} -> {quad:.6} ops/cycle; floor {GATE_FLEET_MIN}x, \
+         {cores} hardware threads recorded)"
+    );
+    if scaling < GATE_FLEET_MIN {
+        let msg = format!(
+            "gate: 4-core modeled fleet throughput is only {scaling:.2}x single-core \
+             (floor {GATE_FLEET_MIN}x) — ROM-port arbitration regressed"
+        );
+        if cores < 4 {
+            eprintln!("{msg} (alert-only: {cores} hardware thread(s))");
+            return Ok(());
+        }
+        return Err(msg);
+    }
+    Ok(())
+}
+
 /// The regression tripwire (`--compare BASELINE.json`): for each group in
 /// [`COMPARE_GROUPS`], matching benches (same group/name/threads) are
 /// compared against the baseline file; the run fails when a group's
@@ -282,6 +348,7 @@ fn main() {
     let mut gate = false;
     let mut gate_par = false;
     let mut gate_kernel = false;
+    let mut gate_fleet_flag = false;
     let mut compare: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -296,6 +363,7 @@ fn main() {
             "--gate-batch" => gate = true,
             "--gate-parallel" => gate_par = true,
             "--gate-kernel-cache" => gate_kernel = true,
+            "--gate-fleet" => gate_fleet_flag = true,
             "--compare" => {
                 compare = Some(PathBuf::from(args.next().unwrap_or_else(|| {
                     eprintln!("--compare requires a baseline path");
@@ -305,7 +373,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: microbench [--out PATH] [--filter GROUPS] [--compare BASELINE] \
-                     [--gate-batch] [--gate-parallel] [--gate-kernel-cache]\n\
+                     [--gate-batch] [--gate-parallel] [--gate-kernel-cache] [--gate-fleet]\n\
                      \x20      GROUPS is a comma-separated list of group-name substrings"
                 );
                 return;
@@ -357,6 +425,12 @@ fn main() {
     }
     if gate_kernel {
         if let Err(e) = gate_kernel_cache(&report) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+    if gate_fleet_flag {
+        if let Err(e) = gate_fleet(&report) {
             eprintln!("{e}");
             std::process::exit(1);
         }

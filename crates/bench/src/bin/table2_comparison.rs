@@ -9,14 +9,44 @@
 
 use fourq_baselines::models::{self, headline, Platform};
 use fourq_baselines::{p256::P256, x25519::X25519};
-use fourq_bench::{cell, SimulatedDesign};
+use fourq_bench::cell;
+use fourq_bench::table2::measured_table;
+use fourq_sched::MachineConfig;
+
+/// Default ILS scheduling effort (matches the historical
+/// `SimulatedDesign::build(64)` numbers); override with `--effort N`.
+const DEFAULT_EFFORT: u32 = 64;
 
 fn main() {
+    let mut effort = DEFAULT_EFFORT;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--effort" => {
+                effort = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--effort requires a number");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: table2_comparison [--effort N]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
     println!("== Table II: comparison to prior art ==\n");
-    let design = SimulatedDesign::build(64);
-    let hi = design.at(1.20);
-    let lo = design.at(0.32);
-    let kge = design.area.total_kge();
+    // The same shared path `table2_report` prints from, so the two
+    // tables cannot drift apart (pinned by a test in fourq-bench).
+    let table = measured_table(&MachineConfig::paper(), effort);
+    let fourq = table.fourq();
+    let hi = table.operating_point(fourq, 1.20);
+    let lo = table.operating_point(fourq, 0.32);
+    let kge = table.area(fourq).total_kge();
 
     println!(
         "design                | platform      | curve      | cores | area      | VDD   | lat [ms]  | ops/s     | E/op [uJ] | lat*area"
@@ -60,7 +90,7 @@ fn main() {
 
     // Algorithmic shape check from our own implementations.
     println!("\n== algorithmic op-count comparison (our implementations) ==");
-    let fourq_mults = design.sim.sim.stats.mul_issued;
+    let fourq_mults = fourq.stats.mul_issued;
     let p256_ops = P256::scalar_mul_field_ops(256);
     let x25519_ops = X25519::ladder_field_ops();
     println!("  FourQ (this work)  : {fourq_mults} F_p^2-mult-unit ops (127-bit lanes, x3 F_p muls each)");

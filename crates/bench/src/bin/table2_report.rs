@@ -23,9 +23,8 @@
 //! dominated by operation *count*, which is exact.
 
 use fourq_bench::cell;
-use fourq_curve::CurveId;
+use fourq_bench::table2::measured_table;
 use fourq_sched::MachineConfig;
-use fourq_tech::SotbModel;
 
 /// Default ILS scheduling effort; override with `--effort N`.
 const DEFAULT_EFFORT: u32 = 8;
@@ -59,19 +58,12 @@ fn main() {
          \x20   same pipeline, same simulated datapath, same calibrated 65nm SOTB model)\n"
     );
 
-    // Compile every curve's kernel on the same machine; calibrate the
-    // technology model once, against the Fourℚ cycle count (the paper's
-    // anchor), and reuse it verbatim for the other curves.
-    let kernels: Vec<_> = CurveId::ALL
-        .iter()
-        .map(|&curve| {
-            let k = fourq_cpu::shared_kernel_for(curve, &machine, effort)
-                .unwrap_or_else(|e| panic!("{curve} kernel compiles: {e}"));
-            (curve, k)
-        })
-        .collect();
-    let fourq_cycles = kernels[0].1.fingerprint.cycles;
-    let tech = SotbModel::calibrate_paper(fourq_cycles);
+    // The shared Table II path: every curve's kernel on the same
+    // machine, one technology calibration against the Fourℚ cycle count
+    // (the paper's anchor) — the identical numbers `table2_comparison`
+    // prints for the "Ours" rows.
+    let table = measured_table(&machine, effort);
+    let fourq_cycles = table.fourq_cycles;
 
     println!(
         "curve      | cycles    | vs fourq | lb        | rom words | regs | VDD   | fmax MHz | lat [us]  | ops/s     | E/op [uJ]"
@@ -79,10 +71,10 @@ fn main() {
     println!(
         "-----------+-----------+----------+-----------+-----------+------+-------+----------+-----------+-----------+----------"
     );
-    for (curve, kernel) in &kernels {
+    for (curve, kernel) in &table.rows {
         let fp = &kernel.fingerprint;
         for vdd in [1.20, 0.32] {
-            let pt = tech.operating_point(vdd, fp.cycles);
+            let pt = table.operating_point(kernel, vdd);
             println!(
                 "{:<10} | {:>9} | {:>7.2}x | {:>9} | {:>9} | {:>4} | {vdd:>5.2} | {} | {} | {} | {}",
                 curve.name(),
@@ -100,7 +92,7 @@ fn main() {
     }
 
     println!("\n== measured op mix (same trace layer, uniform programs) ==");
-    for (curve, kernel) in &kernels {
+    for (curve, kernel) in &table.rows {
         let ops = &kernel.fingerprint.op_counts;
         println!(
             "  {:<7}: mul {:>5}  sqr {:>5}  add {:>5}  sub {:>5}  neg {:>4}  conj {:>4}  (total {})",

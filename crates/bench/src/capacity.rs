@@ -1,0 +1,531 @@
+//! The capacity planner: (cores × voltage) sweeps of the multi-core
+//! fleet model, answering the ROADMAP's north-star question — "how many
+//! chips for a target load?"
+//!
+//! The planner composes the layers beneath it, adding no physics of its
+//! own:
+//!
+//! 1. **Kernels** — per-curve cycle counts from the compiled-kernel
+//!    pipeline (`fourq_cpu::shared_kernel_for`), with the Fourℚ core fed
+//!    by the *window-decomposed stitched* schedule
+//!    (`fourq_cpu::shared_stitched_kernel`) when configured, the ROADMAP
+//!    "exact scheduling" thread made load-bearing.
+//! 2. **Fleet** — N cores sharing one table ROM with cycle-accounted
+//!    port arbitration (`fourq_tech::fleet`), cores split across curves
+//!    by compute demand (`assign_cores`).
+//! 3. **Technology** — the calibrated 65 nm SOTB model turns cycles into
+//!    SM/s and watts at each grid voltage; the banked-register-file
+//!    ablation enters as a second machine axis (`paper_banked`).
+//!
+//! Every number the planner emits is deterministic — fixed kernels,
+//! fixed arbiter, fixed float formatting — so the whole Pareto frontier
+//! is pinned bit-for-bit by `tests/vectors/fourq_fleet_kat.json`.
+
+use fourq_curve::CurveId;
+use fourq_sched::{MachineConfig, StitchOptions};
+use fourq_tech::fleet::{
+    assign_cores, chips_needed, pareto_frontier, simulate_fleet, CoreSpec, FleetConfig, ParetoPoint,
+};
+use fourq_tech::{AreaModel, SotbModel};
+
+/// Schema tag of the fleet KAT vector file.
+pub const KAT_SCHEMA: &str = "fourq-fleet-kat/v1";
+
+/// A mixed-curve workload: per-curve shares of the request stream and
+/// the total load the deployment must serve.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// `(curve, share)` pairs; shares are positive and sum to ~1.
+    pub shares: Vec<(CurveId, f64)>,
+    /// Target aggregate scalar multiplications per second.
+    pub target_sm_per_s: f64,
+}
+
+impl Workload {
+    /// The ROADMAP's reference mix: Fourℚ-dominated with X25519 and
+    /// P-256 minorities, one million scalar multiplications per second.
+    pub fn reference() -> Workload {
+        Workload {
+            shares: vec![
+                (CurveId::FourQ, 0.5),
+                (CurveId::X25519, 0.3),
+                (CurveId::P256, 0.2),
+            ],
+            target_sm_per_s: 1.0e6,
+        }
+    }
+}
+
+/// Planner configuration: the sweep axes and the kernel knobs.
+#[derive(Clone, Debug)]
+pub struct PlanConfig {
+    /// ILS scheduling effort for the per-curve kernels.
+    pub effort: u32,
+    /// Read ports on the shared table ROM.
+    pub rom_ports: u32,
+    /// Core counts to sweep.
+    pub core_counts: Vec<u32>,
+    /// Supply-voltage grid (V).
+    pub vdds: Vec<f64>,
+    /// The workload to plan for.
+    pub workload: Workload,
+    /// Stitched-scheduler options for the Fourℚ kernel; `None` uses the
+    /// plain ILS kernel.
+    pub stitch: Option<StitchOptions>,
+    /// Also sweep the banked-register-file machine variant.
+    pub banked: bool,
+}
+
+impl PlanConfig {
+    /// The pinned KAT configuration: everything fixed, cheap enough for
+    /// a debug-build test run, stitched scheduling on.
+    pub fn kat() -> PlanConfig {
+        PlanConfig {
+            effort: 2,
+            rom_ports: 2,
+            core_counts: vec![1, 2, 4, 8],
+            vdds: vec![0.32, 0.62, 0.90, 1.20],
+            workload: Workload::reference(),
+            stitch: Some(StitchOptions {
+                segments: 8,
+                node_limit: 2_000,
+                window_trials: 16,
+            }),
+            banked: true,
+        }
+    }
+}
+
+/// Cycle identity of one curve's kernel as the planner sees it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CurveKernelInfo {
+    /// The curve.
+    pub curve: CurveId,
+    /// Cycles per scalar multiplication (stitched where configured).
+    pub cycles: u64,
+    /// Table-ROM reads per operation (the operand-mux count).
+    pub rom_reads: u64,
+    /// Physical registers of the kernel (area input).
+    pub registers: usize,
+    /// Microinstructions (area input).
+    pub rom_words: usize,
+}
+
+/// One point of the (machine × cores × voltage) sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanPoint {
+    /// Machine variant: `"flat"` or `"banked"`.
+    pub machine: &'static str,
+    /// Cores on the chip.
+    pub cores: u32,
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Cores assigned per curve, workload order.
+    pub assignment: Vec<(CurveId, u32)>,
+    /// Aggregate scalar multiplications per second (all curves).
+    pub sm_per_s: f64,
+    /// Per-curve SM/s, workload order.
+    pub per_curve_sm_per_s: Vec<(CurveId, f64)>,
+    /// Fourℚ signature verifications per second (2 SM each: `[s]G` and
+    /// `[h]Q` of the SchnorrQ verify equation, no multi-scalar trick).
+    pub sigs_per_s: f64,
+    /// Chip power at this point (W).
+    pub power_w: f64,
+    /// Chip area (mm², sum of per-core macros).
+    pub area_mm2: f64,
+    /// Mean core utilization (busy / horizon).
+    pub utilization: f64,
+    /// Fraction of core-cycles lost to ROM-port stalls.
+    pub stall_frac: f64,
+    /// Chips needed for the workload's target load.
+    pub chips_for_target: u64,
+    /// Whether this point survives the throughput/power Pareto filter.
+    pub on_frontier: bool,
+}
+
+/// The planner's output: the swept points plus the scheduler evidence
+/// behind the Fourℚ cycle count.
+#[derive(Clone, Debug)]
+pub struct CapacityPlan {
+    /// Whole-program ILS makespan of the Fourℚ kernel at the configured
+    /// effort (the "before" number).
+    pub fourq_baseline_cycles: u64,
+    /// Stitched makespan (the "after"; equals the effective kernel
+    /// cycles when stitching wins, and `fourq_baseline_cycles` when
+    /// stitching was disabled).
+    pub fourq_stitched_cycles: u64,
+    /// Issue-bandwidth lower bound of the Fourℚ program.
+    pub fourq_lower_bound: u64,
+    /// Kernel identities on the flat machine, workload order.
+    pub kernels: Vec<CurveKernelInfo>,
+    /// Sweep results, ordered (machine, cores, vdd) — machine-major.
+    pub points: Vec<PlanPoint>,
+}
+
+/// Fleet-simulation horizon: long enough to amortize op boundaries for
+/// the slowest kernel, short enough for debug-build test runs.
+fn horizon_for(kernels: &[CurveKernelInfo]) -> u64 {
+    8 * kernels.iter().map(|k| k.cycles).max().unwrap_or(1)
+}
+
+fn kernel_infos(
+    machine: &MachineConfig,
+    cfg: &PlanConfig,
+) -> (Vec<CurveKernelInfo>, u64, u64, u64) {
+    let mut infos = Vec::new();
+    let mut baseline = 0;
+    let mut stitched = 0;
+    let mut lb = 0;
+    for &(curve, _) in &cfg.workload.shares {
+        let (fp, b, s) = match (curve, &cfg.stitch) {
+            (CurveId::FourQ, Some(opts)) => {
+                let st = fourq_cpu::shared_stitched_kernel(curve, machine, cfg.effort, opts)
+                    .expect("stitched kernel compiles");
+                (
+                    st.kernel.fingerprint.clone(),
+                    st.baseline_cycles,
+                    st.stitched_cycles,
+                )
+            }
+            _ => {
+                let k = fourq_cpu::shared_kernel_for(curve, machine, cfg.effort)
+                    .expect("kernel compiles");
+                let fp = k.fingerprint.clone();
+                let c = fp.cycles;
+                (fp, c, c)
+            }
+        };
+        if curve == CurveId::FourQ {
+            baseline = b;
+            stitched = s;
+            lb = fp.lower_bound;
+        }
+        infos.push(CurveKernelInfo {
+            curve,
+            cycles: fp.cycles,
+            rom_reads: fp.mux_count as u64,
+            registers: fp.registers,
+            rom_words: fp.rom_words,
+        });
+    }
+    (infos, baseline, stitched, lb)
+}
+
+/// Chip area for a core mix on a machine variant: the Fourℚ cores hold
+/// the 32-word precomputed table, which the banked variant moves into
+/// the cheap table bank.
+fn chip_area_mm2(banked: bool, assignment: &[(CurveId, u32)], kernels: &[CurveKernelInfo]) -> f64 {
+    assignment
+        .iter()
+        .zip(kernels)
+        .map(|(&(curve, n), k)| {
+            let table_words = if curve == CurveId::FourQ { 32 } else { 0 };
+            let area = if banked {
+                AreaModel::paper_banked(k.registers, table_words.min(k.registers), k.rom_words)
+            } else {
+                AreaModel::paper_like(k.registers, k.rom_words)
+            };
+            n as f64 * area.area_mm2()
+        })
+        .sum()
+}
+
+/// Runs the full sweep on the process-wide thread pool.
+pub fn plan(cfg: &PlanConfig) -> CapacityPlan {
+    plan_with_threads(cfg, fourq_pool::resolved_threads())
+}
+
+/// As [`plan`] with an explicit thread count. The output is bit-identical
+/// at every thread count: the parallel axis is the (machine, cores)
+/// grid, each point an independent pure function of the shared kernels.
+pub fn plan_with_threads(cfg: &PlanConfig, threads: usize) -> CapacityPlan {
+    assert!(!cfg.core_counts.is_empty() && !cfg.vdds.is_empty());
+    assert!(!cfg.workload.shares.is_empty());
+    let flat = MachineConfig::paper();
+    let (kernels, baseline, stitched, lb) = kernel_infos(&flat, cfg);
+    // One technology model, calibrated against the effective Fourℚ cycle
+    // count (the paper's anchor methodology).
+    let fourq_cycles = kernels
+        .iter()
+        .find(|k| k.curve == CurveId::FourQ)
+        .map(|k| k.cycles)
+        .unwrap_or_else(|| kernels[0].cycles);
+    let tech = SotbModel::calibrate_paper(fourq_cycles);
+    let horizon = horizon_for(&kernels);
+
+    // The banked machine variant re-schedules every kernel with the
+    // 6-port register file; on the paper datapath the ports do not bind,
+    // so cycles typically match flat — which is itself a finding the
+    // sweep exposes (banked = same speed, less area).
+    let variants: Vec<(&'static str, Vec<CurveKernelInfo>)> = if cfg.banked {
+        let banked_machine = MachineConfig::paper_banked();
+        let (banked_kernels, ..) = kernel_infos(&banked_machine, cfg);
+        vec![("flat", kernels.clone()), ("banked", banked_kernels)]
+    } else {
+        vec![("flat", kernels.clone())]
+    };
+
+    // Parallel axis: (variant, cores). Each item simulates one fleet and
+    // expands the voltage grid arithmetically.
+    let grid: Vec<(usize, u32)> = (0..variants.len())
+        .flat_map(|v| cfg.core_counts.iter().map(move |&n| (v, n)))
+        .collect();
+    let points: Vec<Vec<PlanPoint>> = fourq_pool::map_items(&grid, 1, threads, |_, &(v, n)| {
+        let (variant, vkernels) = &variants[v];
+        let demands: Vec<(String, f64)> = cfg
+            .workload
+            .shares
+            .iter()
+            .zip(vkernels)
+            .map(|(&(curve, share), k)| (curve.name().to_string(), share * k.cycles as f64))
+            .collect();
+        let assignment: Vec<(CurveId, u32)> = assign_cores(&demands, n)
+            .into_iter()
+            .zip(&cfg.workload.shares)
+            .map(|((_, c), &(curve, _))| (curve, c))
+            .collect();
+        let fleet_cfg = FleetConfig {
+            rom_ports: cfg.rom_ports,
+            cores: assignment
+                .iter()
+                .zip(vkernels)
+                .flat_map(|(&(curve, c), k)| {
+                    (0..c).map(move |_| CoreSpec {
+                        name: curve.name().to_string(),
+                        cycles_per_op: k.cycles,
+                        rom_reads_per_op: k.rom_reads,
+                    })
+                })
+                .collect(),
+        };
+        let report = simulate_fleet(&fleet_cfg, horizon);
+        let area_mm2 = chip_area_mm2(*variant == "banked", &assignment, vkernels);
+        let util_sum: f64 = report.cores.iter().map(|c| c.utilization).sum();
+        cfg.vdds
+            .iter()
+            .map(|&vdd| {
+                let f_hz = tech.fmax_mhz(vdd) * 1e6;
+                let sm_per_s = report.ops_per_cycle * f_hz;
+                let per_curve_sm_per_s: Vec<(CurveId, f64)> = cfg
+                    .workload
+                    .shares
+                    .iter()
+                    .map(|&(curve, _)| {
+                        (
+                            curve,
+                            report.progress_of(curve.name()) / horizon as f64 * f_hz,
+                        )
+                    })
+                    .collect();
+                let fourq_sm = per_curve_sm_per_s
+                    .iter()
+                    .find(|(c, _)| *c == CurveId::FourQ)
+                    .map(|(_, t)| *t)
+                    .unwrap_or(0.0);
+                // Dynamic power scales with the cycles actually executed;
+                // leakage burns in every core whether stalled or not.
+                let power_w =
+                    util_sum * tech.ceff * vdd * vdd * f_hz + n as f64 * tech.leakage_w(vdd);
+                PlanPoint {
+                    machine: variant,
+                    cores: n,
+                    vdd,
+                    assignment: assignment.clone(),
+                    sm_per_s,
+                    per_curve_sm_per_s,
+                    sigs_per_s: fourq_sm / 2.0,
+                    power_w,
+                    area_mm2,
+                    utilization: util_sum / n as f64,
+                    stall_frac: report.total_stalls as f64 / (n as u64 * horizon) as f64,
+                    chips_for_target: chips_needed(cfg.workload.target_sm_per_s, sm_per_s),
+                    on_frontier: false,
+                }
+            })
+            .collect()
+    });
+    let mut points: Vec<PlanPoint> = points.into_iter().flatten().collect();
+    let pareto_in: Vec<ParetoPoint> = points
+        .iter()
+        .map(|p| ParetoPoint {
+            throughput: p.sm_per_s,
+            power_w: p.power_w,
+        })
+        .collect();
+    for i in pareto_frontier(&pareto_in) {
+        points[i].on_frontier = true;
+    }
+    CapacityPlan {
+        fourq_baseline_cycles: baseline,
+        fourq_stitched_cycles: stitched,
+        fourq_lower_bound: lb,
+        kernels,
+        points,
+    }
+}
+
+/// Deterministic significant-digit float rendering for the KAT: fixed
+/// scientific notation sidesteps any doubt about shortest-repr digits.
+fn sig(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{x:.5e}")
+    }
+}
+
+/// Renders a plan as the `fourq-fleet-kat/v1` JSON document.
+///
+/// Key order, float formatting and point order are all fixed, so two
+/// runs of the same configuration produce byte-identical strings — the
+/// property `tests/kat.rs` pins against the checked-in vector file.
+pub fn kat_json(cfg: &PlanConfig, plan: &CapacityPlan) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": \"{KAT_SCHEMA}\",\n"));
+    s.push_str("  \"config\": {\n");
+    s.push_str(&format!("    \"effort\": {},\n", cfg.effort));
+    s.push_str(&format!("    \"rom_ports\": {},\n", cfg.rom_ports));
+    s.push_str(&format!(
+        "    \"core_counts\": [{}],\n",
+        cfg.core_counts
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    s.push_str(&format!(
+        "    \"vdds\": [{}],\n",
+        cfg.vdds
+            .iter()
+            .map(|v| format!("\"{v:.2}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    s.push_str(&format!(
+        "    \"workload\": {{{}}},\n",
+        cfg.workload
+            .shares
+            .iter()
+            .map(|(c, sh)| format!("\"{}\": \"{sh:.2}\"", c.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    s.push_str(&format!(
+        "    \"target_sm_per_s\": \"{}\",\n",
+        sig(cfg.workload.target_sm_per_s)
+    ));
+    match &cfg.stitch {
+        Some(o) => s.push_str(&format!(
+            "    \"stitch\": {{\"segments\": {}, \"node_limit\": {}, \"window_trials\": {}}},\n",
+            o.segments, o.node_limit, o.window_trials
+        )),
+        None => s.push_str("    \"stitch\": null,\n"),
+    }
+    s.push_str(&format!("    \"banked\": {}\n", cfg.banked));
+    s.push_str("  },\n");
+    s.push_str(&format!(
+        "  \"fourq_cycles\": {{\"baseline\": {}, \"stitched\": {}, \"lower_bound\": {}}},\n",
+        plan.fourq_baseline_cycles, plan.fourq_stitched_cycles, plan.fourq_lower_bound
+    ));
+    s.push_str("  \"kernels\": [\n");
+    for (i, k) in plan.kernels.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"curve\": \"{}\", \"cycles\": {}, \"rom_reads\": {}, \"registers\": {}, \"rom_words\": {}}}{}\n",
+            k.curve.name(),
+            k.cycles,
+            k.rom_reads,
+            k.registers,
+            k.rom_words,
+            if i + 1 < plan.kernels.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"points\": [\n");
+    for (i, p) in plan.points.iter().enumerate() {
+        let assignment = p
+            .assignment
+            .iter()
+            .map(|(c, n)| format!("\"{}\": {n}", c.name()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let per_curve = p
+            .per_curve_sm_per_s
+            .iter()
+            .map(|(c, t)| format!("\"{}\": \"{}\"", c.name(), sig(*t)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        s.push_str(&format!(
+            "    {{\"machine\": \"{}\", \"cores\": {}, \"vdd\": \"{:.2}\", \
+             \"assignment\": {{{assignment}}}, \"sm_per_s\": \"{}\", \
+             \"per_curve_sm_per_s\": {{{per_curve}}}, \"sigs_per_s\": \"{}\", \
+             \"power_w\": \"{}\", \"area_mm2\": \"{}\", \"utilization\": \"{}\", \
+             \"stall_frac\": \"{}\", \"chips_for_target\": {}, \"pareto\": {}}}{}\n",
+            p.machine,
+            p.cores,
+            p.vdd,
+            sig(p.sm_per_s),
+            sig(p.sigs_per_s),
+            sig(p.power_w),
+            sig(p.area_mm2),
+            sig(p.utilization),
+            sig(p.stall_frac),
+            p.chips_for_target,
+            p.on_frontier,
+            if i + 1 < plan.points.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> PlanConfig {
+        PlanConfig {
+            effort: 0,
+            rom_ports: 2,
+            core_counts: vec![1, 2],
+            vdds: vec![0.32, 1.20],
+            workload: Workload::reference(),
+            stitch: None,
+            banked: false,
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_covers_the_grid() {
+        let cfg = tiny_cfg();
+        let a = plan_with_threads(&cfg, 1);
+        let b = plan_with_threads(&cfg, 1);
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.points.len(), cfg.core_counts.len() * cfg.vdds.len());
+        assert!(a.points.iter().any(|p| p.on_frontier));
+        // Higher voltage at equal cores is strictly faster and hungrier.
+        for w in a.points.chunks(cfg.vdds.len()) {
+            assert!(w[1].sm_per_s > w[0].sm_per_s);
+            assert!(w[1].power_w > w[0].power_w);
+        }
+    }
+
+    #[test]
+    fn core_assignment_conserves_totals() {
+        let cfg = tiny_cfg();
+        let p = plan_with_threads(&cfg, 1);
+        for pt in &p.points {
+            assert_eq!(pt.assignment.iter().map(|(_, n)| n).sum::<u32>(), pt.cores);
+        }
+    }
+
+    #[test]
+    fn kat_json_is_stable_across_runs() {
+        let cfg = tiny_cfg();
+        let a = kat_json(&cfg, &plan_with_threads(&cfg, 1));
+        let b = kat_json(&cfg, &plan_with_threads(&cfg, 2));
+        assert_eq!(a, b, "thread count leaked into the KAT rendering");
+        assert!(a.contains(KAT_SCHEMA));
+    }
+}

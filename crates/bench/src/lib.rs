@@ -22,8 +22,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod capacity;
 pub mod harness;
 pub mod micro;
+pub mod table2;
 
 use fourq_cpu::ScalarMulSim;
 use fourq_fp::Scalar;

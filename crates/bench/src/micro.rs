@@ -12,6 +12,7 @@
 //! | `batch_ops` | batch-first curve pipeline — amortized normalisation, fixed-base, MSM |
 //! | `batch_sig` | batch-first signature pipeline — RLC batch verify, batch signing |
 //! | `multi_curve` | Table II on one machine — per-curve compiled kernels through the shared cache |
+//! | `fleet_ops` | multi-core fleet model + capacity planner (`--gate-fleet` scaling tripwire) |
 
 use crate::harness::{run, BenchOptions, BenchRecord, BenchReport};
 use fourq_baselines::{p256::P256, x25519::X25519};
@@ -427,6 +428,67 @@ pub fn multi_curve(report: &mut BenchReport, opts: &BenchOptions) {
     }
 }
 
+/// The multi-core fleet model and capacity planner: cycle-accurate
+/// fleet simulation cost at 1 and 4 cores (homogeneous Fourℚ cores on
+/// a 2-port table ROM — the configuration `--gate-fleet` checks the
+/// modeled scaling of), the largest-remainder core assigner, and a
+/// small planner sweep end-to-end (kernels cached, so this times the
+/// fleet + technology arithmetic, not compilation).
+pub fn fleet_ops(report: &mut BenchReport, opts: &BenchOptions) {
+    use crate::capacity::{plan_with_threads, PlanConfig, Workload};
+    use fourq_sched::MachineConfig;
+    use fourq_tech::fleet::{assign_cores, simulate_fleet, CoreSpec, FleetConfig};
+
+    const KERNEL_EFFORT: u32 = 2;
+    let machine = MachineConfig::paper();
+    let fp = &fourq_cpu::shared_kernel_for(fourq_curve::CurveId::FourQ, &machine, KERNEL_EFFORT)
+        .expect("kernel compiles")
+        .fingerprint;
+    let core = || CoreSpec {
+        name: "fourq".to_string(),
+        cycles_per_op: fp.cycles,
+        rom_reads_per_op: fp.mux_count as u64,
+    };
+    let horizon = 8 * fp.cycles;
+    for cores in [1usize, 4] {
+        let cfg = FleetConfig {
+            rom_ports: 2,
+            cores: (0..cores).map(|_| core()).collect(),
+        };
+        let name = format!("sim_fourq_{cores}core_2port");
+        report.push(run("fleet_ops", &name, opts, || {
+            simulate_fleet(black_box(&cfg), horizon)
+        }));
+    }
+
+    let demands: Vec<(String, f64)> = [
+        ("fourq", 0.5 * 3223.0),
+        ("x25519", 0.3 * 4075.0),
+        ("p256", 0.2 * 13054.0),
+    ]
+    .iter()
+    .map(|&(n, d)| (n.to_string(), d))
+    .collect();
+    report.push(run("fleet_ops", "assign_cores_reference_16", opts, || {
+        assign_cores(black_box(&demands), 16)
+    }));
+
+    let plan_cfg = PlanConfig {
+        effort: KERNEL_EFFORT,
+        rom_ports: 2,
+        core_counts: vec![1, 4],
+        vdds: vec![0.32, 1.20],
+        workload: Workload::reference(),
+        stitch: None,
+        banked: false,
+    };
+    // Prime the shared kernel cache outside the timed region.
+    let _ = plan_with_threads(&plan_cfg, 1);
+    report.push(run("fleet_ops", "plan_sweep_2x2_warm", opts, || {
+        plan_with_threads(black_box(&plan_cfg), 1)
+    }));
+}
+
 /// A benchmark group: fills a report under the given options.
 type GroupFn = fn(&mut BenchReport, &BenchOptions);
 
@@ -436,7 +498,7 @@ type GroupFn = fn(&mut BenchReport, &BenchOptions);
 /// `"scalar_ops,parallel_ops,asic_pipeline"` runs exactly the three
 /// groups the CI regression tripwire compares.
 pub fn run_suite(opts: &BenchOptions, filter: &str) -> BenchReport {
-    let groups: [(&str, GroupFn); 11] = [
+    let groups: [(&str, GroupFn); 12] = [
         ("fp2_mul", fp2_mul),
         ("scalar_mul", scalar_mul),
         ("scalar_ops", scalar_ops),
@@ -448,6 +510,7 @@ pub fn run_suite(opts: &BenchOptions, filter: &str) -> BenchReport {
         ("scheduling", scheduling),
         ("asic_pipeline", asic_pipeline),
         ("multi_curve", multi_curve),
+        ("fleet_ops", fleet_ops),
     ];
     let wanted: Vec<&str> = filter
         .split(',')

@@ -1,0 +1,110 @@
+//! The one source of truth behind both Table II binaries.
+//!
+//! `table2_comparison` (prior-art comparison) and `table2_report`
+//! (all three curves on one simulated machine) used to build their
+//! "ours" numbers independently — one through [`SimulatedDesign`](crate::SimulatedDesign),
+//! one through ad-hoc kernel compiles — leaving room for the two
+//! tables to silently disagree. [`measured_table`] is now the shared
+//! path: one set of kernels per (machine, effort), one technology
+//! calibration, one area rule; a unit test pins that it agrees with
+//! [`SimulatedDesign`](crate::SimulatedDesign) number-for-number.
+
+use fourq_cpu::CompiledKernel;
+use fourq_curve::CurveId;
+use fourq_sched::MachineConfig;
+use fourq_tech::{AreaModel, OperatingPoint, SotbModel};
+
+/// All three curves compiled on one machine, plus the technology model
+/// calibrated against the Fourℚ cycle count (the paper's anchor).
+#[derive(Clone, Debug)]
+pub struct MeasuredTable {
+    /// SOTB model calibrated to [`MeasuredTable::fourq_cycles`].
+    pub tech: SotbModel,
+    /// The Fourℚ kernel's cycle count — the calibration anchor.
+    pub fourq_cycles: u64,
+    /// `(curve, kernel)` rows in [`CurveId::ALL`] order.
+    pub rows: Vec<(CurveId, &'static CompiledKernel)>,
+}
+
+/// Compiles (or fetches from the process-wide cache) every curve's
+/// kernel on `machine` at `effort` and calibrates the technology model
+/// once, against the Fourℚ row.
+///
+/// # Panics
+///
+/// Panics if any kernel fails to compile — the table binaries have no
+/// useful degraded mode.
+pub fn measured_table(machine: &MachineConfig, effort: u32) -> MeasuredTable {
+    let rows: Vec<(CurveId, &'static CompiledKernel)> = CurveId::ALL
+        .iter()
+        .map(|&curve| {
+            let k = fourq_cpu::shared_kernel_for(curve, machine, effort)
+                .unwrap_or_else(|e| panic!("{curve} kernel compiles: {e}"));
+            (curve, k)
+        })
+        .collect();
+    let fourq_cycles = rows
+        .iter()
+        .find(|(c, _)| *c == CurveId::FourQ)
+        .expect("CurveId::ALL contains FourQ")
+        .1
+        .fingerprint
+        .cycles;
+    MeasuredTable {
+        tech: SotbModel::calibrate_paper(fourq_cycles),
+        fourq_cycles,
+        rows,
+    }
+}
+
+impl MeasuredTable {
+    /// Operating point of one row's kernel at a voltage.
+    pub fn operating_point(&self, kernel: &CompiledKernel, vdd: f64) -> OperatingPoint {
+        self.tech.operating_point(vdd, kernel.fingerprint.cycles)
+    }
+
+    /// Area model of one row's kernel — the same rule
+    /// [`SimulatedDesign`](crate::SimulatedDesign) applies (register pressure, not allocated
+    /// registers, sizes the register file).
+    pub fn area(&self, kernel: &CompiledKernel) -> AreaModel {
+        AreaModel::paper_like(
+            kernel.fingerprint.register_pressure,
+            kernel.fingerprint.rom_words,
+        )
+    }
+
+    /// The Fourℚ row.
+    pub fn fourq(&self) -> &'static CompiledKernel {
+        self.rows
+            .iter()
+            .find(|(c, _)| *c == CurveId::FourQ)
+            .expect("FourQ row present")
+            .1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimulatedDesign;
+
+    /// The satellite check: the shared Table II path and
+    /// [`SimulatedDesign`](crate::SimulatedDesign) must agree on every number they both report.
+    #[test]
+    fn measured_table_agrees_with_simulated_design() {
+        let machine = MachineConfig::paper();
+        let effort = 2;
+        let table = measured_table(&machine, effort);
+        let design = SimulatedDesign::build_on(&machine, effort);
+        let fourq = table.fourq();
+        assert_eq!(fourq.fingerprint.cycles, design.sim.sim.cycles);
+        assert_eq!(fourq.fingerprint.rom_words, design.sim.rom_words);
+        assert_eq!(fourq.fingerprint.lower_bound, design.sim.lower_bound);
+        for vdd in [0.32, 0.90, 1.20] {
+            assert_eq!(table.operating_point(fourq, vdd), design.at(vdd));
+        }
+        let a = table.area(fourq);
+        assert_eq!(a.total_kge(), design.area.total_kge());
+        assert_eq!(a.area_mm2(), design.area.area_mm2());
+    }
+}

@@ -30,8 +30,8 @@ use fourq_baselines::x25519::X25519;
 use fourq_curve::{AffinePoint, CurveId};
 use fourq_fp::{Scalar, U256};
 use fourq_sched::{
-    lower_bound, schedule, serial_schedule, trace_to_problem, MachineConfig, Problem, Schedule,
-    ScheduleError,
+    lower_bound, schedule, serial_schedule, stitched_exact_schedule, trace_to_problem,
+    MachineConfig, Problem, Schedule, ScheduleError, SegmentReport, StitchOptions,
 };
 use fourq_trace::{
     mont_field, DigitStream, OpKind, OpStats, Operand, Trace, TraceError, Unit, Word,
@@ -276,13 +276,41 @@ pub fn compile_curve_with_budget(
     effort: u32,
     budget: usize,
 ) -> Result<CompiledKernel, PipelineError> {
+    let kernel = compile_trace(record_curve_trace(curve), machine, effort, budget)?;
+    audit_kernel(&kernel)?;
+    Ok(kernel)
+}
+
+/// Records the uniform trace of a curve's scalar multiplication under the
+/// representative inputs. The program is the same for every (base, scalar)
+/// pair — only the captured constants differ — so one recording serves
+/// every compile of that curve.
+fn record_curve_trace(curve: CurveId) -> Trace {
     match curve {
         CurveId::FourQ => {
             let rep = Scalar::from_le_bytes(&REP_SCALAR);
-            let recorded = fourq_trace::trace_scalar_mul(&rep);
-            let kernel = compile_trace(recorded.trace, machine, effort, budget)?;
-            // End-to-end audit: the kernel must reproduce the software
-            // library on the representative scalar and on an unrelated one.
+            fourq_trace::trace_scalar_mul(&rep).trace
+        }
+        CurveId::X25519 => {
+            let mut base = [0u8; 32];
+            base[0] = 9;
+            fourq_trace::trace_x25519_ladder(&REP_SCALAR, &base).trace
+        }
+        CurveId::P256 => {
+            let ctx = P256::new();
+            let rep = U256::from_le_bytes(&REP_SCALAR);
+            fourq_trace::trace_p256_scalar_mul(&rep, &ctx.generator_affine()).trace
+        }
+    }
+}
+
+/// End-to-end compile audit: the kernel must reproduce its curve's
+/// software baseline on the representative inputs and on unrelated ones
+/// before it is handed out.
+fn audit_kernel(kernel: &CompiledKernel) -> Result<(), PipelineError> {
+    match kernel.curve {
+        CurveId::FourQ => {
+            let rep = Scalar::from_le_bytes(&REP_SCALAR);
             let g = AffinePoint::generator();
             for k in [rep, Scalar::from_u64(0x9e37_79b9_7f4a_7c15)] {
                 let got = kernel.execute(&g, &k)?;
@@ -291,19 +319,15 @@ pub fn compile_curve_with_budget(
                     return Err(PipelineError::Diverged);
                 }
             }
-            Ok(kernel)
         }
         CurveId::X25519 => {
-            let mut base = [0u8; 32];
-            base[0] = 9;
-            let recorded = fourq_trace::trace_x25519_ladder(&REP_SCALAR, &base);
-            let kernel = compile_trace(recorded.trace, machine, effort, budget)?;
             let ctx = X25519::new();
             let mut scalar2 = REP_SCALAR;
             scalar2[7] ^= 0xa5;
             // Chain the audits: the second runs on the first's output, so
             // a non-trivial u-coordinate is exercised too.
-            let mut u = base;
+            let mut u = [0u8; 32];
+            u[0] = 9;
             for s in [REP_SCALAR, scalar2] {
                 let got = kernel.execute_x25519(&s, &u)?;
                 if got != ctx.ladder(&s, &u) {
@@ -311,14 +335,11 @@ pub fn compile_curve_with_budget(
                 }
                 u = got;
             }
-            Ok(kernel)
         }
         CurveId::P256 => {
-            let ctx = P256::new();
+            let ctx = p256_ctx();
             let rep = U256::from_le_bytes(&REP_SCALAR);
             let g = ctx.generator_affine();
-            let recorded = fourq_trace::trace_p256_scalar_mul(&rep, &g);
-            let kernel = compile_trace(recorded.trace, machine, effort, budget)?;
             let base = encode_p256_point(&g);
             for k in [rep, U256::from_u64(0x9e37_79b9_7f4a_7c15)] {
                 let got = kernel.execute_p256(&k.to_le_bytes(), &base)?;
@@ -327,9 +348,85 @@ pub fn compile_curve_with_budget(
                     return Err(PipelineError::Diverged);
                 }
             }
-            Ok(kernel)
         }
     }
+    Ok(())
+}
+
+/// A kernel compiled through the window-decomposed stitched scheduler,
+/// carrying the before/after cycle counts and the per-segment evidence.
+///
+/// The embedded kernel uses whichever schedule was better — the stitched
+/// one or the whole-program ILS baseline at `effort` — so
+/// `kernel.fingerprint.cycles == stitched_cycles.min(baseline_cycles)`.
+/// Everything downstream (simulation, allocation, ROM, the verifier, the
+/// execute paths) is identical to a [`compile_curve`] kernel.
+#[derive(Clone, Debug)]
+pub struct StitchedKernel {
+    /// The compiled artifact, on the better of the two schedules.
+    pub kernel: CompiledKernel,
+    /// Whole-program ILS makespan at the requested effort.
+    pub baseline_cycles: u64,
+    /// Makespan of the window-decomposed stitched schedule.
+    pub stitched_cycles: u64,
+    /// Per-segment scheduling evidence (empty when the baseline won and
+    /// the stitched schedule was discarded).
+    pub segments: Vec<SegmentReport>,
+}
+
+/// Compiles a curve's kernel through [`stitched_exact_schedule`], keeping
+/// whichever of (stitched, whole-program ILS at `effort`) schedule is
+/// shorter. Uses the [`DEFAULT_REGISTER_BUDGET`].
+///
+/// This is the ROADMAP "window-decomposed exact scheduling" path: the job
+/// list is split into `opts.segments` windows, each window is scheduled by
+/// branch-and-bound (budget `opts.node_limit`) and a diversified
+/// backward-pass search (`opts.window_trials` restarts), and the windows
+/// are stitched back into one schedule that validates against the
+/// original problem.
+///
+/// # Errors
+///
+/// Any stage failure as a [`PipelineError`], exactly as [`compile_curve`].
+///
+/// # Panics
+///
+/// If `machine` has more than one multiplier or add/sub unit (the exact
+/// scheduler models single-instance units only; the paper machine and its
+/// banked variant both qualify).
+pub fn compile_curve_stitched(
+    curve: CurveId,
+    machine: &MachineConfig,
+    effort: u32,
+    opts: &StitchOptions,
+) -> Result<StitchedKernel, PipelineError> {
+    let trace = record_curve_trace(curve);
+    trace.validate()?;
+    let problem = trace_to_problem(&trace);
+    let baseline = schedule(&problem, machine, effort);
+    let stitched = stitched_exact_schedule(&problem, machine, opts);
+    let baseline_cycles = baseline.makespan;
+    let stitched_cycles = stitched.schedule.makespan;
+    let (best, segments) = if stitched_cycles <= baseline_cycles {
+        (stitched.schedule, stitched.segments)
+    } else {
+        (baseline, Vec::new())
+    };
+    let kernel = finish_compile(
+        trace,
+        problem,
+        best,
+        machine,
+        effort,
+        DEFAULT_REGISTER_BUDGET,
+    )?;
+    audit_kernel(&kernel)?;
+    Ok(StitchedKernel {
+        kernel,
+        baseline_cycles,
+        stitched_cycles,
+        segments,
+    })
 }
 
 /// 64-byte little-endian `x ‖ y` encoding of a P-256 affine point; the
@@ -782,6 +879,44 @@ pub fn shared_kernel_for(
         .or_insert_with(|| Box::leak(Box::new(kernel))))
 }
 
+type StitchedCache =
+    Mutex<HashMap<(CurveId, MachineConfig, u32, StitchOptions), &'static StitchedKernel>>;
+
+/// Returns the process-wide stitched kernel for
+/// `(curve, machine, effort, opts)`, compiling it on first use.
+///
+/// The stitched compile is the most expensive path in the repo (a
+/// branch-and-bound pass plus dozens of diversified restarts per window),
+/// so the capacity planner and the benches share one artifact per
+/// configuration, exactly as [`shared_kernel_for`] does for the plain
+/// flow.
+///
+/// # Errors
+///
+/// The [`PipelineError`] of the first compile attempt. Failures are not
+/// cached: a later call retries.
+pub fn shared_stitched_kernel(
+    curve: CurveId,
+    machine: &MachineConfig,
+    effort: u32,
+    opts: &StitchOptions,
+) -> Result<&'static StitchedKernel, PipelineError> {
+    static CACHE: OnceLock<StitchedCache> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (curve, *machine, effort, *opts);
+    {
+        let map = cache.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(k) = map.get(&key) {
+            return Ok(k);
+        }
+    }
+    let kernel = compile_curve_stitched(curve, machine, effort, opts)?;
+    let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+    Ok(*map
+        .entry(key)
+        .or_insert_with(|| Box::leak(Box::new(kernel))))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -987,6 +1122,61 @@ mod tests {
             fq.execute_p256(&[1u8; 32], &[0u8; 64]),
             Err(PipelineError::WrongCurve { .. })
         ));
+    }
+
+    #[test]
+    fn stitched_kernel_verifies_and_executes() {
+        let m = MachineConfig::paper();
+        // Cheap options keep the debug-build runtime sane; the full-effort
+        // stitched numbers are pinned by crates/sched/tests/stitched_sm.rs
+        // and the fleet KAT.
+        let opts = StitchOptions {
+            segments: 8,
+            node_limit: 500,
+            window_trials: 4,
+        };
+        let st = shared_stitched_kernel(CurveId::FourQ, &m, 0, &opts).expect("compiles");
+        // The embedded kernel carries the better of the two schedules.
+        assert_eq!(
+            st.kernel.fingerprint.cycles,
+            st.stitched_cycles.min(st.baseline_cycles)
+        );
+        if st.stitched_cycles <= st.baseline_cycles {
+            assert_eq!(st.segments.len(), opts.segments);
+            assert_eq!(
+                st.segments.iter().map(|s| s.jobs).sum::<usize>(),
+                st.kernel.trace.nodes.len()
+            );
+        } else {
+            assert!(st.segments.is_empty());
+        }
+        // Satellite check: the stitched artifact passes the full
+        // K-FLOW/K-OBLIV/K-RES battery, same as a plain compile.
+        let report = crate::check::verify(&st.kernel, crate::check::CheckLevel::Full);
+        assert!(
+            report.findings.is_empty(),
+            "stitched kernel rejected: {:?}",
+            report.findings.first()
+        );
+        // And it still computes scalar multiplication on fresh inputs.
+        let base = AffinePoint::generator().mul(&Scalar::from_u64(7));
+        let k = Scalar::from_le_bytes(&[0x35; 32]);
+        let got = st.kernel.execute(&base, &k).expect("executes");
+        let want = base.mul(&k);
+        assert_eq!((got.x, got.y), (want.x, want.y));
+    }
+
+    #[test]
+    fn shared_stitched_kernel_is_cached_per_options() {
+        let m = MachineConfig::paper();
+        let a = StitchOptions {
+            segments: 8,
+            node_limit: 500,
+            window_trials: 4,
+        };
+        let x = shared_stitched_kernel(CurveId::FourQ, &m, 0, &a).expect("compiles");
+        let y = shared_stitched_kernel(CurveId::FourQ, &m, 0, &a).expect("cached");
+        assert!(std::ptr::eq(x, y), "same options → same artifact");
     }
 
     #[test]

@@ -47,8 +47,9 @@ mod vcd;
 
 pub use check::{verify, CheckLevel, GapMetrics, KernelDiag, VerifyReport, VERIFY_EFFORT};
 pub use kernel::{
-    compile, compile_curve, compile_curve_with_budget, compile_with_budget, shared_kernel,
-    shared_kernel_for, CompiledKernel, KernelFingerprint, PipelineError, DEFAULT_REGISTER_BUDGET,
+    compile, compile_curve, compile_curve_stitched, compile_curve_with_budget, compile_with_budget,
+    shared_kernel, shared_kernel_for, shared_stitched_kernel, CompiledKernel, KernelFingerprint,
+    PipelineError, StitchedKernel, DEFAULT_REGISTER_BUDGET,
 };
 pub use regalloc::{
     allocate, simulate_allocated, Allocation, AssembleError, ControlRom, ControlWord, RomRoute, Src,

@@ -109,12 +109,23 @@ impl<'a> Searcher<'a> {
             }
         }
         // Single-instance units only (the paper's machine); wider configs
-        // use the heuristics.
-        let mul_opts: Vec<Option<usize>> = std::iter::once(None)
-            .chain(mul_ready.iter().copied().map(Some))
+        // use the heuristics. Branch order matters enormously for an
+        // anytime search: try real candidates first (best critical path
+        // first) and leave the idle branch for last, so the first
+        // descents are dense schedules rather than idle-padded ones.
+        mul_ready.sort_by(|&a, &b| self.cp_down[b].cmp(&self.cp_down[a]).then(a.cmp(&b)));
+        add_ready.sort_by(|&a, &b| self.cp_down[b].cmp(&self.cp_down[a]).then(a.cmp(&b)));
+        let mul_opts: Vec<Option<usize>> = mul_ready
+            .iter()
+            .copied()
+            .map(Some)
+            .chain(std::iter::once(None))
             .collect();
-        let add_opts: Vec<Option<usize>> = std::iter::once(None)
-            .chain(add_ready.iter().copied().map(Some))
+        let add_opts: Vec<Option<usize>> = add_ready
+            .iter()
+            .copied()
+            .map(Some)
+            .chain(std::iter::once(None))
             .collect();
 
         // next decision instant if we idle: earliest future ready time
@@ -353,6 +364,40 @@ mod tests {
         let r = exact_schedule(&p, &m, 10);
         // still a valid schedule even with a tiny budget
         r.schedule.validate(&p, &m).unwrap();
+    }
+
+    #[test]
+    fn node_limit_exhaustion_reports_not_proved() {
+        // Regression: an exhausted node budget must surface as
+        // `proved_optimal = false` while still returning a schedule no
+        // worse than the heuristic incumbent. Read-port pressure keeps
+        // the seed above the lower bound so the search actually runs
+        // (a seed at the bound short-circuits with `proved_optimal =
+        // true` and zero nodes).
+        let mut jobs = Vec::new();
+        for _ in 0..12 {
+            jobs.push(mul(vec![], 2));
+            jobs.push(add(vec![], 2));
+        }
+        let p = Problem::new(jobs);
+        let mut m = MachineConfig::paper();
+        m.read_ports = 3; // mul (2 reads) and add (2 reads) cannot co-issue
+        let seed = schedule(&p, &m, 32);
+        assert!(
+            seed.makespan > lower_bound(&p, &m),
+            "test premise: the heuristic must leave a gap to search"
+        );
+        let r = exact_schedule(&p, &m, 5);
+        assert!(
+            !r.proved_optimal,
+            "budget exhaustion must not claim optimality"
+        );
+        assert_eq!(r.nodes, 5, "search stops exactly at the node budget");
+        r.schedule.validate(&p, &m).unwrap();
+        assert!(
+            r.schedule.makespan <= seed.makespan,
+            "the incumbent seed is never lost"
+        );
     }
 
     #[test]

@@ -150,6 +150,20 @@ impl MachineConfig {
         }
     }
 
+    /// The banked register-file ablation: the flat 4R/2W file is split
+    /// into a table bank (holding the precomputed point table, read only
+    /// through the digit multiplexers) and an accumulator bank. The table
+    /// bank's two dedicated read ports free the main ports for datapath
+    /// operands, which the scheduler sees as a 6-read-port machine;
+    /// everything else matches [`MachineConfig::paper`]. The area side of
+    /// the ablation lives in `fourq_tech::AreaModel::paper_banked`.
+    pub fn paper_banked() -> MachineConfig {
+        MachineConfig {
+            read_ports: 6,
+            ..MachineConfig::paper()
+        }
+    }
+
     /// Latency of a unit.
     pub fn latency(&self, unit: UnitKind) -> u32 {
         match unit {
@@ -815,5 +829,9 @@ mod tests {
 
 mod bridge;
 mod exact;
+mod windowed;
 pub use bridge::trace_to_problem;
 pub use exact::{exact_schedule, ExactResult};
+pub use windowed::{
+    diversified_schedule, stitched_exact_schedule, SegmentReport, StitchOptions, StitchedSchedule,
+};

@@ -33,6 +33,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
+
 /// One point of the paper's Fig. 4: what the chip does at a given supply
 /// voltage.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -296,6 +298,26 @@ impl AreaModel {
         (2.0 * 127.0 * 18.0 / 1000.0) * self.addsub_units as f64
     }
 
+    /// The banked-register-file ablation: the precomputed table (read-only
+    /// after the precompute phase, streamed mostly one word at a time)
+    /// moves into a narrow-ported **table bank** at ~6 GE/bit, while only
+    /// the working accumulators keep the full 4R/2W multiport cells at
+    /// ~12 GE/bit. Modeled as an *effective* flat word count at the
+    /// multiport cost — `(rf_words − table_words) + table_words/2` — so
+    /// every downstream figure ([`Self::total_kge`], [`Self::area_mm2`])
+    /// applies unchanged. The schedule side of the ablation is
+    /// `MachineConfig::paper_banked()` in `fourq-sched` (6 read ports:
+    /// 4 accumulator + 2 table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_words > rf_words`.
+    pub fn paper_banked(rf_words: usize, table_words: usize, rom_words: usize) -> AreaModel {
+        assert!(table_words <= rf_words, "table bank cannot exceed the RF");
+        let effective = (rf_words - table_words) + table_words.div_ceil(2);
+        AreaModel::paper_like(effective, rom_words)
+    }
+
     /// kGE of the register file (4R/2W multiport flop-based cells,
     /// ~12 GE/bit).
     pub fn register_file_kge(&self) -> f64 {
@@ -391,6 +413,18 @@ mod tests {
             (500.0..2500.0).contains(&kge),
             "total {kge} kGE implausible vs paper's 1400 kGE"
         );
+    }
+
+    #[test]
+    fn banked_register_file_saves_area() {
+        let flat = AreaModel::paper_like(93, 4706);
+        // 32 table words (the 8-entry F_p² table) move to the cheap bank.
+        let banked = AreaModel::paper_banked(93, 32, 4706);
+        assert!(banked.register_file_kge() < flat.register_file_kge());
+        assert!(banked.total_kge() < flat.total_kge());
+        // The saving is exactly half the table bank's multiport cost.
+        let want = flat.register_file_kge() - 16.0 * 256.0 * 12.0 / 1000.0;
+        assert!((banked.register_file_kge() - want).abs() < 1e-9);
     }
 
     #[test]

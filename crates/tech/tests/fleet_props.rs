@@ -1,0 +1,161 @@
+//! Property suite for the fleet cycle-accounting model (ISSUE 9
+//! satellite): throughput caps, monotonicity, contention-only
+//! degradation, and conservation of the per-core accounting — on random
+//! fleets, with replayable `FOURQ_PROP_SEED` recipes.
+
+use fourq_tech::fleet::{simulate_fleet, CoreSpec, FleetConfig};
+use fourq_testkit::{prop_check, TestRng};
+
+fn arb_core(rng: &mut TestRng, name: &str) -> CoreSpec {
+    let cycles = rng.range_u64(4, 600);
+    CoreSpec {
+        name: name.to_string(),
+        cycles_per_op: cycles,
+        rom_reads_per_op: rng.range_u64(1, cycles + 1),
+    }
+}
+
+fn arb_fleet(rng: &mut TestRng, max_cores: usize) -> FleetConfig {
+    let names = ["fourq", "x25519", "p256"];
+    let n = rng.range_usize(1, max_cores + 1);
+    FleetConfig {
+        rom_ports: rng.range_u64(1, 5) as u32,
+        cores: (0..n)
+            .map(|_| {
+                let name = names[rng.range_usize(0, names.len())];
+                arb_core(rng, name)
+            })
+            .collect(),
+    }
+}
+
+fn solo_progress(spec: &CoreSpec, rom_ports: u32, horizon: u64) -> f64 {
+    simulate_fleet(
+        &FleetConfig {
+            rom_ports,
+            cores: vec![spec.clone()],
+        },
+        horizon,
+    )
+    .total_progress
+}
+
+#[test]
+fn fleet_never_beats_sum_of_solo_cores() {
+    prop_check!(cases = 96, |rng| {
+        let cfg = arb_fleet(rng, 6);
+        let horizon = rng.range_u64(500, 5_000);
+        let fleet = simulate_fleet(&cfg, horizon);
+        let solo_sum: f64 = cfg
+            .cores
+            .iter()
+            .map(|c| solo_progress(c, cfg.rom_ports, horizon))
+            .sum();
+        assert!(
+            fleet.total_progress <= solo_sum + 1e-9,
+            "fleet {} beats {} solo cores at {}",
+            fleet.total_progress,
+            cfg.cores.len(),
+            solo_sum
+        );
+        // And each core individually never beats its own solo pace.
+        for (c, spec) in fleet.cores.iter().zip(&cfg.cores) {
+            assert!(c.progress <= solo_progress(spec, cfg.rom_ports, horizon) + 1e-9);
+        }
+    });
+}
+
+#[test]
+fn fleet_throughput_is_monotone_in_cores() {
+    prop_check!(cases = 96, |rng| {
+        let cfg = arb_fleet(rng, 6);
+        let horizon = rng.range_u64(500, 4_000);
+        let mut prev = 0.0;
+        for k in 1..=cfg.cores.len() {
+            let sub = FleetConfig {
+                rom_ports: cfg.rom_ports,
+                cores: cfg.cores[..k].to_vec(),
+            };
+            let total = simulate_fleet(&sub, horizon).total_progress;
+            assert!(
+                total + 1e-9 >= prev,
+                "adding core {k} dropped total progress {prev} -> {total}"
+            );
+            prev = total;
+        }
+    });
+}
+
+#[test]
+fn appending_a_core_never_disturbs_existing_cores() {
+    // The theorem behind monotonicity: under the fixed-priority arbiter,
+    // core i's trajectory depends only on cores 0..i, so appending a core
+    // leaves every existing core's accounting bit-identical.
+    prop_check!(cases = 96, |rng| {
+        let cfg = arb_fleet(rng, 5);
+        let horizon = rng.range_u64(500, 4_000);
+        let full = simulate_fleet(&cfg, horizon);
+        for k in 1..cfg.cores.len() {
+            let sub = simulate_fleet(
+                &FleetConfig {
+                    rom_ports: cfg.rom_ports,
+                    cores: cfg.cores[..k].to_vec(),
+                },
+                horizon,
+            );
+            assert_eq!(sub.cores[..], full.cores[..k], "prefix {k} diverged");
+        }
+    });
+}
+
+#[test]
+fn degradation_comes_only_from_rom_contention() {
+    prop_check!(cases = 96, |rng| {
+        let cfg = arb_fleet(rng, 6);
+        let horizon = rng.range_u64(500, 4_000);
+        let fleet = simulate_fleet(&cfg, horizon);
+        let solo_sum: f64 = cfg
+            .cores
+            .iter()
+            .map(|c| solo_progress(c, cfg.rom_ports, horizon))
+            .sum();
+        if fleet.total_stalls == 0 {
+            // No contention → exactly the sum of uncontended cores.
+            assert!(
+                (fleet.total_progress - solo_sum).abs() < 1e-9,
+                "stall-free fleet lost throughput: {} vs {}",
+                fleet.total_progress,
+                solo_sum
+            );
+        } else {
+            assert!(fleet.total_progress < solo_sum, "stalls must cost cycles");
+        }
+        // Enough ports for everyone → contention is impossible.
+        if cfg.rom_ports as usize >= cfg.cores.len() {
+            assert_eq!(fleet.total_stalls, 0);
+        }
+    });
+}
+
+#[test]
+fn accounting_is_conserved() {
+    prop_check!(cases = 96, |rng| {
+        let cfg = arb_fleet(rng, 6);
+        let horizon = rng.range_u64(0, 3_000);
+        let fleet = simulate_fleet(&cfg, horizon);
+        for (c, spec) in fleet.cores.iter().zip(&cfg.cores) {
+            // Every cycle is either useful or a stall…
+            assert_eq!(c.busy_cycles + c.stall_cycles, horizon, "core {}", c.name);
+            // …and progress is exactly the useful cycles over the op length.
+            let want = c.busy_cycles as f64 / spec.cycles_per_op as f64;
+            assert!(
+                (c.progress - want).abs() < 1e-9,
+                "core {}: progress {} vs busy/cycles {}",
+                c.name,
+                c.progress,
+                want
+            );
+            assert_eq!(c.ops_completed, c.busy_cycles / spec.cycles_per_op);
+        }
+    });
+}

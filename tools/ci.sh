@@ -93,6 +93,18 @@ FOURQ_BENCH_FAST=1 cargo run --release -q -p fourq-bench --bin microbench -- \
     --filter asic,multi_curve --gate-kernel-cache --out "$out"
 rm -f "$out"
 
+step "fleet-smoke: capacity planner + fleet scaling tripwire (FOURQ_BENCH_FAST=1)"
+# End-to-end smoke of the multi-core fleet model: the capacity_report
+# sweep (reduced core grid and stitch budget under FOURQ_BENCH_FAST)
+# must produce its Pareto frontier, and the modeled 4-core fleet on a
+# 2-port table ROM must sustain >=2x the single-core throughput
+# (alert-only on machines with fewer than 4 hardware threads).
+FOURQ_BENCH_FAST=1 cargo run --release -q -p fourq-bench --bin capacity_report > /dev/null
+out="$(mktemp)"
+FOURQ_BENCH_FAST=1 cargo run --release -q -p fourq-bench --bin microbench -- \
+    --filter fleet_ops --gate-fleet --out "$out"
+rm -f "$out"
+
 step "serve-smoke: server binary + loadgen over loopback TCP"
 # Starts the real `serve` binary on an ephemeral loopback port, drives
 # 2000 mixed requests through `loadgen`, and requires zero errors plus a
