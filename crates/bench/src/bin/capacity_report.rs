@@ -24,8 +24,13 @@ use fourq_bench::capacity::{kat_json, plan, PlanConfig, Workload};
 use fourq_curve::CurveId;
 use fourq_sched::StitchOptions;
 
-fn parse_workload(spec: &str) -> Workload {
-    let mut shares = Vec::new();
+/// Parses `--workload fourq=0.5,x25519=0.3,...` into validated shares:
+/// every share positive and finite, every curve listed at most once.
+/// Returns only the shares so the caller keeps whatever
+/// `target_sm_per_s` is already configured (`--target-load` composes
+/// with `--workload` in either argument order).
+fn parse_workload(spec: &str) -> Vec<(CurveId, f64)> {
+    let mut shares: Vec<(CurveId, f64)> = Vec::new();
     for part in spec.split(',') {
         let (name, share) = part.split_once('=').unwrap_or_else(|| {
             eprintln!("--workload wants name=share pairs, got '{part}'");
@@ -39,12 +44,20 @@ fn parse_workload(spec: &str) -> Workload {
             eprintln!("bad share '{share}'");
             std::process::exit(2);
         });
+        if !(share.is_finite() && share > 0.0) {
+            eprintln!(
+                "--workload share for '{}' must be a positive finite number, got '{share}'",
+                curve.name()
+            );
+            std::process::exit(2);
+        }
+        if shares.iter().any(|&(c, _)| c == curve) {
+            eprintln!("--workload lists '{}' twice", curve.name());
+            std::process::exit(2);
+        }
         shares.push((curve, share));
     }
-    Workload {
-        shares,
-        target_sm_per_s: 1.0e6,
-    }
+    shares
 }
 
 fn main() {
@@ -108,7 +121,7 @@ fn main() {
                     })
                     .collect();
             }
-            "--workload" => cfg.workload = parse_workload(&next("--workload")),
+            "--workload" => cfg.workload.shares = parse_workload(&next("--workload")),
             "--target-load" => {
                 cfg.workload.target_sm_per_s = next("--target-load")
                     .parse()

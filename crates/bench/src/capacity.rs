@@ -241,6 +241,23 @@ pub fn plan(cfg: &PlanConfig) -> CapacityPlan {
 pub fn plan_with_threads(cfg: &PlanConfig, threads: usize) -> CapacityPlan {
     assert!(!cfg.core_counts.is_empty() && !cfg.vdds.is_empty());
     assert!(!cfg.workload.shares.is_empty());
+    // A workload is keyed by curve throughout the planner (core
+    // assignment, per-curve accounting, KAT JSON object keys), so
+    // duplicate curves would double-count cores and emit duplicate
+    // JSON keys; shares must be positive so every listed curve is a
+    // real slice of the request stream.
+    for (i, &(curve, share)) in cfg.workload.shares.iter().enumerate() {
+        assert!(
+            share.is_finite() && share > 0.0,
+            "workload share for {} must be positive and finite, got {share}",
+            curve.name()
+        );
+        assert!(
+            cfg.workload.shares[..i].iter().all(|&(c, _)| c != curve),
+            "duplicate curve {} in workload",
+            curve.name()
+        );
+    }
     let flat = MachineConfig::paper();
     let (kernels, baseline, stitched, lb) = kernel_infos(&flat, cfg);
     // One technology model, calibrated against the effective Fourℚ cycle
@@ -251,18 +268,24 @@ pub fn plan_with_threads(cfg: &PlanConfig, threads: usize) -> CapacityPlan {
         .map(|k| k.cycles)
         .unwrap_or_else(|| kernels[0].cycles);
     let tech = SotbModel::calibrate_paper(fourq_cycles);
-    let horizon = horizon_for(&kernels);
 
     // The banked machine variant re-schedules every kernel with the
     // 6-port register file; on the paper datapath the ports do not bind,
     // so cycles typically match flat — which is itself a finding the
-    // sweep exposes (banked = same speed, less area).
-    let variants: Vec<(&'static str, Vec<CurveKernelInfo>)> = if cfg.banked {
+    // sweep exposes (banked = same speed, less area). Each variant
+    // simulates under a horizon scaled to its *own* slowest kernel, so
+    // op-boundary amortization stays comparable even if the variants'
+    // cycle counts diverge.
+    let variants: Vec<(&'static str, Vec<CurveKernelInfo>, u64)> = if cfg.banked {
         let banked_machine = MachineConfig::paper_banked();
         let (banked_kernels, ..) = kernel_infos(&banked_machine, cfg);
-        vec![("flat", kernels.clone()), ("banked", banked_kernels)]
+        let banked_horizon = horizon_for(&banked_kernels);
+        vec![
+            ("flat", kernels.clone(), horizon_for(&kernels)),
+            ("banked", banked_kernels, banked_horizon),
+        ]
     } else {
-        vec![("flat", kernels.clone())]
+        vec![("flat", kernels.clone(), horizon_for(&kernels))]
     };
 
     // Parallel axis: (variant, cores). Each item simulates one fleet and
@@ -271,7 +294,8 @@ pub fn plan_with_threads(cfg: &PlanConfig, threads: usize) -> CapacityPlan {
         .flat_map(|v| cfg.core_counts.iter().map(move |&n| (v, n)))
         .collect();
     let points: Vec<Vec<PlanPoint>> = fourq_pool::map_items(&grid, 1, threads, |_, &(v, n)| {
-        let (variant, vkernels) = &variants[v];
+        let (variant, vkernels, horizon) = &variants[v];
+        let horizon = *horizon;
         let demands: Vec<(String, f64)> = cfg
             .workload
             .shares
@@ -518,6 +542,22 @@ mod tests {
         for pt in &p.points {
             assert_eq!(pt.assignment.iter().map(|(_, n)| n).sum::<u32>(), pt.cores);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate curve")]
+    fn plan_rejects_duplicate_workload_curves() {
+        let mut cfg = tiny_cfg();
+        cfg.workload.shares = vec![(CurveId::FourQ, 0.5), (CurveId::FourQ, 0.5)];
+        plan_with_threads(&cfg, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn plan_rejects_non_positive_shares() {
+        let mut cfg = tiny_cfg();
+        cfg.workload.shares = vec![(CurveId::FourQ, 0.0)];
+        plan_with_threads(&cfg, 1);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use crate::{
     critical_path_priorities, lower_bound, schedule, MachineConfig, Problem, Schedule, UnitKind,
 };
+use std::collections::HashMap;
 
 /// Result of an exact search.
 #[derive(Clone, Debug)]
@@ -32,6 +33,11 @@ struct Searcher<'a> {
     cp_down: Vec<u64>, // critical path from op to sink (incl. own latency)
     best: Vec<u64>,
     best_makespan: u64,
+    // Results already booked per retire cycle along the current DFS path
+    // (committed on descent, rolled back on return). Mul and add
+    // latencies differ, so different issue cycles alias onto one retire
+    // cycle — write-port pressure is not a per-issue-cycle property.
+    writes_used: HashMap<u64, u32>,
     nodes: u64,
     node_limit: u64,
     exhausted: bool,
@@ -148,7 +154,6 @@ impl<'a> Searcher<'a> {
                 }
                 // port feasibility (mirrors the list scheduler)
                 let mut reads = 0u32;
-                let mut writes_now = [0u32; 8]; // finish-cycle offsets (lat ≤ 7 here)
                 let mut feasible = true;
                 for &op in [m, a].iter().flatten() {
                     let job = &self.problem.jobs[op];
@@ -160,18 +165,26 @@ impl<'a> Searcher<'a> {
                         }
                     }
                     reads += rf;
-                    let lat = self.latency(op) as usize;
-                    if lat < writes_now.len() {
-                        writes_now[lat] += 1;
-                    }
-                    let _ = writes_now;
                 }
                 if reads > self.machine.read_ports {
                     feasible = false;
                 }
-                // (write ports: at most one result per unit per cycle can
-                // retire at the same offset; with 2W this never binds for
-                // the ≤2-issue configurations handled here.)
+                // write ports: this cycle's results compete at their
+                // retire cycle with writes already booked by earlier
+                // issues (and with each other when the latencies match).
+                for &op in [m, a].iter().flatten() {
+                    let fin = cycle + self.latency(op);
+                    let issuing_here = [m, a]
+                        .iter()
+                        .flatten()
+                        .filter(|&&o| cycle + self.latency(o) == fin)
+                        .count() as u32;
+                    if self.writes_used.get(&fin).copied().unwrap_or(0) + issuing_here
+                        > self.machine.write_ports
+                    {
+                        feasible = false;
+                    }
+                }
                 if !feasible {
                     continue;
                 }
@@ -183,6 +196,7 @@ impl<'a> Searcher<'a> {
                     start[op] = cycle;
                     let fin = cycle + self.latency(op);
                     new_makespan = new_makespan.max(fin);
+                    *self.writes_used.entry(fin).or_default() += 1;
                     for &s in &self.succs[op] {
                         preds_left[s] -= 1;
                         if earliest[s] < fin {
@@ -213,6 +227,10 @@ impl<'a> Searcher<'a> {
                 }
                 for &op in [m, a].iter().flatten() {
                     start[op] = u64::MAX;
+                    *self
+                        .writes_used
+                        .get_mut(&(cycle + self.latency(op)))
+                        .expect("write booked on commit") -= 1;
                     for &s in &self.succs[op] {
                         preds_left[s] += 1;
                     }
@@ -269,6 +287,7 @@ pub fn exact_schedule(problem: &Problem, machine: &MachineConfig, node_limit: u6
         cp_down,
         best: seed.start.clone(),
         best_makespan: seed.makespan,
+        writes_used: HashMap::new(),
         nodes: 0,
         node_limit,
         exhausted: true,
@@ -398,6 +417,24 @@ mod tests {
             r.schedule.makespan <= seed.makespan,
             "the incumbent seed is never lost"
         );
+    }
+
+    #[test]
+    fn write_ports_bind_across_issue_cycles() {
+        // A mul issued at c and an add issued at c+1 retire together at
+        // c+2, so one write port must stagger them — pressure the old
+        // search never modeled (it punted on write ports entirely).
+        let mut jobs = Vec::new();
+        for _ in 0..4 {
+            jobs.push(mul(vec![], 1));
+            jobs.push(add(vec![], 1));
+        }
+        let p = Problem::new(jobs);
+        let mut m = MachineConfig::paper();
+        m.write_ports = 1;
+        let r = exact_schedule(&p, &m, 200_000);
+        r.schedule.validate(&p, &m).unwrap();
+        assert!(r.schedule.makespan >= lower_bound(&p, &m));
     }
 
     #[test]

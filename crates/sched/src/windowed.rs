@@ -305,6 +305,25 @@ pub fn stitched_exact_schedule(
             .map(|j| sub_reads(&sub, sched, machine, j))
             .collect();
 
+        // Aggregate the window's own occupancy per relative cycle. The
+        // seam check must compare `prefix + window-cycle-total` against
+        // the budgets: two window jobs sharing a cycle (a mul/add
+        // co-issue, or writes from different issue cycles retiring
+        // together) could each fit beside the prefix individually while
+        // their sum busts a port.
+        let mut win_issue: HashMap<(UnitKind, u64), usize> = HashMap::new();
+        let mut win_reads: HashMap<u64, u32> = HashMap::new();
+        let mut win_writes: HashMap<u64, u32> = HashMap::new();
+        for j in 0..sub.len() {
+            let c = sched.start[j];
+            let unit = sub.jobs[j].unit;
+            *win_issue.entry((unit, c)).or_default() += 1;
+            *win_reads.entry(c).or_default() += job_reads[j];
+            *win_writes
+                .entry(c + machine.latency(unit) as u64)
+                .or_default() += 1;
+        }
+
         // Smallest feasible offset: start from the cross-window
         // dependency bound and grow until the overlap region is clean.
         // `delta = makespan` is always feasible (the prefix issues no
@@ -318,30 +337,33 @@ pub fn stitched_exact_schedule(
                 }
             }
         }
-        'search: loop {
-            for j in 0..sub.len() {
-                let c = delta + sched.start[j];
-                let unit = sub.jobs[j].unit;
-                let lat = machine.latency(unit) as u64;
-                if issue.get(&(unit, c)).copied().unwrap_or(0) + 1 > machine.units(unit)
-                    || reads.get(&c).copied().unwrap_or(0) + job_reads[j] > machine.read_ports
-                    || writes.get(&(c + lat)).copied().unwrap_or(0) + 1 > machine.write_ports
-                {
-                    delta += 1;
-                    continue 'search;
-                }
+        loop {
+            let fits = win_issue.iter().all(|(&(unit, c), &k)| {
+                issue.get(&(unit, delta + c)).copied().unwrap_or(0) + k <= machine.units(unit)
+            }) && win_reads.iter().all(|(&c, &r)| {
+                reads.get(&(delta + c)).copied().unwrap_or(0) + r <= machine.read_ports
+            }) && win_writes.iter().all(|(&c, &w)| {
+                writes.get(&(delta + c)).copied().unwrap_or(0) + w <= machine.write_ports
+            });
+            if fits {
+                break;
             }
-            break;
+            delta += 1;
         }
 
         // Commit the window at `delta`.
+        for (&(unit, c), &k) in &win_issue {
+            *issue.entry((unit, delta + c)).or_default() += k;
+        }
+        for (&c, &r) in &win_reads {
+            *reads.entry(delta + c).or_default() += r;
+        }
+        for (&c, &w) in &win_writes {
+            *writes.entry(delta + c).or_default() += w;
+        }
         for j in 0..sub.len() {
             let c = delta + sched.start[j];
-            let unit = sub.jobs[j].unit;
-            let lat = machine.latency(unit) as u64;
-            *issue.entry((unit, c)).or_default() += 1;
-            *reads.entry(c).or_default() += job_reads[j];
-            *writes.entry(c + lat).or_default() += 1;
+            let lat = machine.latency(sub.jobs[j].unit) as u64;
             start[lo + j] = c;
             finish[lo + j] = c + lat;
             makespan = makespan.max(c + lat);
@@ -532,5 +554,42 @@ mod tests {
             },
         );
         r.schedule.validate(&p, &m).unwrap();
+    }
+
+    #[test]
+    fn seam_check_sums_co_issued_window_jobs() {
+        // Every window holds an independent mul/add pair that co-issues
+        // in the window-local schedule, so each overlap cycle carries
+        // the *sum* of both jobs' reads and both retiring writes — a
+        // per-job seam check would under-count exactly here. Sweep
+        // tight port budgets and segment counts; validate() recomputes
+        // combined per-cycle usage from scratch and must stay clean.
+        let mut jobs = Vec::new();
+        for _ in 0..8 {
+            jobs.push(mul(vec![], 2));
+            jobs.push(add(vec![], 2));
+        }
+        let p = Problem::new(jobs);
+        for read_ports in [2, 3, 4] {
+            for write_ports in [1, 2] {
+                for segments in [2, 4, 8] {
+                    let mut m = MachineConfig::paper();
+                    m.read_ports = read_ports;
+                    m.write_ports = write_ports;
+                    let r = stitched_exact_schedule(
+                        &p,
+                        &m,
+                        &StitchOptions {
+                            segments,
+                            node_limit: 5_000,
+                            window_trials: 2,
+                        },
+                    );
+                    r.schedule.validate(&p, &m).unwrap_or_else(|e| {
+                        panic!("invalid stitch at r{read_ports}/w{write_ports}/s{segments}: {e:?}")
+                    });
+                }
+            }
+        }
     }
 }

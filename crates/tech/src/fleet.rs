@@ -274,10 +274,18 @@ pub fn pareto_frontier(points: &[ParetoPoint]) -> Vec<usize> {
     });
     let mut frontier = Vec::new();
     let mut best = f64::NEG_INFINITY;
+    let mut best_power = f64::INFINITY;
     for &i in &idx {
-        if points[i].throughput > best {
+        // Keep strict improvements, and also exact (throughput, power)
+        // ties with the point that set `best`: co-located points do not
+        // dominate each other, so all of them are on the frontier (the
+        // banked machine's points coincide with the flat machine's).
+        if points[i].throughput > best
+            || (points[i].throughput == best && points[i].power_w == best_power)
+        {
             frontier.push(i);
             best = points[i].throughput;
+            best_power = points[i].power_w;
         }
     }
     frontier
@@ -424,6 +432,33 @@ mod tests {
             },
         ];
         assert_eq!(pareto_frontier(&pts), vec![0, 2]);
+    }
+
+    #[test]
+    fn pareto_frontier_keeps_colocated_ties_and_drops_weak_ties() {
+        let pts = [
+            ParetoPoint {
+                throughput: 10.0,
+                power_w: 1.0,
+            },
+            // Exact duplicate (the banked machine's points coincide with
+            // the flat machine's): neither dominates, both survive.
+            ParetoPoint {
+                throughput: 10.0,
+                power_w: 1.0,
+            },
+            // Equal throughput at strictly higher power: dominated.
+            ParetoPoint {
+                throughput: 10.0,
+                power_w: 2.0,
+            },
+            // Equal power at strictly lower throughput: dominated.
+            ParetoPoint {
+                throughput: 8.0,
+                power_w: 1.0,
+            },
+        ];
+        assert_eq!(pareto_frontier(&pts), vec![0, 1]);
     }
 
     #[test]
