@@ -172,10 +172,10 @@ fn main() {
     }
 
     println!(
-        "\nmachine | cores | VDD   | assignment        | SM/s      | sigs/s    | W/chip    | util  | stalls | chips | pareto"
+        "\nmachine | cores | VDD   | assignment        | SM/s      | sigs/s    | W/chip    | mm2 pc/shROM  | util  | stalls | chips | pareto"
     );
     println!(
-        "--------+-------+-------+-------------------+-----------+-----------+-----------+-------+--------+-------+-------"
+        "--------+-------+-------+-------------------+-----------+-----------+-----------+---------------+-------+--------+-------+-------"
     );
     for p in &result.points {
         let assignment = p
@@ -186,13 +186,15 @@ fn main() {
             .collect::<Vec<_>>()
             .join(" ");
         println!(
-            "{:<7} | {:>5} | {:>5.2} | {assignment:<17} | {:>9.3e} | {:>9.3e} | {:>9.3e} | {:>4.0}%  | {:>5.2}% | {:>5} | {}",
+            "{:<7} | {:>5} | {:>5.2} | {assignment:<17} | {:>9.3e} | {:>9.3e} | {:>9.3e} | {:>6.2}/{:<6.2} | {:>4.0}%  | {:>5.2}% | {:>5} | {}",
             p.machine,
             p.cores,
             p.vdd,
             p.sm_per_s,
             p.sigs_per_s,
             p.power_w,
+            p.area_mm2,
+            p.area_shared_rom_mm2,
             p.utilization * 100.0,
             p.stall_frac * 100.0,
             p.chips_for_target,
@@ -225,7 +227,9 @@ fn main() {
     println!(
         "\n* = on the throughput/watt Pareto frontier. The banked machine matches the\n\
          flat one cycle-for-cycle (register-file ports never bind on this datapath)\n\
-         at lower area — see DESIGN.md section 15."
+         at lower area — see DESIGN.md section 15. mm2 pc/shROM prices both\n\
+         floorplans: per-core table copies vs one shared table-ROM macro (the\n\
+         layout whose port contention the fleet simulation accounts for)."
     );
 }
 

@@ -131,8 +131,14 @@ pub struct PlanPoint {
     pub sigs_per_s: f64,
     /// Chip power at this point (W).
     pub power_w: f64,
-    /// Chip area (mm², sum of per-core macros).
+    /// Chip area (mm², sum of per-core macros — every Fourℚ core carries
+    /// a private copy of the 32-word precomputed table).
     pub area_mm2: f64,
+    /// Chip area of the shared-ROM floorplan (mm²): the Fourℚ cores drop
+    /// their private table words and one shared table-ROM macro (with
+    /// `rom_ports` read ports — the floorplan the fleet timing model's
+    /// port arbitration actually describes) is placed once.
+    pub area_shared_rom_mm2: f64,
     /// Mean core utilization (busy / horizon).
     pub utilization: f64,
     /// Fraction of core-cycles lost to ROM-port stalls.
@@ -211,23 +217,39 @@ fn kernel_infos(
     (infos, baseline, stitched, lb)
 }
 
-/// Chip area for a core mix on a machine variant: the Fourℚ cores hold
-/// the 32-word precomputed table, which the banked variant moves into
-/// the cheap table bank.
-fn chip_area_mm2(banked: bool, assignment: &[(CurveId, u32)], kernels: &[CurveKernelInfo]) -> f64 {
-    assignment
-        .iter()
-        .zip(kernels)
-        .map(|(&(curve, n), k)| {
-            let table_words = if curve == CurveId::FourQ { 32 } else { 0 };
-            let area = if banked {
-                AreaModel::paper_banked(k.registers, table_words.min(k.registers), k.rom_words)
-            } else {
-                AreaModel::paper_like(k.registers, k.rom_words)
-            };
-            n as f64 * area.area_mm2()
-        })
-        .sum()
+/// Chip area for a core mix on a machine variant, priced under both
+/// floorplans; returns `(per_core_tables, shared_rom)` in mm².
+///
+/// Per-core: every Fourℚ core holds the 32-word precomputed table in its
+/// register file (the banked variant in the cheap table bank). Shared
+/// ROM: the table words leave every core and one shared table-ROM macro
+/// with `rom_ports` read ports serves the whole curve group — the
+/// floorplan whose port contention `simulate_fleet` already accounts
+/// for. Curves without a table price identically under both.
+fn chip_area_mm2(
+    banked: bool,
+    rom_ports: u32,
+    assignment: &[(CurveId, u32)],
+    kernels: &[CurveKernelInfo],
+) -> (f64, f64) {
+    let mut per_core = 0.0;
+    let mut shared = 0.0;
+    for (&(curve, n), k) in assignment.iter().zip(kernels) {
+        let table_words = if curve == CurveId::FourQ { 32 } else { 0 };
+        let with_table = if banked {
+            AreaModel::paper_banked(k.registers, table_words.min(k.registers), k.rom_words)
+        } else {
+            AreaModel::paper_like(k.registers, k.rom_words)
+        };
+        per_core += n as f64 * with_table.area_mm2();
+        let sans_table =
+            AreaModel::paper_like(k.registers.saturating_sub(table_words), k.rom_words);
+        shared += n as f64 * sans_table.area_mm2();
+        if table_words > 0 && n > 0 {
+            shared += AreaModel::shared_table_rom_mm2(table_words, rom_ports);
+        }
+    }
+    (per_core, shared)
 }
 
 /// Runs the full sweep on the process-wide thread pool.
@@ -323,7 +345,8 @@ pub fn plan_with_threads(cfg: &PlanConfig, threads: usize) -> CapacityPlan {
                 .collect(),
         };
         let report = simulate_fleet(&fleet_cfg, horizon);
-        let area_mm2 = chip_area_mm2(*variant == "banked", &assignment, vkernels);
+        let (area_mm2, area_shared_rom_mm2) =
+            chip_area_mm2(*variant == "banked", cfg.rom_ports, &assignment, vkernels);
         let util_sum: f64 = report.cores.iter().map(|c| c.utilization).sum();
         cfg.vdds
             .iter()
@@ -360,6 +383,7 @@ pub fn plan_with_threads(cfg: &PlanConfig, threads: usize) -> CapacityPlan {
                     sigs_per_s: fourq_sm / 2.0,
                     power_w,
                     area_mm2,
+                    area_shared_rom_mm2,
                     utilization: util_sum / n as f64,
                     stall_frac: report.total_stalls as f64 / (n as u64 * horizon) as f64,
                     chips_for_target: chips_needed(cfg.workload.target_sm_per_s, sm_per_s),
@@ -483,7 +507,8 @@ pub fn kat_json(cfg: &PlanConfig, plan: &CapacityPlan) -> String {
             "    {{\"machine\": \"{}\", \"cores\": {}, \"vdd\": \"{:.2}\", \
              \"assignment\": {{{assignment}}}, \"sm_per_s\": \"{}\", \
              \"per_curve_sm_per_s\": {{{per_curve}}}, \"sigs_per_s\": \"{}\", \
-             \"power_w\": \"{}\", \"area_mm2\": \"{}\", \"utilization\": \"{}\", \
+             \"power_w\": \"{}\", \"area_mm2\": \"{}\", \"area_shared_rom_mm2\": \"{}\", \
+             \"utilization\": \"{}\", \
              \"stall_frac\": \"{}\", \"chips_for_target\": {}, \"pareto\": {}}}{}\n",
             p.machine,
             p.cores,
@@ -492,6 +517,7 @@ pub fn kat_json(cfg: &PlanConfig, plan: &CapacityPlan) -> String {
             sig(p.sigs_per_s),
             sig(p.power_w),
             sig(p.area_mm2),
+            sig(p.area_shared_rom_mm2),
             sig(p.utilization),
             sig(p.stall_frac),
             p.chips_for_target,
@@ -541,6 +567,32 @@ mod tests {
         let p = plan_with_threads(&cfg, 1);
         for pt in &p.points {
             assert_eq!(pt.assignment.iter().map(|(_, n)| n).sum::<u32>(), pt.cores);
+        }
+    }
+
+    #[test]
+    fn shared_rom_floorplan_is_priced_and_smaller_with_fourq_cores() {
+        let cfg = tiny_cfg();
+        let p = plan_with_threads(&cfg, 1);
+        for pt in &p.points {
+            assert!(pt.area_shared_rom_mm2 > 0.0);
+            let fourq_cores = pt
+                .assignment
+                .iter()
+                .find(|(c, _)| *c == CurveId::FourQ)
+                .map(|(_, n)| *n)
+                .unwrap_or(0);
+            if fourq_cores > 0 {
+                // Dropping 32 multiport table words per Fourℚ core buys
+                // more than the one shared macro costs.
+                assert!(
+                    pt.area_shared_rom_mm2 < pt.area_mm2,
+                    "shared-ROM floorplan should be smaller at {} cores",
+                    pt.cores
+                );
+            } else {
+                assert!((pt.area_shared_rom_mm2 - pt.area_mm2).abs() < 1e-12);
+            }
         }
     }
 

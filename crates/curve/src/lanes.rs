@@ -1,0 +1,450 @@
+//! Lane-interleaved curve arithmetic: `W` independent points stepped in
+//! lockstep through the extended-coordinate formulas.
+//!
+//! This is the curve half of the lane-oriented refactor (`DESIGN.md` §16):
+//! [`LaneExtendedPoint`] / [`LaneCachedPoint`] hold the coordinates of `W`
+//! unrelated points in [`Fp2Lanes`] structure-of-arrays form, and
+//! [`scalar_mul_engine_lanes`] runs the paper's Algorithm 1 over all `W`
+//! lanes at once — one instruction stream, `W` independent dependency
+//! chains, the software image of the pipelined datapath keeping several
+//! field operations in flight.
+//!
+//! Every lane formula performs exactly the scalar formula of
+//! [`crate::extended`] componentwise on canonical representatives, so lane
+//! `l` of any result is **bit-identical** to the scalar pipeline run on
+//! lane `l`'s inputs (enforced by the `lane_diff` differential suite).
+//! Secret digits steer per-lane masks ([`LaneChoice`]) through full table
+//! scans; no lane and no table slot is ever addressed by a secret.
+
+use crate::affine::AffinePoint;
+use crate::decompose::{decompose, recode, Recoded, DIGITS, LIMB_BITS};
+use crate::extended::{CachedPoint, ExtendedPoint};
+use crate::params::TWO_D;
+use fourq_fp::{Choice, Fp2, Fp2Lanes, LaneChoice, Scalar};
+
+/// The lane width of the interleaved batch kernels: quads, matching
+/// [`fourq_fp::LANE_WIDTH`] and FourQ's own 4-way decomposition.
+pub const LANE_WIDTH: usize = fourq_fp::LANE_WIDTH;
+
+/// `W` independent projective points in extended twisted Edwards
+/// coordinates, structure-of-arrays.
+#[derive(Clone, Copy, Debug)]
+pub struct LaneExtendedPoint<const W: usize> {
+    /// Projective X lanes.
+    pub x: Fp2Lanes<W>,
+    /// Projective Y lanes.
+    pub y: Fp2Lanes<W>,
+    /// Projective Z lanes.
+    pub z: Fp2Lanes<W>,
+    /// First factor of the auxiliary coordinate `T = Ta·Tb`.
+    pub ta: Fp2Lanes<W>,
+    /// Second factor of the auxiliary coordinate.
+    pub tb: Fp2Lanes<W>,
+}
+
+/// `W` independent precomputed points `(Y+X, Y−X, 2Z, 2dT)`,
+/// structure-of-arrays.
+#[derive(Clone, Copy, Debug)]
+pub struct LaneCachedPoint<const W: usize> {
+    /// `Y + X` lanes.
+    pub y_plus_x: Fp2Lanes<W>,
+    /// `Y − X` lanes.
+    pub y_minus_x: Fp2Lanes<W>,
+    /// `2Z` lanes.
+    pub z2: Fp2Lanes<W>,
+    /// `2dT` lanes.
+    pub t2d: Fp2Lanes<W>,
+}
+
+impl<const W: usize> LaneExtendedPoint<W> {
+    /// Lifts `W` affine points (lane `l` of each coordinate array is point
+    /// `l`), with `one` the lifted field unit in every lane.
+    pub fn from_affine_lanes(x: &Fp2Lanes<W>, y: &Fp2Lanes<W>, one: &Fp2Lanes<W>) -> Self {
+        LaneExtendedPoint {
+            x: *x,
+            y: *y,
+            z: *one,
+            ta: *x,
+            tb: *y,
+        }
+    }
+
+    /// Packs `W` scalar extended points into lane form.
+    pub fn from_points(points: &[ExtendedPoint<Fp2>; W]) -> Self {
+        LaneExtendedPoint {
+            x: Fp2Lanes::from_fp2s(core::array::from_fn(|l| points[l].x)),
+            y: Fp2Lanes::from_fp2s(core::array::from_fn(|l| points[l].y)),
+            z: Fp2Lanes::from_fp2s(core::array::from_fn(|l| points[l].z)),
+            ta: Fp2Lanes::from_fp2s(core::array::from_fn(|l| points[l].ta)),
+            tb: Fp2Lanes::from_fp2s(core::array::from_fn(|l| points[l].tb)),
+        }
+    }
+
+    /// Unpacks the lanes into `W` scalar extended points.
+    pub fn to_points(&self) -> [ExtendedPoint<Fp2>; W] {
+        let x = self.x.to_fp2s();
+        let y = self.y.to_fp2s();
+        let z = self.z.to_fp2s();
+        let ta = self.ta.to_fp2s();
+        let tb = self.tb.to_fp2s();
+        core::array::from_fn(|l| ExtendedPoint {
+            x: x[l],
+            y: y[l],
+            z: z[l],
+            ta: ta[l],
+            tb: tb[l],
+        })
+    }
+
+    /// Lane-wise doubling: the scalar `3M + 4S + 7A` formula of
+    /// [`ExtendedPoint::double`] applied to every lane in lockstep.
+    pub fn double(&self) -> Self {
+        let a = self.x.sqr();
+        let b = self.y.sqr();
+        let c = self.z.sqr();
+        let c2 = c.dbl();
+        let g = self.x.add(&self.y).sqr().sub(&a).sub(&b);
+        let d = b.sub(&a);
+        let e = b.add(&a);
+        let f = c2.sub(&d);
+        LaneExtendedPoint {
+            x: g.mul(&f),
+            y: e.mul(&d),
+            z: d.mul(&f),
+            ta: g,
+            tb: e,
+        }
+    }
+
+    /// Lane-wise addition with `W` precomputed points (`8M + 6A` per
+    /// lane, one instruction stream).
+    pub fn add_cached(&self, q: &LaneCachedPoint<W>) -> Self {
+        let t1 = self.ta.mul(&self.tb);
+        let a = self.y.sub(&self.x).mul(&q.y_minus_x);
+        let b = self.y.add(&self.x).mul(&q.y_plus_x);
+        let c = t1.mul(&q.t2d);
+        let d = self.z.mul(&q.z2);
+        let e = b.sub(&a);
+        let h = b.add(&a);
+        let f = d.sub(&c);
+        let g = d.add(&c);
+        LaneExtendedPoint {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            z: f.mul(&g),
+            ta: e,
+            tb: h,
+        }
+    }
+
+    /// Lane-wise conversion to the cached representation (`2M + 3A` per
+    /// lane).
+    pub fn to_cached(&self, two_d: &Fp2Lanes<W>) -> LaneCachedPoint<W> {
+        let t = self.ta.mul(&self.tb);
+        LaneCachedPoint {
+            y_plus_x: self.y.add(&self.x),
+            y_minus_x: self.y.sub(&self.x),
+            z2: self.z.dbl(),
+            t2d: t.mul(two_d),
+        }
+    }
+}
+
+impl<const W: usize> LaneCachedPoint<W> {
+    /// Packs `W` scalar cached points into lane form.
+    pub fn from_cached(points: &[CachedPoint<Fp2>; W]) -> Self {
+        LaneCachedPoint {
+            y_plus_x: Fp2Lanes::from_fp2s(core::array::from_fn(|l| points[l].y_plus_x)),
+            y_minus_x: Fp2Lanes::from_fp2s(core::array::from_fn(|l| points[l].y_minus_x)),
+            z2: Fp2Lanes::from_fp2s(core::array::from_fn(|l| points[l].z2)),
+            t2d: Fp2Lanes::from_fp2s(core::array::from_fn(|l| points[l].t2d)),
+        }
+    }
+
+    /// The same cached point in every lane (shared-table scans).
+    pub fn splat(p: &CachedPoint<Fp2>) -> Self {
+        LaneCachedPoint {
+            y_plus_x: Fp2Lanes::splat(p.y_plus_x),
+            y_minus_x: Fp2Lanes::splat(p.y_minus_x),
+            z2: Fp2Lanes::splat(p.z2),
+            t2d: Fp2Lanes::splat(p.t2d),
+        }
+    }
+
+    /// Lane-wise negation: swap `(Y+X, Y−X)`, negate `2dT`.
+    pub fn neg(&self) -> Self {
+        LaneCachedPoint {
+            y_plus_x: self.y_minus_x,
+            y_minus_x: self.y_plus_x,
+            z2: self.z2,
+            t2d: self.t2d.neg(),
+        }
+    }
+
+    /// Per-lane masked selection between two lane cached points.
+    // ct: secret(c)
+    pub fn ct_select(a: &Self, b: &Self, c: &LaneChoice<W>) -> Self {
+        LaneCachedPoint {
+            y_plus_x: Fp2Lanes::ct_select(&a.y_plus_x, &b.y_plus_x, c),
+            y_minus_x: Fp2Lanes::ct_select(&a.y_minus_x, &b.y_minus_x, c),
+            z2: Fp2Lanes::ct_select(&a.z2, &b.z2, c),
+            t2d: Fp2Lanes::ct_select(&a.t2d, &b.t2d, c),
+        }
+    }
+
+    /// Per-lane conditional negation with a fixed operation sequence: the
+    /// negation is always computed, the per-lane masks select.
+    // ct: secret(c)
+    #[must_use]
+    pub fn conditional_negate(&self, c: &LaneChoice<W>) -> Self {
+        let negated = self.neg();
+        Self::ct_select(self, &negated, c)
+    }
+}
+
+/// The lane identity `(0 : 1 : 1)` in every lane.
+pub(crate) fn identity_lanes<const W: usize>() -> LaneExtendedPoint<W> {
+    let zero = Fp2Lanes::splat(Fp2::ZERO);
+    let one = Fp2Lanes::splat(Fp2::ONE);
+    LaneExtendedPoint {
+        x: zero,
+        y: one,
+        z: one,
+        ta: zero,
+        tb: one,
+    }
+}
+
+/// Per-lane constant-time lookup of `signs · T[index]` from `W` 8-entry
+/// tables held in lane form.
+///
+/// Scans all eight slots once; each scan step applies `W` independent hit
+/// masks, so one pass serves every lane (the lane-wise image of the
+/// engine's masked table multiplexer). `indices[l]` must be `< 8` and
+/// `signs[l]` `±1`; both are secret recoded digits.
+// ct: secret(indices, signs)
+fn ct_lookup_lanes<const W: usize>(
+    table: &[LaneCachedPoint<W>; 8],
+    indices: &[u64; W],
+    signs: &[Choice; W],
+) -> LaneCachedPoint<W> {
+    let mut acc = table[0];
+    for (u, entry) in table.iter().enumerate().skip(1) {
+        let hit = LaneChoice::eq_each(indices, u as u64);
+        acc = LaneCachedPoint::ct_select(&acc, entry, &hit);
+    }
+    acc.conditional_negate(&LaneChoice::from_choices(*signs))
+}
+
+/// Runs the decomposed scalar multiplication `[k_l]P_l` for `W` points in
+/// lockstep — the paper's Algorithm 1 with every step widened to `W`
+/// lanes.
+///
+/// Step for step this is [`crate::scalar_mul_engine`]: auxiliary bases by
+/// `3×62` lane doublings, the 8-entry table by 7 lane additions, 62
+/// double-and-add iterations with lane-wise masked scans, and the masked
+/// parity correction. Lane `l` of the output is bit-identical to the
+/// scalar engine run on `(x_l, y_l, recoded_l, corrected_l)`.
+// ct: secret(recodeds, correcteds)
+pub fn scalar_mul_engine_lanes<const W: usize>(
+    x: &Fp2Lanes<W>,
+    y: &Fp2Lanes<W>,
+    recodeds: &[Recoded; W],
+    correcteds: &[Choice; W],
+) -> LaneExtendedPoint<W> {
+    let one = Fp2Lanes::splat(Fp2::ONE);
+    let two_d = Fp2Lanes::splat(TWO_D);
+    let p1 = LaneExtendedPoint::from_affine_lanes(x, y, &one);
+
+    // Step 1: auxiliary bases by repeated lane doubling.
+    let mut p2 = p1;
+    for _ in 0..LIMB_BITS {
+        p2 = p2.double();
+    }
+    let mut p3 = p2;
+    for _ in 0..LIMB_BITS {
+        p3 = p3.double();
+    }
+    let mut p4 = p3;
+    for _ in 0..LIMB_BITS {
+        p4 = p4.double();
+    }
+
+    // Step 2: the 8-entry table, built with 7 lane additions.
+    let c2 = p2.to_cached(&two_d);
+    let c3 = p3.to_cached(&two_d);
+    let c4 = p4.to_cached(&two_d);
+    let t0 = p1;
+    let t1 = t0.add_cached(&c2);
+    let t2 = t0.add_cached(&c3);
+    let t3 = t1.add_cached(&c3);
+    let t4 = t0.add_cached(&c4);
+    let t5 = t1.add_cached(&c4);
+    let t6 = t2.add_cached(&c4);
+    let t7 = t3.add_cached(&c4);
+    let table: [LaneCachedPoint<W>; 8] = [
+        t0.to_cached(&two_d),
+        t1.to_cached(&two_d),
+        t2.to_cached(&two_d),
+        t3.to_cached(&two_d),
+        t4.to_cached(&two_d),
+        t5.to_cached(&two_d),
+        t6.to_cached(&two_d),
+        t7.to_cached(&two_d),
+    ];
+
+    // Per-digit lane gathers: the digit position is the public loop index,
+    // the digit values are secret and only ever feed mask construction.
+    let digit_lanes = |i: usize| -> ([u64; W], [Choice; W]) {
+        let mut idx = [0u64; W];
+        let mut sgn = [Choice::FALSE; W];
+        for l in 0..W {
+            idx[l] = recodeds[l].indices[i] as u64;
+            sgn[l] = Choice::from_bit(((recodeds[l].signs[i] as u8) >> 7) as u64);
+        }
+        (idx, sgn)
+    };
+
+    // Step 3: entry digit, then the 62 double-and-add iterations.
+    let top = DIGITS - 1;
+    let (idx, sgn) = digit_lanes(top);
+    let entry = ct_lookup_lanes(&table, &idx, &sgn);
+    let q0 = identity_lanes();
+    let mut q = q0.add_cached(&entry);
+
+    for i in (0..top).rev() {
+        q = q.double();
+        let (idx, sgn) = digit_lanes(i);
+        let e = ct_lookup_lanes(&table, &idx, &sgn);
+        q = q.add_cached(&e);
+    }
+
+    // Step 4: masked parity correction, per lane.
+    let neg_p1 = table[0].neg();
+    let id_cached = LaneCachedPoint {
+        y_plus_x: one,
+        y_minus_x: one,
+        z2: one.dbl(),
+        t2d: one.sub(&one),
+    };
+    let corr =
+        LaneCachedPoint::ct_select(&id_cached, &neg_p1, &LaneChoice::from_choices(*correcteds));
+    q.add_cached(&corr)
+}
+
+/// Interleaved variable-base scalar multiplication: `[k_l]P_l` for `W`
+/// independent pairs on one core, decompose/recode per lane and the whole
+/// Algorithm 1 pipeline stepped in lockstep.
+///
+/// Lane `l` of the result is bit-identical (extended coordinates included)
+/// to [`AffinePoint::mul_extended`] on `(P_l, k_l)`; the batch layer of
+/// [`crate::FourQEngine`] regroups its inputs into such quads.
+// ct: secret(ks)
+pub fn mul_extended_lanes<const W: usize>(
+    points: &[AffinePoint; W],
+    ks: &[Scalar; W],
+) -> [ExtendedPoint<Fp2>; W] {
+    let mut correcteds = [Choice::FALSE; W];
+    let recodeds: [Recoded; W] = core::array::from_fn(|l| {
+        let d = decompose(&ks[l]);
+        correcteds[l] = d.corrected;
+        recode(&d)
+    });
+    let x = Fp2Lanes::from_fp2s(core::array::from_fn(|l| points[l].x));
+    let y = Fp2Lanes::from_fp2s(core::array::from_fn(|l| points[l].y));
+    let q = scalar_mul_engine_lanes(&x, &y, &recodeds, &correcteds);
+    let mut out = q.to_points();
+    for l in 0..W {
+        // ct: allow(R1) reason="identity short-circuit on the public base point, mirroring mul_extended"
+        if points[l].is_identity() {
+            out[l] = crate::engine::identity(&Fp2::ONE);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::normalize;
+
+    fn points_eq(a: &ExtendedPoint<Fp2>, b: &ExtendedPoint<Fp2>) -> bool {
+        a.x == b.x && a.y == b.y && a.z == b.z && a.ta == b.ta && a.tb == b.tb
+    }
+
+    #[test]
+    fn lane_double_and_add_match_scalar() {
+        let g = AffinePoint::generator();
+        let pts: [ExtendedPoint<Fp2>; 4] = core::array::from_fn(|l| {
+            let p = g.mul(&Scalar::from_u64(l as u64 + 2));
+            ExtendedPoint::from_affine(&p.x, &p.y, &Fp2::ONE)
+        });
+        let lanes = LaneExtendedPoint::from_points(&pts);
+        let doubled = lanes.double().to_points();
+        let cached_scalar: [CachedPoint<Fp2>; 4] =
+            core::array::from_fn(|l| pts[l].to_cached(&TWO_D));
+        let cached = LaneCachedPoint::from_cached(&cached_scalar);
+        let added = lanes.add_cached(&cached).to_points();
+        for l in 0..4 {
+            assert!(points_eq(&doubled[l], &pts[l].double()), "double lane {l}");
+            assert!(
+                points_eq(&added[l], &pts[l].add_cached(&cached_scalar[l])),
+                "add lane {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn interleaved_mul_matches_scalar_pipeline_exactly() {
+        let g = AffinePoint::generator();
+        let points: [AffinePoint; 4] =
+            core::array::from_fn(|l| g.mul(&Scalar::from_u64(3 * l as u64 + 1)));
+        let ks: [Scalar; 4] =
+            core::array::from_fn(|l| Scalar::from_u64(0x9e37_79b9 * (l as u64 + 1) + 17));
+        let lanes = mul_extended_lanes(&points, &ks);
+        for l in 0..4 {
+            let scalar = points[l].mul_extended(&ks[l]);
+            assert!(
+                points_eq(&lanes[l], &scalar),
+                "lane {l} extended coords differ from scalar pipeline"
+            );
+        }
+    }
+
+    #[test]
+    fn interleaved_mul_identity_and_zero_lanes() {
+        let g = AffinePoint::generator();
+        let points = [g, AffinePoint::identity(), g.double(), g];
+        let ks = [
+            Scalar::from_u64(5),
+            Scalar::from_u64(7),
+            Scalar::ZERO,
+            Scalar::from_u64(1),
+        ];
+        let lanes = mul_extended_lanes(&points, &ks);
+        for l in 0..4 {
+            let scalar = points[l].mul_extended(&ks[l]);
+            assert!(points_eq(&lanes[l], &scalar), "lane {l}");
+            let (x, y) = normalize(&lanes[l]);
+            assert_eq!(
+                AffinePoint { x, y },
+                points[l].mul(&ks[l]),
+                "lane {l} affine"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_width_one_and_two() {
+        let g = AffinePoint::generator();
+        let k = Scalar::from_u64(0xdead_beef);
+        let one_lane = mul_extended_lanes(&[g], &[k]);
+        assert!(points_eq(&one_lane[0], &g.mul_extended(&k)));
+        let two = mul_extended_lanes(&[g, g.double()], &[k, Scalar::from_u64(99)]);
+        assert!(points_eq(&two[0], &g.mul_extended(&k)));
+        assert!(points_eq(
+            &two[1],
+            &g.double().mul_extended(&Scalar::from_u64(99))
+        ));
+    }
+}

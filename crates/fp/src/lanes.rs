@@ -1,0 +1,494 @@
+//! Lane-oriented (structure-of-arrays) field arithmetic: `W` independent
+//! elements stepped by a single instruction stream.
+//!
+//! The paper's datapath keeps several independent `F_p` multiplications in
+//! flight inside one pipelined Karatsuba multiplier (§II-B). The software
+//! analogue is this module: [`FpLanes`] / [`Fp2Lanes`] hold `W` unrelated
+//! field elements limb-major ("limbs-in-lanes" — with the Mersenne field's
+//! single 127-bit limb per element, that is one `[Fp; W]` lane array per
+//! limb), and every operation walks the lanes in a fixed inner loop. Four
+//! unrelated dependency chains share one instruction stream, which is
+//! exactly the interleaving the hardware pipeline performs in time.
+//!
+//! The arithmetic is written as plain scalar Rust so the pinned stable
+//! toolchain's autovectorizer can lift the lane loops (masked selects and
+//! the Mersenne folds are pure bitwise/add networks over adjacent lanes);
+//! the optional `portable-simd` cargo feature swaps the hottest masked
+//! select for an explicit `core::simd` kernel on nightly. Every lane
+//! operation produces exactly the canonical representatives the scalar
+//! [`Fp`]/[`Fp2`] path produces, so lane results are *bit-identical* to
+//! `W` scalar calls — the differential suites in `fourq-curve` and the
+//! property tests in this crate enforce that at `W ∈ {1, 2, 4}`.
+//!
+//! Secret-dependent choices enter only through [`LaneChoice`], the
+//! per-lane form of [`Choice`]: selection is masked lane-wise, and no
+//! operation ever extracts a lane at a secret index (lane positions are
+//! public batch geometry; the secrets steer masks, never addresses).
+
+use crate::fp::Fp;
+use crate::fp2::Fp2;
+use crate::traits::{ct_eq_u64, Choice, CtSelect};
+use crate::wide::Wide;
+
+/// The default lane width: four independent operand sets per instruction
+/// stream, matching both the 4-way GLV shape of FourQ's scalar
+/// decomposition and a 512-bit vector register's worth of `u128` lanes.
+pub const LANE_WIDTH: usize = 4;
+
+/// Per-lane constant-time choices: `W` independent masks steering `W`
+/// independent selections in one call.
+///
+/// The lane index is always public (it is batch geometry); the masks are
+/// assumed secret-derived, exactly like the scalar [`Choice`].
+// ct: secret
+#[derive(Clone, Copy)]
+pub struct LaneChoice<const W: usize> {
+    lanes: [Choice; W],
+}
+
+impl<const W: usize> LaneChoice<W> {
+    /// Builds per-lane choices from an array of scalar choices.
+    #[inline]
+    pub fn from_choices(lanes: [Choice; W]) -> Self {
+        LaneChoice { lanes }
+    }
+
+    /// The same choice in every lane.
+    #[inline]
+    pub fn splat(c: Choice) -> Self {
+        LaneChoice { lanes: [c; W] }
+    }
+
+    /// Per-lane equality of each lane's (secret) value against one shared
+    /// public needle — the mask set driving one step of a lane-wise masked
+    /// table scan.
+    // ct: secret(values)
+    #[inline]
+    pub fn eq_each(values: &[u64; W], needle: u64) -> Self {
+        let mut lanes = [Choice::FALSE; W];
+        for l in 0..W {
+            lanes[l] = ct_eq_u64(values[l], needle);
+        }
+        LaneChoice { lanes }
+    }
+
+    /// The scalar choice of lane `l` (a public index).
+    #[inline]
+    pub fn lane(&self, l: usize) -> Choice {
+        self.lanes[l]
+    }
+}
+
+/// `W` independent `F_p` elements in structure-of-arrays layout.
+///
+/// Each lane is a canonical [`Fp`] (representative in `[0, p)`), so
+/// algebraic equality of lane results with the scalar path is byte
+/// equality.
+///
+/// ```
+/// use fourq_fp::{Fp, FpLanes};
+/// let a = FpLanes::<4>::from_fps([Fp::from_u64(1), Fp::from_u64(2), Fp::from_u64(3), Fp::from_u64(4)]);
+/// let sq = a.sqr().to_fps();
+/// assert_eq!(sq[2], Fp::from_u64(9));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FpLanes<const W: usize> {
+    lanes: [Fp; W],
+}
+
+impl<const W: usize> FpLanes<W> {
+    /// The same element in every lane.
+    #[inline]
+    pub const fn splat(v: Fp) -> Self {
+        FpLanes { lanes: [v; W] }
+    }
+
+    /// Packs `W` independent elements.
+    #[inline]
+    pub const fn from_fps(lanes: [Fp; W]) -> Self {
+        FpLanes { lanes }
+    }
+
+    /// Unpacks into the per-lane elements.
+    #[inline]
+    pub fn to_fps(self) -> [Fp; W] {
+        self.lanes
+    }
+
+    /// The element in lane `l` (a public index).
+    #[inline]
+    pub fn lane(&self, l: usize) -> Fp {
+        self.lanes[l]
+    }
+
+    /// Lane-wise field addition.
+    #[inline]
+    pub fn add(&self, rhs: &Self) -> Self {
+        let mut out = [Fp::ZERO; W];
+        for l in 0..W {
+            out[l] = self.lanes[l].add_const(rhs.lanes[l]);
+        }
+        FpLanes { lanes: out }
+    }
+
+    /// Lane-wise field subtraction.
+    #[inline]
+    pub fn sub(&self, rhs: &Self) -> Self {
+        let mut out = [Fp::ZERO; W];
+        for l in 0..W {
+            out[l] = self.lanes[l].sub_const(rhs.lanes[l]);
+        }
+        FpLanes { lanes: out }
+    }
+
+    /// Lane-wise negation.
+    #[inline]
+    pub fn neg(&self) -> Self {
+        let mut out = [Fp::ZERO; W];
+        for l in 0..W {
+            out[l] = self.lanes[l].neg_const();
+        }
+        FpLanes { lanes: out }
+    }
+
+    /// Lane-wise doubling.
+    #[inline]
+    pub fn dbl(&self) -> Self {
+        self.add(self)
+    }
+
+    /// Lane-wise full-width products, unreduced (the lazy-reduction hook
+    /// used by the `F_p²` lane multiplier).
+    #[inline]
+    fn widening_mul(&self, rhs: &Self) -> [Wide; W] {
+        let mut out = [Wide::ZERO; W];
+        for l in 0..W {
+            out[l] = self.lanes[l].widening_mul(rhs.lanes[l]);
+        }
+        out
+    }
+
+    /// Lane-wise field multiplication.
+    #[inline]
+    pub fn mul(&self, rhs: &Self) -> Self {
+        let w = self.widening_mul(rhs);
+        let mut out = [Fp::ZERO; W];
+        for l in 0..W {
+            out[l] = w[l].reduce();
+        }
+        FpLanes { lanes: out }
+    }
+
+    /// Lane-wise field squaring.
+    #[inline]
+    pub fn sqr(&self) -> Self {
+        self.mul(self)
+    }
+
+    /// Lane-wise masked selection: lane `l` of the result is `a`'s lane
+    /// when `c.lane(l)` is false and `b`'s lane when it is true. The mask
+    /// network is the same AND/XOR form as the scalar [`CtSelect`]; no
+    /// lane is ever addressed by a secret.
+    // ct: secret(c)
+    #[inline]
+    pub fn ct_select(a: &Self, b: &Self, c: &LaneChoice<W>) -> Self {
+        #[cfg(feature = "portable-simd")]
+        if W == 4 {
+            return Self::ct_select_simd4(a, b, c);
+        }
+        let mut out = [Fp::ZERO; W];
+        for l in 0..W {
+            out[l] = Fp::ct_select(&a.lanes[l], &b.lanes[l], c.lanes[l]);
+        }
+        FpLanes { lanes: out }
+    }
+
+    /// The `core::simd` specialisation of [`FpLanes::ct_select`] for the
+    /// default width (nightly-only `portable-simd` feature): four masked
+    /// 128-bit selects as one 512-bit AND/XOR network.
+    // ct: secret(c)
+    #[cfg(feature = "portable-simd")]
+    #[inline]
+    fn ct_select_simd4(a: &Self, b: &Self, c: &LaneChoice<W>) -> Self {
+        use core::simd::u64x8;
+        let split = |x: &[Fp; W]| {
+            let mut words = [0u64; 8];
+            for l in 0..4 {
+                let v = x[l].to_u128();
+                words[2 * l] = v as u64;
+                words[2 * l + 1] = (v >> 64) as u64;
+            }
+            u64x8::from_array(words)
+        };
+        let av = split(&a.lanes);
+        let bv = split(&b.lanes);
+        let mut mwords = [0u64; 8];
+        for l in 0..4 {
+            let m = c.lanes[l].mask64();
+            mwords[2 * l] = m;
+            mwords[2 * l + 1] = m;
+        }
+        let mv = u64x8::from_array(mwords);
+        let rv = (av ^ bv) & mv ^ av;
+        let words = rv.to_array();
+        let mut out = [Fp::ZERO; W];
+        for l in 0..4 {
+            let v = words[2 * l] as u128 | ((words[2 * l + 1] as u128) << 64);
+            out[l] = Fp::from_raw_canonical(v);
+        }
+        FpLanes { lanes: out }
+    }
+}
+
+/// `W` independent `F_p²` elements in structure-of-arrays layout: one lane
+/// array for the real components, one for the imaginary components.
+///
+/// The multiplier mirrors the paper's Algorithm 2 (Karatsuba with lazy
+/// reduction) step by step across the lanes, so `W` unrelated products
+/// share one instruction stream the way the hardware pipeline shares one
+/// multiplier array in time.
+///
+/// ```
+/// use fourq_fp::{Fp2, Fp2Lanes};
+/// let a = Fp2::from_u128_pair(3, 5);
+/// let b = Fp2::from_u128_pair(7, 11);
+/// let lanes = Fp2Lanes::<2>::from_fp2s([a, b]);
+/// assert_eq!(lanes.mul(&lanes).to_fp2s(), [a * a, b * b]);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fp2Lanes<const W: usize> {
+    re: FpLanes<W>,
+    im: FpLanes<W>,
+}
+
+impl<const W: usize> Fp2Lanes<W> {
+    /// Builds from separate real/imaginary lane arrays.
+    #[inline]
+    pub const fn new(re: FpLanes<W>, im: FpLanes<W>) -> Self {
+        Fp2Lanes { re, im }
+    }
+
+    /// The same element in every lane.
+    #[inline]
+    pub const fn splat(v: Fp2) -> Self {
+        Fp2Lanes {
+            re: FpLanes::splat(v.re),
+            im: FpLanes::splat(v.im),
+        }
+    }
+
+    /// Packs `W` independent elements (transposing to lane layout).
+    #[inline]
+    pub fn from_fp2s(vals: [Fp2; W]) -> Self {
+        let mut re = [Fp::ZERO; W];
+        let mut im = [Fp::ZERO; W];
+        for l in 0..W {
+            re[l] = vals[l].re;
+            im[l] = vals[l].im;
+        }
+        Fp2Lanes {
+            re: FpLanes::from_fps(re),
+            im: FpLanes::from_fps(im),
+        }
+    }
+
+    /// Unpacks into the per-lane elements.
+    #[inline]
+    pub fn to_fp2s(self) -> [Fp2; W] {
+        let re = self.re.to_fps();
+        let im = self.im.to_fps();
+        let mut out = [Fp2::ZERO; W];
+        for l in 0..W {
+            out[l] = Fp2::new(re[l], im[l]);
+        }
+        out
+    }
+
+    /// The element in lane `l` (a public index).
+    #[inline]
+    pub fn lane(&self, l: usize) -> Fp2 {
+        Fp2::new(self.re.lane(l), self.im.lane(l))
+    }
+
+    /// Lane-wise addition.
+    #[inline]
+    pub fn add(&self, rhs: &Self) -> Self {
+        Fp2Lanes {
+            re: self.re.add(&rhs.re),
+            im: self.im.add(&rhs.im),
+        }
+    }
+
+    /// Lane-wise subtraction.
+    #[inline]
+    pub fn sub(&self, rhs: &Self) -> Self {
+        Fp2Lanes {
+            re: self.re.sub(&rhs.re),
+            im: self.im.sub(&rhs.im),
+        }
+    }
+
+    /// Lane-wise negation.
+    #[inline]
+    pub fn neg(&self) -> Self {
+        Fp2Lanes {
+            re: self.re.neg(),
+            im: self.im.neg(),
+        }
+    }
+
+    /// Lane-wise conjugation.
+    #[inline]
+    pub fn conj(&self) -> Self {
+        Fp2Lanes {
+            re: self.re,
+            im: self.im.neg(),
+        }
+    }
+
+    /// Lane-wise doubling.
+    #[inline]
+    pub fn dbl(&self) -> Self {
+        self.add(self)
+    }
+
+    /// Lane-wise Karatsuba multiplication with lazy reduction — the
+    /// paper's Algorithm 2 walked step by step across the lanes. Each
+    /// step's inner loop touches all `W` lanes before the next dependent
+    /// step issues, handing the CPU `W` independent chains at every point
+    /// of the formula (the software image of the pipelined multiplier).
+    #[inline]
+    pub fn mul(&self, rhs: &Self) -> Self {
+        let t0 = self.re.widening_mul(&rhs.re);
+        let t1 = self.im.widening_mul(&rhs.im);
+        let t2 = self.re.add(&self.im);
+        let t3 = rhs.re.add(&rhs.im);
+        let t6 = t2.widening_mul(&t3);
+        let mut re = [Fp::ZERO; W];
+        let mut im = [Fp::ZERO; W];
+        for l in 0..W {
+            re[l] = t0[l].sub_mod_p(t1[l]).reduce();
+        }
+        for l in 0..W {
+            im[l] = t6[l].sub_mod_p(t0[l].add(t1[l])).reduce();
+        }
+        Fp2Lanes {
+            re: FpLanes::from_fps(re),
+            im: FpLanes::from_fps(im),
+        }
+    }
+
+    /// Lane-wise squaring via the complex shortcut
+    /// `(a+bi)² = (a+b)(a−b) + 2ab·i` (two lane multiplications).
+    #[inline]
+    pub fn sqr(&self) -> Self {
+        let t0 = self.re.add(&self.im);
+        let t1 = self.re.sub(&self.im);
+        let t2 = self.re.dbl();
+        Fp2Lanes {
+            re: t0.mul(&t1),
+            im: t2.mul(&self.im),
+        }
+    }
+
+    /// Lane-wise masked selection (see [`FpLanes::ct_select`]).
+    // ct: secret(c)
+    #[inline]
+    pub fn ct_select(a: &Self, b: &Self, c: &LaneChoice<W>) -> Self {
+        Fp2Lanes {
+            re: FpLanes::ct_select(&a.re, &b.re, c),
+            im: FpLanes::ct_select(&a.im, &b.im, c),
+        }
+    }
+
+    /// Lane-wise conditional negation: the negation is always computed and
+    /// the per-lane masks select, so the operation sequence is fixed.
+    // ct: secret(c)
+    #[inline]
+    #[must_use]
+    pub fn conditional_negate(&self, c: &LaneChoice<W>) -> Self {
+        let negated = self.neg();
+        Self::ct_select(self, &negated, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seed: u64) -> Fp2 {
+        let mut x = Fp2::from_u128_pair(seed as u128, (seed ^ 0xabcd) as u128);
+        for _ in 0..4 {
+            x = x.square() + Fp2::from_u128_pair(3, seed as u128);
+        }
+        x
+    }
+
+    fn samples<const W: usize>(base: u64) -> [Fp2; W] {
+        core::array::from_fn(|l| sample(base + l as u64))
+    }
+
+    fn check_ops<const W: usize>() {
+        let a: [Fp2; W] = samples(1000);
+        let b: [Fp2; W] = samples(2000);
+        let la = Fp2Lanes::from_fp2s(a);
+        let lb = Fp2Lanes::from_fp2s(b);
+        let mul = la.mul(&lb).to_fp2s();
+        let add = la.add(&lb).to_fp2s();
+        let sub = la.sub(&lb).to_fp2s();
+        let sqr = la.sqr().to_fp2s();
+        let dbl = la.dbl().to_fp2s();
+        let neg = la.neg().to_fp2s();
+        let conj = la.conj().to_fp2s();
+        for l in 0..W {
+            assert_eq!(mul[l], a[l] * b[l], "mul lane {l} of {W}");
+            assert_eq!(add[l], a[l] + b[l], "add lane {l} of {W}");
+            assert_eq!(sub[l], a[l] - b[l], "sub lane {l} of {W}");
+            assert_eq!(sqr[l], a[l].square(), "sqr lane {l} of {W}");
+            assert_eq!(dbl[l], a[l].double(), "dbl lane {l} of {W}");
+            assert_eq!(neg[l], -a[l], "neg lane {l} of {W}");
+            assert_eq!(conj[l], a[l].conj(), "conj lane {l} of {W}");
+        }
+    }
+
+    #[test]
+    fn lane_ops_match_scalar_all_widths() {
+        check_ops::<1>();
+        check_ops::<2>();
+        check_ops::<4>();
+    }
+
+    #[test]
+    fn select_is_lane_independent() {
+        let a: [Fp2; 4] = samples(7);
+        let b: [Fp2; 4] = samples(8);
+        let la = Fp2Lanes::from_fp2s(a);
+        let lb = Fp2Lanes::from_fp2s(b);
+        let c =
+            LaneChoice::from_choices([Choice::FALSE, Choice::TRUE, Choice::TRUE, Choice::FALSE]);
+        let sel = Fp2Lanes::ct_select(&la, &lb, &c).to_fp2s();
+        assert_eq!(sel, [a[0], b[1], b[2], a[3]]);
+        let negd = la.conditional_negate(&c).to_fp2s();
+        assert_eq!(negd, [a[0], -a[1], -a[2], a[3]]);
+    }
+
+    #[test]
+    fn eq_each_masks() {
+        let c = LaneChoice::<4>::eq_each(&[5, 6, 5, 0], 5);
+        assert!(c.lane(0).to_bool_vartime());
+        assert!(!c.lane(1).to_bool_vartime());
+        assert!(c.lane(2).to_bool_vartime());
+        assert!(!c.lane(3).to_bool_vartime());
+    }
+
+    #[test]
+    fn splat_fills_lanes() {
+        let v = sample(42);
+        let lanes = Fp2Lanes::<4>::splat(v);
+        assert_eq!(lanes.to_fp2s(), [v; 4]);
+        assert_eq!(lanes.lane(3), v);
+        let f = FpLanes::<2>::splat(Fp::from_u64(9));
+        assert_eq!(f.to_fps(), [Fp::from_u64(9); 2]);
+        assert_eq!(f.lane(0), Fp::from_u64(9));
+    }
+}

@@ -344,6 +344,27 @@ impl AreaModel {
     pub fn area_mm2(&self) -> f64 {
         self.total_kge() * 6.27 / 1400.0
     }
+
+    /// kGE of one shared table-ROM macro: `words` 256-bit entries in a
+    /// dense single-array macro (~2 GE/bit — array cells, not multiport
+    /// flops) plus ~1.5 kGE of address decode and output muxing per read
+    /// port.
+    ///
+    /// This is the area side of the fleet model's shared table ROM
+    /// (`fleet::FleetConfig::rom_ports` arbitrates its read ports): the
+    /// floorplan alternative to every core carrying a private table copy
+    /// in its (expensive, multiport) register file. A hard macro is
+    /// placed once and routed point-to-point, so the standard-cell
+    /// [`AreaModel::integration_overhead`] deliberately does not apply.
+    pub fn shared_table_rom_kge(words: usize, ports: u32) -> f64 {
+        words as f64 * 256.0 * 2.0 / 1000.0 + ports as f64 * 1.5
+    }
+
+    /// [`AreaModel::shared_table_rom_kge`] converted at the same 65 nm
+    /// density as [`AreaModel::area_mm2`].
+    pub fn shared_table_rom_mm2(words: usize, ports: u32) -> f64 {
+        Self::shared_table_rom_kge(words, ports) * 6.27 / 1400.0
+    }
 }
 
 #[cfg(test)]
@@ -425,6 +446,33 @@ mod tests {
         // The saving is exactly half the table bank's multiport cost.
         let want = flat.register_file_kge() - 16.0 * 256.0 * 12.0 / 1000.0;
         assert!((banked.register_file_kge() - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_table_rom_beats_private_copies() {
+        // The 32-word Fourℚ table: one shared 2-port macro vs a private
+        // copy in every core's multiport register file. The macro is ~2
+        // GE/bit with no integration overhead; the private copy burns 12
+        // GE/bit multiport cells times the overhead, so sharing wins from
+        // one core up and the gap grows linearly with the core count.
+        let with_table = AreaModel::paper_like(93, 4706);
+        let sans_table = AreaModel::paper_like(93 - 32, 4706);
+        let macro_mm2 = AreaModel::shared_table_rom_mm2(32, 2);
+        for n in [1usize, 2, 8] {
+            let private = n as f64 * with_table.area_mm2();
+            let shared = n as f64 * sans_table.area_mm2() + macro_mm2;
+            assert!(shared < private, "shared floorplan must win at n = {n}");
+        }
+        let gap1 = with_table.area_mm2() - sans_table.area_mm2();
+        let shared8 = 8.0 * sans_table.area_mm2() + macro_mm2;
+        assert!((8.0 * with_table.area_mm2() - shared8) > 7.0 * gap1 - macro_mm2 - 1e-9);
+    }
+
+    #[test]
+    fn shared_table_rom_scales_with_words_and_ports() {
+        assert!(AreaModel::shared_table_rom_kge(64, 2) > AreaModel::shared_table_rom_kge(32, 2));
+        assert!(AreaModel::shared_table_rom_kge(32, 4) > AreaModel::shared_table_rom_kge(32, 1));
+        assert_eq!(AreaModel::shared_table_rom_kge(0, 0), 0.0);
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Lane-vs-scalar differential suite for the lane-oriented field and
+//! curve layers (`DESIGN.md` §16).
+//!
+//! The lane types promise that lane `l` of every operation is
+//! **bit-identical** to the scalar pipeline run on lane `l`'s inputs, at
+//! every supported width and at every thread count. This suite enforces
+//! that promise end to end: field-level ring axioms on random inputs,
+//! lane-width sweeps of the interleaved scalar multiplication against
+//! sequential one-shot calls, and `diff_check!` thread-count invariance
+//! of the quad-regrouped batch entry points.
+
+use fourq::curve::{mul_extended_lanes, AffinePoint, FourQEngine};
+use fourq::fp::{Choice, Fp, Fp2, Fp2Lanes, FpLanes, LaneChoice, Scalar};
+
+/// Extended-coordinate byte equality (the strongest comparison the lane
+/// contract makes: not just the same group element, the same
+/// representative).
+fn ext_eq(a: &fourq::curve::ExtendedPoint<Fp2>, b: &fourq::curve::ExtendedPoint<Fp2>) -> bool {
+    a.x == b.x && a.y == b.y && a.z == b.z && a.ta == b.ta && a.tb == b.tb
+}
+
+fn fp_lanes_axioms_at<const W: usize>(rng: &mut fourq_testkit::TestRng) {
+    use fourq_testkit::Arbitrary;
+    let a_s: [Fp; W] = core::array::from_fn(|_| Fp::arbitrary(rng));
+    let b_s: [Fp; W] = core::array::from_fn(|_| Fp::arbitrary(rng));
+    let c_s: [Fp; W] = core::array::from_fn(|_| Fp::arbitrary(rng));
+    let a = FpLanes::from_fps(a_s);
+    let b = FpLanes::from_fps(b_s);
+    let c = FpLanes::from_fps(c_s);
+    let zero = FpLanes::<W>::splat(Fp::ZERO);
+    let one = FpLanes::<W>::splat(Fp::ONE);
+
+    // Ring axioms, lane-wise.
+    assert_eq!(a.add(&b).to_fps(), b.add(&a).to_fps(), "add commutes");
+    assert_eq!(
+        a.add(&b).add(&c).to_fps(),
+        a.add(&b.add(&c)).to_fps(),
+        "add associates"
+    );
+    assert_eq!(a.mul(&b).to_fps(), b.mul(&a).to_fps(), "mul commutes");
+    assert_eq!(
+        a.mul(&b).mul(&c).to_fps(),
+        a.mul(&b.mul(&c)).to_fps(),
+        "mul associates"
+    );
+    assert_eq!(
+        a.mul(&b.add(&c)).to_fps(),
+        a.mul(&b).add(&a.mul(&c)).to_fps(),
+        "mul distributes over add"
+    );
+    assert_eq!(a.add(&zero).to_fps(), a.to_fps(), "additive identity");
+    assert_eq!(a.mul(&one).to_fps(), a.to_fps(), "multiplicative identity");
+    assert_eq!(a.add(&a.neg()).to_fps(), zero.to_fps(), "additive inverse");
+    assert_eq!(a.sqr().to_fps(), a.mul(&a).to_fps(), "sqr = self-mul");
+    assert_eq!(a.dbl().to_fps(), a.add(&a).to_fps(), "dbl = self-add");
+
+    // Every lane op equals the scalar Fp op on that lane's inputs.
+    for l in 0..W {
+        assert_eq!(a.add(&b).to_fps()[l], a_s[l] + b_s[l], "lane {l} add");
+        assert_eq!(a.sub(&b).to_fps()[l], a_s[l] - b_s[l], "lane {l} sub");
+        assert_eq!(a.mul(&b).to_fps()[l], a_s[l] * b_s[l], "lane {l} mul");
+        assert_eq!(a.sqr().to_fps()[l], a_s[l].square(), "lane {l} sqr");
+    }
+}
+
+#[test]
+fn fp_lanes_ring_axioms_all_widths() {
+    fourq_testkit::prop_check!(cases = 48, |rng| {
+        fp_lanes_axioms_at::<1>(rng);
+        fp_lanes_axioms_at::<2>(rng);
+        fp_lanes_axioms_at::<4>(rng);
+    });
+}
+
+#[test]
+fn fp2_lanes_match_scalar_fp2() {
+    fourq_testkit::prop_check!(cases = 48, |rng| {
+        use fourq_testkit::Arbitrary;
+        const W: usize = 4;
+        let a_s: [Fp2; W] = core::array::from_fn(|_| Fp2::arbitrary(rng));
+        let b_s: [Fp2; W] = core::array::from_fn(|_| Fp2::arbitrary(rng));
+        let a = Fp2Lanes::from_fp2s(a_s);
+        let b = Fp2Lanes::from_fp2s(b_s);
+        for l in 0..W {
+            assert_eq!(a.add(&b).to_fp2s()[l], a_s[l] + b_s[l], "lane {l} add");
+            assert_eq!(a.sub(&b).to_fp2s()[l], a_s[l] - b_s[l], "lane {l} sub");
+            assert_eq!(a.mul(&b).to_fp2s()[l], a_s[l] * b_s[l], "lane {l} mul");
+            assert_eq!(a.sqr().to_fp2s()[l], a_s[l].square(), "lane {l} sqr");
+            assert_eq!(a.conj().to_fp2s()[l], a_s[l].conj(), "lane {l} conj");
+            assert_eq!(a.dbl().to_fp2s()[l], a_s[l].double(), "lane {l} dbl");
+        }
+    });
+}
+
+#[test]
+fn lane_ct_select_is_lane_independent() {
+    fourq_testkit::prop_check!(cases = 48, |rng| {
+        use fourq_testkit::Arbitrary;
+        const W: usize = 4;
+        let a_s: [Fp2; W] = core::array::from_fn(|_| Fp2::arbitrary(rng));
+        let b_s: [Fp2; W] = core::array::from_fn(|_| Fp2::arbitrary(rng));
+        let bits: [bool; W] = core::array::from_fn(|_| rng.next_bool());
+        let choice =
+            LaneChoice::from_choices(core::array::from_fn(|l| Choice::from_bit(bits[l] as u64)));
+        let sel = Fp2Lanes::ct_select(
+            &Fp2Lanes::from_fp2s(a_s),
+            &Fp2Lanes::from_fp2s(b_s),
+            &choice,
+        )
+        .to_fp2s();
+        for l in 0..W {
+            let want = if bits[l] { b_s[l] } else { a_s[l] };
+            assert_eq!(sel[l], want, "lane {l} select");
+        }
+    });
+}
+
+#[test]
+fn interleaved_mul_matches_sequential_one_shots() {
+    // The headline lane contract: a batch-of-4 interleaved variable-base
+    // scalar multiplication is bit-identical — extended coordinates
+    // included — to four sequential one-shot pipeline calls.
+    fourq_testkit::prop_check!(cases = 6, |rng| {
+        use fourq_testkit::Arbitrary;
+        let points: [AffinePoint; 4] = core::array::from_fn(|_| AffinePoint::arbitrary(rng));
+        let ks: [Scalar; 4] = core::array::from_fn(|_| Scalar::arbitrary(rng));
+        let lanes = mul_extended_lanes(&points, &ks);
+        for l in 0..4 {
+            let sequential = points[l].mul_extended(&ks[l]);
+            assert!(
+                ext_eq(&lanes[l], &sequential),
+                "lane {l}: interleaved result diverges from the sequential one-shot"
+            );
+        }
+    });
+}
+
+#[test]
+fn interleaved_mul_all_widths() {
+    let g = AffinePoint::generator();
+    let points = [
+        g,
+        g.double(),
+        g.mul(&Scalar::from_u64(12345)),
+        AffinePoint::identity(),
+    ];
+    let ks = [
+        Scalar::from_u64(0xdead_beef_cafe_f00d),
+        Scalar::ZERO,
+        Scalar::from_u64(1),
+        Scalar::from_u64(0x9e37_79b9_7f4a_7c15),
+    ];
+    // W = 1, 2, 4 over the same input pool; every width must reproduce
+    // the scalar pipeline exactly.
+    let w1 = mul_extended_lanes(&[points[0]], &[ks[0]]);
+    assert!(ext_eq(&w1[0], &points[0].mul_extended(&ks[0])));
+    let w2 = mul_extended_lanes(&[points[1], points[3]], &[ks[1], ks[3]]);
+    assert!(ext_eq(&w2[0], &points[1].mul_extended(&ks[1])));
+    assert!(ext_eq(&w2[1], &points[3].mul_extended(&ks[3])));
+    let w4 = mul_extended_lanes(&points, &ks);
+    for l in 0..4 {
+        assert!(
+            ext_eq(&w4[l], &points[l].mul_extended(&ks[l])),
+            "W=4 lane {l}"
+        );
+    }
+}
+
+#[test]
+fn batch_scalar_mul_is_lane_and_thread_invariant() {
+    // 11 pairs: two full quads through the interleaved kernel plus a
+    // 3-item scalar remainder, at every thread count.
+    let g = AffinePoint::generator();
+    let pairs: Vec<(Scalar, AffinePoint)> = (1u64..=11)
+        .map(|i| {
+            (
+                Scalar::from_u64(i.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1),
+                g.mul(&Scalar::from_u64(i * i + 1)),
+            )
+        })
+        .collect();
+    let reference: Vec<AffinePoint> = pairs.iter().map(|(k, p)| p.mul(k)).collect();
+    fourq_testkit::diff_check!(|threads| {
+        let eng = FourQEngine::shared().with_threads(threads);
+        let got = eng.batch_scalar_mul(&pairs);
+        assert_eq!(
+            got, reference,
+            "quad-regrouped batch diverges from one-shot muls"
+        );
+        got
+    });
+}
+
+#[test]
+fn batch_fixed_base_mul_is_lane_and_thread_invariant() {
+    let ks: Vec<Scalar> = (0u64..10)
+        .map(|i| Scalar::from_u64(i.wrapping_mul(0xc2b2_ae35_27d4_eb4f)))
+        .collect();
+    let table = fourq::curve::generator_table();
+    let reference: Vec<AffinePoint> = ks.iter().map(|k| table.mul(k)).collect();
+    fourq_testkit::diff_check!(|threads| {
+        let eng = FourQEngine::shared().with_threads(threads);
+        let got = eng.batch_fixed_base_mul(&ks);
+        assert_eq!(got, reference, "lane comb diverges from scalar comb");
+        got
+    });
+}
+
+#[test]
+fn msm_lane_quad_sweep_matches_straus_and_is_thread_invariant() {
+    // 60 points: above MSM's parallel crossover, so the lane-quad window
+    // sweep runs under real multi-worker scheduling.
+    let g = AffinePoint::generator();
+    let pairs: Vec<(Scalar, AffinePoint)> = (0u64..60)
+        .map(|i| {
+            (
+                Scalar::from_u64(i.wrapping_mul(0x1234_5678_9abc_def1) | 1),
+                g.mul(&Scalar::from_u64(i + 2)),
+            )
+        })
+        .collect();
+    let straus = fourq::curve::msm_straus(&pairs);
+    fourq_testkit::diff_check!(|threads| {
+        let eng = FourQEngine::shared().with_threads(threads);
+        let got = eng.msm(&pairs);
+        assert_eq!(got, straus, "lane-quad Pippenger diverges from Straus");
+        got
+    });
+}
